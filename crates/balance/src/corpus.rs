@@ -1,0 +1,135 @@
+//! Synthetic data corpora: item keys plus query weights.
+
+use sw_keyspace::distribution::KeyDistribution;
+use sw_keyspace::{Key, Rng};
+
+/// A corpus of data items. Item `i` lives at `keys[i]` and receives a
+/// fraction `query_weight[i] / Σ query_weight` of the query workload.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    keys: Vec<Key>,
+    query_weight: Vec<f64>,
+    source: String,
+}
+
+impl Corpus {
+    /// Generates `m` items with keys drawn from `dist` and uniform query
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn generate(m: usize, dist: &dyn KeyDistribution, rng: &mut Rng) -> Corpus {
+        assert!(m > 0, "corpus needs at least one item");
+        let mut keys: Vec<Key> = (0..m).map(|_| dist.sample_key(rng)).collect();
+        keys.sort_unstable();
+        Corpus {
+            keys,
+            query_weight: vec![1.0; m],
+            source: dist.name(),
+        }
+    }
+
+    /// Assigns Zipf(s) query weights in random item order (popularity is
+    /// independent of key position).
+    pub fn with_zipf_queries(mut self, s: f64, rng: &mut Rng) -> Corpus {
+        assert!(s.is_finite() && s >= 0.0, "bad zipf exponent {s}");
+        let m = self.keys.len();
+        let mut ranks: Vec<usize> = (0..m).collect();
+        rng.shuffle(&mut ranks);
+        for (i, &rank) in ranks.iter().enumerate() {
+            self.query_weight[i] = 1.0 / ((rank + 1) as f64).powf(s);
+        }
+        self
+    }
+
+    /// Assigns *spatially correlated* query weights: item `i` is queried
+    /// proportionally to `profile.pdf(key_i)`. Models hot key *ranges*
+    /// (the paper's range-query applications), as opposed to the
+    /// scattered per-item popularity of [`Corpus::with_zipf_queries`].
+    pub fn with_query_profile(mut self, profile: &dyn KeyDistribution) -> Corpus {
+        for (w, k) in self.query_weight.iter_mut().zip(&self.keys) {
+            // Floor keeps every item queryable and the total positive.
+            *w = profile.pdf(k.get()).max(1e-9);
+        }
+        self
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the corpus has no items (never for a generated corpus).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Item keys in ascending order.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Per-item query weights (parallel to `keys`).
+    pub fn query_weights(&self) -> &[f64] {
+        &self.query_weight
+    }
+
+    /// Name of the generating distribution.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The key of a uniformly random item — used by data-sampled peer
+    /// placement.
+    pub fn random_item_key(&self, rng: &mut Rng) -> Key {
+        self.keys[rng.index(self.keys.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_keyspace::distribution::{TruncatedPareto, Uniform};
+
+    #[test]
+    fn generate_sorts_keys() {
+        let mut rng = Rng::new(1);
+        let c = Corpus::generate(1000, &Uniform, &mut rng);
+        assert_eq!(c.len(), 1000);
+        for w in c.keys().windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(c.source(), "uniform");
+    }
+
+    #[test]
+    fn skewed_corpus_concentrates() {
+        let mut rng = Rng::new(2);
+        let d = TruncatedPareto::new(1.5, 0.01).unwrap();
+        let c = Corpus::generate(5000, &d, &mut rng);
+        let low = c.keys().iter().filter(|k| k.get() < 0.1).count();
+        assert!(low > 2500, "low-region items: {low}");
+    }
+
+    #[test]
+    fn zipf_queries_sum_is_positive_and_skewed() {
+        let mut rng = Rng::new(3);
+        let c = Corpus::generate(100, &Uniform, &mut rng).with_zipf_queries(1.2, &mut rng);
+        let w = c.query_weights();
+        let total: f64 = w.iter().sum();
+        assert!(total > 0.0);
+        let max = w.iter().copied().fold(0.0, f64::max);
+        assert!(max / (total / 100.0) > 5.0, "top item should dominate");
+    }
+
+    #[test]
+    fn random_item_key_is_a_member() {
+        let mut rng = Rng::new(4);
+        let c = Corpus::generate(50, &Uniform, &mut rng);
+        for _ in 0..20 {
+            let k = c.random_item_key(&mut rng);
+            assert!(c.keys().binary_search(&k).is_ok());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Item→peer assignment and load accounting.
+//!
+//! Ownership follows the successor rule of ring DHTs: peer `u` stores the
+//! items whose keys fall on the arc `(pred(u), u]`. On the interval
+//! topology the same rule applies with the first peer additionally owning
+//! everything below it and the last everything above it — so every item
+//! has exactly one owner in both topologies.
+
+use crate::corpus::Corpus;
+use sw_keyspace::stats::{gini, max_over_mean};
+use sw_keyspace::Topology;
+use sw_overlay::Placement;
+
+/// Items stored per peer under successor ownership.
+pub fn storage_loads(placement: &Placement, corpus: &Corpus) -> Vec<f64> {
+    let mut loads = vec![0.0; placement.len()];
+    for &k in corpus.keys() {
+        loads[owner_of(placement, k.get()) as usize] += 1.0;
+    }
+    loads
+}
+
+/// Query weight handled per peer (the owner answers the query).
+pub fn query_loads(placement: &Placement, corpus: &Corpus) -> Vec<f64> {
+    let mut loads = vec![0.0; placement.len()];
+    for (&k, &w) in corpus.keys().iter().zip(corpus.query_weights()) {
+        loads[owner_of(placement, k.get()) as usize] += w;
+    }
+    loads
+}
+
+/// The owner of key `k` under successor ownership.
+pub fn owner_of(placement: &Placement, k: f64) -> u32 {
+    let key = sw_keyspace::Key::clamped(k);
+    match placement.topology() {
+        Topology::Ring => placement.successor(key),
+        Topology::Interval => {
+            let s = placement.successor(key);
+            // `successor` wraps to 0 past the last peer; on the interval
+            // the last peer owns that tail instead.
+            if s == 0 && key > placement.key(0) {
+                (placement.len() - 1) as u32
+            } else {
+                s
+            }
+        }
+    }
+}
+
+/// Summary balance statistics of a load vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceReport {
+    /// Gini coefficient (0 = perfectly even).
+    pub gini: f64,
+    /// `max / mean` imbalance factor.
+    pub max_over_mean: f64,
+    /// Coefficient of variation (σ/μ).
+    pub cv: f64,
+    /// Fraction of peers storing nothing.
+    pub empty_fraction: f64,
+}
+
+impl BalanceReport {
+    /// Computes the report from a load vector.
+    pub fn from_loads(loads: &[f64]) -> BalanceReport {
+        let n = loads.len().max(1) as f64;
+        let mean = loads.iter().sum::<f64>() / n;
+        let var = loads.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        BalanceReport {
+            gini: gini(loads),
+            max_over_mean: max_over_mean(loads),
+            cv,
+            empty_fraction: loads.iter().filter(|&&x| x == 0.0).count() as f64 / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_keyspace::distribution::Uniform;
+    use sw_keyspace::{Key, Rng};
+
+    fn key(v: f64) -> Key {
+        Key::new(v).unwrap()
+    }
+
+    #[test]
+    fn ring_ownership_is_successor() {
+        let p = Placement::from_keys(
+            vec![key(0.2), key(0.5), key(0.8)],
+            Topology::Ring,
+            "t",
+        )
+        .unwrap();
+        assert_eq!(owner_of(&p, 0.1), 0);
+        assert_eq!(owner_of(&p, 0.2), 0);
+        assert_eq!(owner_of(&p, 0.3), 1);
+        assert_eq!(owner_of(&p, 0.9), 0, "wraps to the first peer");
+    }
+
+    #[test]
+    fn interval_ownership_assigns_tail_to_last() {
+        let p = Placement::from_keys(
+            vec![key(0.2), key(0.5), key(0.8)],
+            Topology::Interval,
+            "t",
+        )
+        .unwrap();
+        assert_eq!(owner_of(&p, 0.1), 0);
+        assert_eq!(owner_of(&p, 0.9), 2);
+    }
+
+    #[test]
+    fn every_item_has_exactly_one_owner() {
+        let mut rng = Rng::new(1);
+        let p = Placement::sample(64, &Uniform, Topology::Ring, &mut rng);
+        let c = Corpus::generate(10_000, &Uniform, &mut rng);
+        let loads = storage_loads(&p, &c);
+        let total: f64 = loads.iter().sum();
+        assert_eq!(total as usize, 10_000);
+    }
+
+    #[test]
+    fn uniform_on_uniform_is_reasonably_balanced() {
+        let mut rng = Rng::new(2);
+        let p = Placement::sample(64, &Uniform, Topology::Ring, &mut rng);
+        let c = Corpus::generate(64_000, &Uniform, &mut rng);
+        let r = BalanceReport::from_loads(&storage_loads(&p, &c));
+        // Random arcs are exponential-ish: Gini around 0.5, never worse
+        // than the fully concentrated 1.0, and no huge outliers.
+        assert!(r.gini < 0.65, "gini {}", r.gini);
+        assert!(r.max_over_mean < 8.0, "mom {}", r.max_over_mean);
+    }
+
+    #[test]
+    fn query_loads_respect_weights() {
+        let p = Placement::from_keys(vec![key(0.5), key(0.99)], Topology::Ring, "t").unwrap();
+        let mut rng = Rng::new(3);
+        let mut c = Corpus::generate(4, &Uniform, &mut rng);
+        // All weight on items owned by peer 0 (keys <= 0.5) vs peer 1.
+        let _ = &mut c;
+        let loads = query_loads(&p, &c);
+        assert!((loads.iter().sum::<f64>() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_report_flags_concentration() {
+        let even = BalanceReport::from_loads(&[5.0, 5.0, 5.0, 5.0]);
+        assert!(even.gini < 1e-12);
+        assert!((even.max_over_mean - 1.0).abs() < 1e-12);
+        assert_eq!(even.empty_fraction, 0.0);
+
+        let spiked = BalanceReport::from_loads(&[20.0, 0.0, 0.0, 0.0]);
+        assert!((spiked.gini - 0.75).abs() < 1e-12);
+        assert!((spiked.max_over_mean - 4.0).abs() < 1e-12);
+        assert!((spiked.empty_fraction - 0.75).abs() < 1e-12);
+    }
+}

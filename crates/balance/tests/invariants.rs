@@ -1,0 +1,98 @@
+//! Property-based invariants of the load-balancing substrate.
+
+use proptest::prelude::*;
+use sw_balance::corpus::Corpus;
+use sw_balance::ownership::{owner_of, storage_loads, BalanceReport};
+use sw_balance::rebalance::{place_peers, rebalance_until_stable, PeerPlacement};
+use sw_keyspace::distribution::{KeyDistribution, TruncatedPareto, Uniform};
+use sw_keyspace::{Rng, Topology};
+use sw_overlay::Placement;
+
+fn corpus_for(choice: u8, m: usize, seed: u64) -> Corpus {
+    let mut rng = Rng::new(seed);
+    let dist: Box<dyn KeyDistribution> = match choice % 2 {
+        0 => Box::new(Uniform),
+        _ => Box::new(TruncatedPareto::new(1.5, 0.01).unwrap()),
+    };
+    Corpus::generate(m, dist.as_ref(), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every item has exactly one owner: loads always sum to the corpus
+    /// size, for any placement, strategy and topology.
+    #[test]
+    fn conservation_of_items(
+        seed in any::<u64>(),
+        n_peers in 2usize..64,
+        m in 1usize..2000,
+        choice in 0u8..2,
+        ring in any::<bool>(),
+    ) {
+        let topology = if ring { Topology::Ring } else { Topology::Interval };
+        let corpus = corpus_for(choice, m, seed);
+        let mut rng = Rng::new(seed ^ 1);
+        let p = Placement::sample(n_peers, &Uniform, topology, &mut rng);
+        let loads = storage_loads(&p, &corpus);
+        prop_assert_eq!(loads.iter().sum::<f64>() as usize, m);
+        prop_assert_eq!(loads.len(), n_peers);
+    }
+
+    /// The owner of a key actually covers it: no other peer's arc
+    /// contains the key (successor semantics).
+    #[test]
+    fn owner_is_successor(seed in any::<u64>(), n in 4usize..64, key in 0.0f64..1.0) {
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+        let o = owner_of(&p, key);
+        // The owner's key is the first at-or-after `key` in ring order.
+        let k = sw_keyspace::Key::clamped(key);
+        prop_assert_eq!(o, p.successor(k));
+    }
+
+    /// Balance reports are well-formed: gini in [0, 1), max/mean >= 1
+    /// for nonzero loads, empty fraction in [0, 1].
+    #[test]
+    fn balance_report_ranges(loads in proptest::collection::vec(0.0f64..1000.0, 1..64)) {
+        let r = BalanceReport::from_loads(&loads);
+        prop_assert!((0.0..1.0).contains(&r.gini), "gini {}", r.gini);
+        prop_assert!((0.0..=1.0).contains(&r.empty_fraction));
+        if loads.iter().any(|&x| x > 0.0) {
+            prop_assert!(r.max_over_mean >= 1.0 - 1e-12);
+        }
+    }
+
+    /// Rebalancing never loses or duplicates items and never changes the
+    /// peer count; it also never makes max/mean dramatically worse.
+    #[test]
+    fn rebalance_conserves(seed in any::<u64>(), n_peers in 4usize..32, choice in 0u8..2) {
+        let corpus = corpus_for(choice, 2000, seed);
+        let mut rng = Rng::new(seed ^ 2);
+        let mut p = place_peers(n_peers, &corpus, PeerPlacement::UniformHash, Topology::Ring, &mut rng);
+        let before = BalanceReport::from_loads(&storage_loads(&p, &corpus));
+        rebalance_until_stable(&mut p, &corpus, 1.5, 100);
+        let loads = storage_loads(&p, &corpus);
+        prop_assert_eq!(loads.iter().sum::<f64>() as usize, 2000);
+        prop_assert_eq!(p.len(), n_peers);
+        let after = BalanceReport::from_loads(&loads);
+        prop_assert!(
+            after.max_over_mean <= before.max_over_mean * 1.5 + 1.0,
+            "{} -> {}",
+            before.max_over_mean,
+            after.max_over_mean
+        );
+    }
+
+    /// Data-sampled placement always produces distinct sorted peers.
+    #[test]
+    fn sample_data_placement_valid(seed in any::<u64>(), n_peers in 2usize..64) {
+        let corpus = corpus_for(1, 500, seed);
+        let mut rng = Rng::new(seed ^ 3);
+        let p = place_peers(n_peers, &corpus, PeerPlacement::SampleData, Topology::Ring, &mut rng);
+        prop_assert_eq!(p.len(), n_peers);
+        for w in p.keys().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Construction throughput: exact vs harmonic link sampling, uniform vs
+//! skewed densities, and the incremental join protocol.
+//!
+//! The interesting comparison is `exact` (O(N) per peer, the paper's
+//! literal rule) against `harmonic` (O(log N) per draw, the continuous
+//! limit): E1/E3 show they produce statistically identical networks, so
+//! the harmonic sampler is the one a real deployment would ship.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use sw_core::config::{LinkSampler, OutDegree};
+use sw_core::join::GrowingNetwork;
+use sw_core::SmallWorldBuilder;
+use sw_keyspace::distribution::TruncatedPareto;
+use sw_keyspace::{Key, Rng, Topology};
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    for &n in &[256usize, 1024, 4096] {
+        for (name, sampler) in [
+            ("exact", LinkSampler::Exact),
+            ("harmonic", LinkSampler::Harmonic),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut rng = Rng::new(42);
+                    let net = SmallWorldBuilder::new(n)
+                        .sampler(sampler)
+                        .build(&mut rng)
+                        .expect("n >= 4");
+                    black_box(net.total_long_links())
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("skewed-harmonic", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Rng::new(42);
+                let net = SmallWorldBuilder::new(n)
+                    .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid")))
+                    .sampler(LinkSampler::Harmonic)
+                    .build(&mut rng)
+                    .expect("n >= 4");
+                black_box(net.total_long_links())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join-protocol");
+    group.bench_function("grow-to-1024", |b| {
+        b.iter(|| {
+            let seeds: Vec<Key> = (0..8)
+                .map(|i| Key::clamped((i as f64 + 0.5) / 8.0))
+                .collect();
+            let mut net = GrowingNetwork::bootstrap(
+                &seeds,
+                Arc::new(sw_keyspace::distribution::Uniform),
+                Topology::Interval,
+                OutDegree::Log2N,
+            );
+            let mut rng = Rng::new(7);
+            while net.len() < 1024 {
+                net.join(&mut rng);
+            }
+            black_box(net.stats().messages)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Per-lookup routing latency over prebuilt networks: the paper's model
+//! vs the baseline DHTs, and key-space vs mass-space greedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sw_core::routing::DistanceMode;
+use sw_core::SmallWorldBuilder;
+use sw_graph::NodeId;
+use sw_keyspace::distribution::{TruncatedPareto, Uniform};
+use sw_keyspace::{Rng, Topology};
+use sw_overlay::chord::Chord;
+use sw_overlay::route::RouteOptions;
+use sw_overlay::symphony::Symphony;
+use sw_overlay::{Overlay, Placement};
+
+fn bench_lookup(c: &mut Criterion) {
+    let n = 4096usize;
+    let mut rng = Rng::new(1);
+    let sw_uniform = SmallWorldBuilder::new(n).build(&mut rng).expect("n >= 4");
+    let sw_skewed = SmallWorldBuilder::new(n)
+        .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid")))
+        .build(&mut rng)
+        .expect("n >= 4");
+    let ring = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+    let chord = Chord::build(ring.clone());
+    let symphony = Symphony::build(ring, 12, true, &mut rng);
+    let opts = RouteOptions {
+        record_path: false,
+        ..RouteOptions::for_n(n)
+    };
+
+    let mut group = c.benchmark_group("lookup");
+    let systems: Vec<(&str, &dyn Overlay)> = vec![
+        ("small-world-uniform", &sw_uniform),
+        ("small-world-skewed", &sw_skewed),
+        ("chord", &chord),
+        ("symphony", &symphony),
+    ];
+    for (name, overlay) in systems {
+        group.bench_function(BenchmarkId::new(name, n), |b| {
+            let mut rng = Rng::new(99);
+            b.iter(|| {
+                let from = rng.index(n) as NodeId;
+                let to = rng.index(n) as NodeId;
+                let r = overlay.route(from, overlay.placement().key(to), &opts);
+                black_box(r.hops)
+            });
+        });
+    }
+    for (name, mode) in [
+        ("key-space", DistanceMode::KeySpace),
+        ("mass-space", DistanceMode::MassSpace),
+    ] {
+        group.bench_function(BenchmarkId::new(format!("skewed-{name}"), n), |b| {
+            let mut rng = Rng::new(99);
+            b.iter(|| {
+                let from = rng.index(n) as NodeId;
+                let to = rng.index(n) as NodeId;
+                let t = sw_skewed.placement().key(to);
+                black_box(sw_skewed.route_with_mode(from, t, mode, &opts).hops)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Simulator throughput: virtual seconds of churn + workload per wall
+//! second, and the cost of one measurement probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use sw_keyspace::distribution::Uniform;
+use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, WorkloadConfig};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("60s-churn4-512peers", |b| {
+        b.iter(|| {
+            let cfg = SimConfig {
+                seed: 5,
+                initial_n: 512,
+                churn: ChurnConfig::symmetric(4.0),
+                workload: WorkloadConfig { lookup_rate: 20.0 },
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(60));
+            black_box(sim.metrics().lookups)
+        });
+    });
+    group.bench_function("probe-200-lookups", |b| {
+        let cfg = SimConfig {
+            seed: 6,
+            initial_n: 1024,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(10));
+        b.iter(|| {
+            let (ok, hops) = sim.probe_lookups(200);
+            black_box((ok, hops.mean()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

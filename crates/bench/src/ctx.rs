@@ -1,0 +1,61 @@
+//! Execution context shared by all experiments.
+
+use std::path::PathBuf;
+
+/// Knobs every experiment respects.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Quarter-scale sizes and query counts (CI / smoke runs).
+    pub quick: bool,
+    /// Directory for CSV output (created on demand).
+    pub out_dir: PathBuf,
+    /// Base PRNG seed; experiments derive their own streams from it.
+    pub seed: u64,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            quick: false,
+            out_dir: PathBuf::from("results"),
+            seed: 0x5EED_2005,
+        }
+    }
+}
+
+impl Ctx {
+    /// Scales a population size down in quick mode.
+    pub fn n(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 4).max(64)
+        } else {
+            full
+        }
+    }
+
+    /// Scales a query/repetition count down in quick mode.
+    pub fn queries(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 4).max(50)
+        } else {
+            full
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scales_down_with_floors() {
+        let mut c = Ctx::default();
+        assert_eq!(c.n(4096), 4096);
+        assert_eq!(c.queries(1000), 1000);
+        c.quick = true;
+        assert_eq!(c.n(4096), 1024);
+        assert_eq!(c.n(100), 64);
+        assert_eq!(c.queries(1000), 250);
+        assert_eq!(c.queries(80), 50);
+    }
+}

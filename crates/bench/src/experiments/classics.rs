@@ -1,0 +1,69 @@
+//! E12, E13 — the §2 background models, regenerated.
+
+use crate::ctx::Ctx;
+use crate::table::{f2, f3, Table};
+use sw_graph::bfs::path_survey;
+use sw_graph::clustering::clustering_coefficient;
+use sw_graph::kleinberg::{KleinbergGrid, KleinbergRing};
+use sw_graph::watts_strogatz::{generate, WattsStrogatz};
+use sw_keyspace::Rng;
+
+/// E12 — Kleinberg's dichotomy: greedy hops vs structural exponent `r`
+/// on the 1-d ring and the 2-d torus.
+pub fn e12_kleinberg_exponent(ctx: &Ctx) {
+    let n_ring = ctx.n(16384);
+    let side = if ctx.quick { 40 } else { 64 };
+    let pairs = ctx.queries(1200);
+    let mut table = Table::new(
+        format!("E12: Kleinberg lattice — greedy hops vs r (ring n = {n_ring}, grid {side}×{side}, q = 1)"),
+        &["r", "1-d ring hops", "2-d grid hops"],
+    );
+    for i in 0..=10u64 {
+        let r = i as f64 * 0.4; // 0.0 .. 4.0
+        let mut rng = Rng::new(ctx.seed ^ 12 ^ i);
+        let ring_hops = KleinbergRing::new(n_ring, 1, r, &mut rng)
+            .mean_greedy_hops(pairs, &mut rng)
+            .mean();
+        let grid_hops = KleinbergGrid::new(side, 1, r, &mut rng)
+            .mean_greedy_hops(pairs, &mut rng)
+            .mean();
+        table.row(vec![f2(r), f2(ring_hops), f2(grid_hops)]);
+    }
+    table.print();
+    table.write_csv(&ctx.out_dir, "e12_kleinberg_exponent.csv");
+    println!(
+        "  expected shape: U-curves — the 1-d minimum near r = 1; the 2-d curve \
+         flattens near r ≤ 2 at this scale (the asymptotic r = dim optimum needs \
+         very large n, a known finite-size effect) and blows up for steep r"
+    );
+}
+
+/// E13 — the Watts–Strogatz small-world regime: `C(p)/C(0)` and
+/// `L(p)/L(0)` vs rewiring probability.
+pub fn e13_watts_strogatz(ctx: &Ctx) {
+    let n = ctx.n(2000);
+    let k = 5;
+    let mut rng = Rng::new(ctx.seed ^ 13);
+    let lattice = generate(WattsStrogatz { n, k, p: 0.0 }, &mut rng).expect("valid params");
+    let c0 = clustering_coefficient(&lattice);
+    let l0 = path_survey(&lattice, 48, &mut rng).lengths.mean();
+    let mut table = Table::new(
+        format!("E13: Watts–Strogatz (n = {n}, k = {k}) — C(p)/C(0) and L(p)/L(0)"),
+        &["p", "C(p)/C(0)", "L(p)/L(0)"],
+    );
+    table.row(vec!["0".into(), "1.000".into(), "1.000".into()]);
+    for &p in &[
+        0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0,
+    ] {
+        let g = generate(WattsStrogatz { n, k, p }, &mut rng).expect("valid params");
+        let c = clustering_coefficient(&g) / c0;
+        let l = path_survey(&g, 48, &mut rng).lengths.mean() / l0;
+        table.row(vec![format!("{p}"), f3(c), f3(l)]);
+    }
+    table.print();
+    table.write_csv(&ctx.out_dir, "e13_watts_strogatz.csv");
+    println!(
+        "  expected shape: L(p)/L(0) collapses around p ≈ 0.01 while C(p)/C(0) is \
+         still ≈ 1 — the small-world window of Watts & Strogatz (1998), Fig. 2"
+    );
+}

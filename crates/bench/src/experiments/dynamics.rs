@@ -1,0 +1,222 @@
+//! E10, E11, E14 — the dynamic setting: joins, local estimation, churn.
+
+use crate::ctx::Ctx;
+use crate::table::{f2, f3, pm, Table};
+use std::sync::Arc;
+use sw_core::config::{LinkSampler, OutDegree};
+use sw_core::estimate::{refine_links_round, Estimator};
+use sw_core::join::GrowingNetwork;
+use sw_core::SmallWorldBuilder;
+use sw_keyspace::distribution::{KeyDistribution, TruncatedPareto, Uniform};
+use sw_keyspace::{Key, Rng, Topology};
+use sw_overlay::Overlay;
+use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, WorkloadConfig};
+
+/// E10 — §4.2 join protocol: incrementally grown networks vs the oracle
+/// batch construction, and the message cost per join.
+pub fn e10_join_protocol(ctx: &Ctx) {
+    let queries = ctx.queries(1000);
+    let mut table = Table::new(
+        "E10: §4.2 join protocol — grown vs oracle-built networks",
+        &[
+            "distribution",
+            "N",
+            "msgs/join",
+            "grown hops",
+            "after refresh",
+            "oracle hops",
+        ],
+    );
+    let dists: Vec<(&str, Arc<dyn KeyDistribution>)> = vec![
+        ("uniform", Arc::new(Uniform)),
+        (
+            "pareto(1.5,0.01)",
+            Arc::new(TruncatedPareto::new(1.5, 0.01).expect("valid")),
+        ),
+    ];
+    for (name, dist) in dists {
+        for &full_n in &[256usize, 1024, 4096] {
+            let n = ctx.n(full_n);
+            let mut rng = Rng::new(ctx.seed ^ 10 ^ n as u64);
+            let seeds: Vec<Key> = (0..8)
+                .map(|i| Key::clamped((i as f64 + 0.5) / 8.0))
+                .collect();
+            let mut grown = GrowingNetwork::bootstrap(
+                &seeds,
+                dist.clone(),
+                Topology::Interval,
+                OutDegree::Log2N,
+            );
+            while grown.len() < n {
+                grown.join(&mut rng);
+            }
+            let msgs_per_join = grown.stats().messages as f64 / grown.stats().joins as f64;
+            let snap = grown.snapshot();
+            let s_grown = snap.routing_survey(queries, &mut rng);
+            grown.refresh_all(&mut rng);
+            let snap2 = grown.snapshot();
+            let s_refreshed = snap2.routing_survey(queries, &mut rng);
+            // Oracle: batch exact construction over the same placement.
+            let oracle = SmallWorldBuilder::new(n)
+                .distribution(clone_for(name))
+                .build_on(snap2.placement().clone(), &mut rng)
+                .expect("n >= 4");
+            let s_oracle = oracle.routing_survey(queries, &mut rng);
+            table.row(vec![
+                name.to_string(),
+                n.to_string(),
+                f2(msgs_per_join),
+                pm(s_grown.hops.mean(), s_grown.hops.ci95()),
+                pm(s_refreshed.hops.mean(), s_refreshed.hops.ci95()),
+                pm(s_oracle.hops.mean(), s_oracle.hops.ci95()),
+            ]);
+        }
+    }
+    table.print();
+    table.write_csv(&ctx.out_dir, "e10_join_protocol.csv");
+    println!(
+        "  expected shape: msgs/join grows ~log²N; grown networks route within a \
+         small factor of the oracle, and one refresh round closes most of the gap \
+         (early joiners' links predate most of the population)"
+    );
+}
+
+/// E11 — §4.2 estimation: routing cost vs local sample budget and
+/// refinement rounds, starting from the naive (uniform-assuming) graph.
+pub fn e11_estimation(ctx: &Ctx) {
+    let n = ctx.n(2048);
+    let queries = ctx.queries(1000);
+    let skew = || TruncatedPareto::new(1.5, 0.005).expect("valid");
+    let mut rng = Rng::new(ctx.seed ^ 11);
+    let naive = SmallWorldBuilder::new(n)
+        .distribution(Box::new(skew()))
+        .assumed(Box::new(Uniform))
+        .sampler(LinkSampler::Harmonic)
+        .build(&mut rng)
+        .expect("n >= 4");
+    let oracle = SmallWorldBuilder::new(n)
+        .distribution(Box::new(skew()))
+        .sampler(LinkSampler::Harmonic)
+        .build_on(naive.placement().clone(), &mut rng)
+        .expect("n >= 4");
+
+    let mut table = Table::new(
+        format!("E11: §4.2 local estimation of f (N = {n}, pareto(1.5,0.005))"),
+        &["configuration", "hops", "success"],
+    );
+    let survey = |net: &sw_core::SmallWorldNetwork, rng: &mut Rng| {
+        let s = net.routing_survey(queries, rng);
+        (pm(s.hops.mean(), s.hops.ci95()), f3(s.success_rate()))
+    };
+    let (h, s) = survey(&naive, &mut rng);
+    table.row(vec!["naive (assume uniform)".into(), h, s]);
+    // Estimator ablation: fixed-bin histograms have uniform resolution in
+    // *key* space, so a hotspot narrower than one bin stays unresolved no
+    // matter the sample budget; the interpolated ECDF is uniform in
+    // *mass* and keeps improving with samples.
+    for budget in [8usize, 32, 128, 512] {
+        for (est_name, est) in [
+            ("histogram-32", Estimator::Histogram { bins: 32 }),
+            ("ecdf", Estimator::Ecdf),
+        ] {
+            let mut net = naive.clone();
+            refine_links_round(&mut net, budget, 3, est, &mut rng);
+            let (h, s) = survey(&net, &mut rng);
+            table.row(vec![
+                format!("1 round, {budget} samples/peer, {est_name}"),
+                h,
+                s,
+            ]);
+        }
+    }
+    for rounds in [2usize, 3] {
+        let mut net = naive.clone();
+        for _ in 0..rounds {
+            refine_links_round(&mut net, 128, 3, Estimator::Ecdf, &mut rng);
+        }
+        let (h, s) = survey(&net, &mut rng);
+        table.row(vec![format!("{rounds} rounds, 128 samples/peer, ecdf"), h, s]);
+    }
+    let (h, s) = survey(&oracle, &mut rng);
+    table.row(vec!["oracle (true f)".into(), h, s]);
+    table.print();
+    table.write_csv(&ctx.out_dir, "e11_estimation.csv");
+    println!(
+        "  expected shape: the ECDF estimator lands within ~20% of the oracle even at \
+         tiny sample budgets and keeps improving with rounds; fixed-bin histograms \
+         plateau well above it regardless of budget — the estimate needs resolution \
+         in MASS (order statistics), not in key space, because that is the metric \
+         the link rule integrates over"
+    );
+}
+
+/// E14 — lookups under churn, sweeping churn intensity × maintenance
+/// policy.
+pub fn e14_churn(ctx: &Ctx) {
+    let n = ctx.n(1024);
+    let horizon = if ctx.quick {
+        SimTime::from_secs(120)
+    } else {
+        SimTime::from_secs(600)
+    };
+    let mut table = Table::new(
+        format!(
+            "E14: churn (initial N = {n}, {}s horizon, 20 lookups/s)",
+            horizon.as_secs_f64()
+        ),
+        &[
+            "churn (ev/s)",
+            "maintenance",
+            "success",
+            "hops",
+            "timeouts",
+            "maint msgs",
+            "final N",
+        ],
+    );
+    for &rate in &[0.0f64, 1.0, 4.0, 16.0] {
+        for policy in ["none", "stabilize", "stabilize+refresh"] {
+            let (stab, refr) = match policy {
+                "none" => (None, None),
+                "stabilize" => (Some(SimTime::from_secs(10)), None),
+                _ => (Some(SimTime::from_secs(10)), Some(SimTime::from_secs(30))),
+            };
+            let cfg = SimConfig {
+                seed: ctx.seed ^ 14 ^ rate.to_bits(),
+                initial_n: n,
+                churn: ChurnConfig::symmetric(rate),
+                workload: WorkloadConfig { lookup_rate: 20.0 },
+                stabilize_interval: stab,
+                refresh_interval: refr,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+            sim.run_until(horizon);
+            let m = sim.metrics();
+            table.row(vec![
+                format!("{rate:.0}"),
+                policy.to_string(),
+                f3(m.success_rate()),
+                f2(m.hops.mean()),
+                m.timeouts.to_string(),
+                m.maintenance_messages().to_string(),
+                sim.alive_count().to_string(),
+            ]);
+        }
+    }
+    table.print();
+    table.write_csv(&ctx.out_dir, "e14_churn.csv");
+    println!(
+        "  expected shape: without maintenance success decays with churn rate; \
+         stabilization recovers correctness, refresh additionally recovers hop \
+         counts — §3.1's robustness claim plus §5's future-work setting"
+    );
+}
+
+fn clone_for(name: &str) -> Box<dyn KeyDistribution> {
+    if name == "uniform" {
+        Box::new(Uniform)
+    } else {
+        Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid"))
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per experiment family; the registry in the crate root maps
+//! experiment ids (`e1`..`e16`) onto these functions. Each experiment
+//! prints its table(s) and writes CSVs into the context's output
+//! directory. `EXPERIMENTS.md` documents expected shapes and records a
+//! reference run.
+
+pub mod balance;
+pub mod classics;
+pub mod dynamics;
+pub mod equivalence;
+pub mod skew;
+pub mod theory;

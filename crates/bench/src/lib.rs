@@ -1,0 +1,110 @@
+//! # sw-bench
+//!
+//! The experiment harness (system S13 of `DESIGN.md`): one runnable
+//! experiment per claim of the paper, each printing the table/series
+//! documented in `EXPERIMENTS.md` and writing a CSV next to it.
+//!
+//! ```text
+//! cargo run -p sw-bench --release --bin experiments -- all
+//! cargo run -p sw-bench --release --bin experiments -- e1 e3
+//! cargo run -p sw-bench --release --bin experiments -- --quick all
+//! ```
+//!
+//! Criterion micro-benchmarks live in `benches/` (construction, routing,
+//! distribution math, simulator throughput).
+
+pub mod ctx;
+pub mod experiments;
+pub mod table;
+
+pub use ctx::Ctx;
+pub use table::Table;
+
+/// An experiment entry point.
+pub type ExperimentFn = fn(&Ctx);
+
+/// The experiment registry: `(id, summary, runner)`.
+pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
+    vec![
+        (
+            "e1",
+            "Theorem 1: greedy hops vs N under uniform keys (exact & harmonic samplers)",
+            experiments::theory::e1_hops_vs_n as fn(&Ctx),
+        ),
+        (
+            "e2",
+            "Proof machinery: empirical P_next and E[X_j] vs the paper's bounds",
+            experiments::theory::e2_partition_advance,
+        ),
+        (
+            "e3",
+            "Theorem 2: hops vs N across seven key distributions (skew invariance)",
+            experiments::skew::e3_skew_invariance,
+        ),
+        (
+            "e4",
+            "Skew sensitivity: Model 2 vs naive Kleinberg, Symphony, Mercury, Chord, Pastry, P-Grid",
+            experiments::skew::e4_system_comparison,
+        ),
+        (
+            "e5",
+            "§3.1 trade-off: routing cost vs out-degree k (const -> log2 N)",
+            experiments::theory::e5_outdegree_tradeoff,
+        ),
+        (
+            "e6",
+            "§3.1: long-link partition occupancy (small-world vs Chord fingers)",
+            experiments::theory::e6_partition_occupancy,
+        ),
+        (
+            "e7",
+            "§3.1 robustness: routing vs fraction of long links lost",
+            experiments::theory::e7_link_loss,
+        ),
+        (
+            "e8",
+            "§4 assumption: storage/query balance under three peer-placement strategies",
+            experiments::balance::e8_load_balance,
+        ),
+        (
+            "e9",
+            "Figures 1-2: equivalence of G built in R and G' built in R' (CDF transport)",
+            experiments::equivalence::e9_normalization_equivalence,
+        ),
+        (
+            "e10",
+            "§4.2 join protocol: grown vs oracle-built networks, messages per join",
+            experiments::dynamics::e10_join_protocol,
+        ),
+        (
+            "e11",
+            "§4.2 estimation: routing cost vs local sample budget and refinement rounds",
+            experiments::dynamics::e11_estimation,
+        ),
+        (
+            "e12",
+            "Background (Kleinberg): greedy hops vs structural exponent r (1-d and 2-d)",
+            experiments::classics::e12_kleinberg_exponent,
+        ),
+        (
+            "e13",
+            "Background (Watts-Strogatz): clustering & path length vs rewiring p",
+            experiments::classics::e13_watts_strogatz,
+        ),
+        (
+            "e14",
+            "§5 future work: lookups under churn, with and without maintenance",
+            experiments::dynamics::e14_churn,
+        ),
+        (
+            "e15",
+            "Ablation: greedy in key space vs normalized (mass) space under skew",
+            experiments::skew::e15_routing_metric,
+        ),
+        (
+            "e16",
+            "§2.1 remark: interval vs ring topology (Theorems 1-2 carry over)",
+            experiments::theory::e16_ring_topology,
+        ),
+    ]
+}

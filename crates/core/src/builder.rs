@@ -1,0 +1,314 @@
+//! Builder for the paper's small-world networks.
+//!
+//! ```
+//! use sw_core::prelude::*;
+//! use sw_keyspace::prelude::*;
+//!
+//! // Model 1: uniform keys, log2 N out-degree (§3).
+//! let mut rng = Rng::new(1);
+//! let m1 = SmallWorldBuilder::new(256).build(&mut rng).unwrap();
+//! assert_eq!(m1.len(), 256);
+//!
+//! // Model 2: Pareto-skewed keys, mass-based links (§4).
+//! let m2 = SmallWorldBuilder::new(256)
+//!     .distribution(Box::new(TruncatedPareto::new(1.5, 0.02).unwrap()))
+//!     .build(&mut rng)
+//!     .unwrap();
+//!
+//! // Naive baseline: skewed keys but links chosen as if uniform.
+//! let naive = SmallWorldBuilder::new(256)
+//!     .distribution(Box::new(TruncatedPareto::new(1.5, 0.02).unwrap()))
+//!     .assumed(Box::new(Uniform))
+//!     .build(&mut rng)
+//!     .unwrap();
+//! # let _ = (m2, naive);
+//! ```
+
+use crate::config::{LinkSampler, MassThreshold, OutDegree, SmallWorldConfig};
+use crate::links::LinkSelector;
+use crate::network::SmallWorldNetwork;
+use std::sync::Arc;
+use sw_keyspace::distribution::{KeyDistribution, Uniform};
+use sw_keyspace::{Rng, Topology};
+use sw_overlay::Placement;
+
+/// Errors from [`SmallWorldBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Fewer than four peers: the `1/N` threshold leaves no admissible
+    /// long-range candidates.
+    TooFewNodes(usize),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::TooFewNodes(n) => {
+                write!(f, "small-world network needs at least 4 peers, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Fluent builder for [`SmallWorldNetwork`].
+pub struct SmallWorldBuilder {
+    n: usize,
+    config: SmallWorldConfig,
+    /// True placement density `f` (peers' keys are sampled from this).
+    distribution: Option<Arc<dyn KeyDistribution>>,
+    /// Density assumed during link construction `f̂` (defaults to the
+    /// placement density — the paper's models).
+    assumed: Option<Arc<dyn KeyDistribution>>,
+}
+
+impl SmallWorldBuilder {
+    /// Starts a builder for an `n`-peer network with the paper's default
+    /// configuration (see [`SmallWorldConfig::default`]).
+    pub fn new(n: usize) -> Self {
+        SmallWorldBuilder {
+            n,
+            config: SmallWorldConfig::default(),
+            distribution: None,
+            assumed: None,
+        }
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: SmallWorldConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the key-space topology (default: interval).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.config.topology = topology;
+        self
+    }
+
+    /// Sets the long-link budget (default: `log2 N`).
+    pub fn out_degree(mut self, out_degree: OutDegree) -> Self {
+        self.config.out_degree = out_degree;
+        self
+    }
+
+    /// Sets the link sampler (default: exact).
+    pub fn sampler(mut self, sampler: LinkSampler) -> Self {
+        self.config.sampler = sampler;
+        self
+    }
+
+    /// Sets the minimum-mass restriction (default: `1/N`).
+    pub fn threshold(mut self, threshold: MassThreshold) -> Self {
+        self.config.threshold = threshold;
+        self
+    }
+
+    /// Treat long links as undirected during routing (default: off).
+    pub fn bidirectional(mut self, yes: bool) -> Self {
+        self.config.bidirectional = yes;
+        self
+    }
+
+    /// Sets the true placement density `f` (default: uniform → Model 1).
+    pub fn distribution(mut self, dist: Box<dyn KeyDistribution>) -> Self {
+        self.distribution = Some(Arc::from(dist));
+        self
+    }
+
+    /// Sets a link-construction density `f̂` different from the placement
+    /// density — the mis-specification baselines of E4/E11.
+    pub fn assumed(mut self, dist: Box<dyn KeyDistribution>) -> Self {
+        self.assumed = Some(Arc::from(dist));
+        self
+    }
+
+    /// Samples a placement from the configured distribution and builds
+    /// the network.
+    pub fn build(&self, rng: &mut Rng) -> Result<SmallWorldNetwork, BuildError> {
+        if self.n < 4 {
+            return Err(BuildError::TooFewNodes(self.n));
+        }
+        let dist = self
+            .distribution
+            .clone()
+            .unwrap_or_else(|| Arc::new(Uniform));
+        let placement = Placement::sample(self.n, dist.as_ref(), self.config.topology, rng);
+        self.build_on_with(placement, dist, rng)
+    }
+
+    /// Builds the network over an existing placement (for head-to-head
+    /// comparisons where several overlays share the same peers). The
+    /// assumed density defaults to the builder's `distribution` (or
+    /// uniform if none was set).
+    pub fn build_on(
+        &self,
+        placement: Placement,
+        rng: &mut Rng,
+    ) -> Result<SmallWorldNetwork, BuildError> {
+        let dist = self
+            .distribution
+            .clone()
+            .unwrap_or_else(|| Arc::new(Uniform));
+        self.build_on_with(placement, dist, rng)
+    }
+
+    fn build_on_with(
+        &self,
+        placement: Placement,
+        dist: Arc<dyn KeyDistribution>,
+        rng: &mut Rng,
+    ) -> Result<SmallWorldNetwork, BuildError> {
+        let n = placement.len();
+        if n < 4 {
+            return Err(BuildError::TooFewNodes(n));
+        }
+        let assumed = self.assumed.clone().unwrap_or(dist);
+        let min_mass = self.config.threshold.min_mass(n);
+        let budget = self.config.out_degree.links_for(n);
+        let selector = LinkSelector::new(
+            &placement,
+            assumed.as_ref(),
+            min_mass,
+            self.config.sampler,
+        );
+        let mut long = Vec::with_capacity(n);
+        for u in 0..n as u32 {
+            long.push(selector.sample_links(u, budget, rng));
+        }
+        let label = format!(
+            "sw({},{})",
+            assumed.name(),
+            match self.config.sampler {
+                LinkSampler::Exact => "exact",
+                LinkSampler::Harmonic => "harmonic",
+            }
+        );
+        Ok(SmallWorldNetwork::assemble(
+            placement,
+            assumed,
+            self.config,
+            long,
+            label,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_keyspace::distribution::TruncatedPareto;
+    use sw_overlay::Overlay;
+
+    #[test]
+    fn rejects_tiny_networks() {
+        let mut rng = Rng::new(1);
+        assert_eq!(
+            SmallWorldBuilder::new(3).build(&mut rng).unwrap_err(),
+            BuildError::TooFewNodes(3)
+        );
+        assert!(SmallWorldBuilder::new(4).build(&mut rng).is_ok());
+    }
+
+    #[test]
+    fn default_build_has_log2n_links_per_peer() {
+        let mut rng = Rng::new(2);
+        let net = SmallWorldBuilder::new(1024).build(&mut rng).unwrap();
+        let total = net.total_long_links();
+        // 10 links per peer, minus rare saturation shortfalls.
+        assert!(total as f64 > 0.99 * 1024.0 * 10.0, "total {total}");
+        assert_eq!(net.long_links(5).len(), 10);
+    }
+
+    #[test]
+    fn const_out_degree_is_respected() {
+        let mut rng = Rng::new(3);
+        let net = SmallWorldBuilder::new(512)
+            .out_degree(OutDegree::Const(3))
+            .build(&mut rng)
+            .unwrap();
+        for u in 0..512u32 {
+            assert!(net.long_links(u).len() <= 3);
+        }
+        assert!(net.total_long_links() >= 3 * 512 - 16);
+    }
+
+    #[test]
+    fn threshold_enforced_in_built_network() {
+        let mut rng = Rng::new(4);
+        let net = SmallWorldBuilder::new(512).build(&mut rng).unwrap();
+        for u in 0..512u32 {
+            for &v in net.long_links(u) {
+                assert!(
+                    net.mass_between(u, v) >= 1.0 / 512.0 - 1e-12,
+                    "link {u}->{v} below threshold"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_build_uses_true_density_by_default() {
+        let mut rng = Rng::new(5);
+        let net = SmallWorldBuilder::new(512)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.02).unwrap()))
+            .build(&mut rng)
+            .unwrap();
+        assert_eq!(net.assumed().name(), "pareto(1.5,0.02)");
+        // Mass threshold satisfied under the true density.
+        for u in (0..512u32).step_by(37) {
+            for &v in net.long_links(u) {
+                assert!(net.mass_between(u, v) >= 1.0 / 512.0 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn assumed_can_differ_from_placement() {
+        let mut rng = Rng::new(6);
+        let net = SmallWorldBuilder::new(256)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.02).unwrap()))
+            .assumed(Box::new(Uniform))
+            .build(&mut rng)
+            .unwrap();
+        assert_eq!(net.assumed().name(), "uniform");
+        assert_eq!(net.placement().source(), "pareto(1.5,0.02)");
+    }
+
+    #[test]
+    fn build_on_shares_placement() {
+        let mut rng = Rng::new(7);
+        let p = Placement::sample(256, &Uniform, Topology::Interval, &mut rng);
+        let keys: Vec<f64> = p.keys().iter().map(|k| k.get()).collect();
+        let net = SmallWorldBuilder::new(0).build_on(p, &mut rng).unwrap();
+        let back: Vec<f64> = net.placement().keys().iter().map(|k| k.get()).collect();
+        assert_eq!(keys, back);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = |seed| {
+            let mut rng = Rng::new(seed);
+            SmallWorldBuilder::new(128).build(&mut rng).unwrap()
+        };
+        let a = build(42);
+        let b = build(42);
+        for u in 0..128u32 {
+            assert_eq!(a.long_links(u), b.long_links(u));
+            assert_eq!(a.contacts(u), b.contacts(u));
+        }
+    }
+
+    #[test]
+    fn ring_topology_build_works() {
+        let mut rng = Rng::new(8);
+        let net = SmallWorldBuilder::new(256)
+            .topology(Topology::Ring)
+            .build(&mut rng)
+            .unwrap();
+        let c = net.contacts(0);
+        assert!(c.contains(&255), "ring wraps");
+        assert!(c.contains(&1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Construction parameters for the paper's small-world networks.
+
+use sw_keyspace::Topology;
+
+/// How many long-range links each peer maintains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutDegree {
+    /// The paper's choice: `ceil(log2 N)` links (§3: “a node has log2 N
+    /// long-range edges instead of a constant number”).
+    Log2N,
+    /// A constant number of links — Kleinberg's original setting and
+    /// Symphony's; yields poly-log instead of log routing (E5).
+    Const(usize),
+    /// `ceil(factor · log2 N)` links — the §3.1 trade-off knob between
+    /// routing-table size and search cost.
+    ScaledLog(f64),
+}
+
+impl OutDegree {
+    /// Number of long-range links for an `N`-peer network (at least 1).
+    pub fn links_for(&self, n: usize) -> usize {
+        let log2n = (n.max(2) as f64).log2().ceil();
+        let raw = match *self {
+            OutDegree::Log2N => log2n,
+            OutDegree::Const(k) => k as f64,
+            OutDegree::ScaledLog(factor) => (factor * log2n).ceil(),
+        };
+        (raw as usize).max(1)
+    }
+}
+
+/// The “not too close” restriction on long-range links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MassThreshold {
+    /// The paper's restriction: mass between endpoints ≥ `1/N`.
+    OneOverN,
+    /// A fixed mass threshold (ablation knob).
+    Fixed(f64),
+    /// No restriction — links may duplicate ring neighbours (ablation).
+    None,
+}
+
+impl MassThreshold {
+    /// The concrete minimum mass for an `N`-peer network.
+    pub fn min_mass(&self, n: usize) -> f64 {
+        match *self {
+            MassThreshold::OneOverN => 1.0 / n.max(1) as f64,
+            MassThreshold::Fixed(m) => m.max(0.0),
+            MassThreshold::None => 0.0,
+        }
+    }
+}
+
+/// How long-range targets are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSampler {
+    /// The paper's discrete rule, exactly: `P[v] ∝ 1/mass(u, v)` computed
+    /// over every admissible peer `v`. `O(N)` setup per peer.
+    Exact,
+    /// The continuous limit: draw a mass offset log-uniformly in
+    /// `[1/N, M_side]` (side chosen ∝ `ln(N·M_side)`), map through the
+    /// assumed quantile and link to the nearest peer. `O(log N)` per
+    /// draw; this is the Symphony/Mercury trick, and E1/E3 confirm it
+    /// matches `Exact` statistically.
+    Harmonic,
+}
+
+/// Full construction configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmallWorldConfig {
+    /// Interval (the paper's proofs) or ring.
+    pub topology: Topology,
+    /// Long-range link budget.
+    pub out_degree: OutDegree,
+    /// Minimum mass between link endpoints.
+    pub threshold: MassThreshold,
+    /// Exact or harmonic-continuous sampling.
+    pub sampler: LinkSampler,
+    /// Treat long links as undirected when routing (Symphony-style).
+    /// The paper's model is a directed graph; default `false`.
+    pub bidirectional: bool,
+}
+
+impl Default for SmallWorldConfig {
+    /// The configuration of the paper's theorems: interval topology,
+    /// `log2 N` out-degree, `1/N` mass threshold, exact sampling,
+    /// directed links.
+    fn default() -> Self {
+        SmallWorldConfig {
+            topology: Topology::Interval,
+            out_degree: OutDegree::Log2N,
+            threshold: MassThreshold::OneOverN,
+            sampler: LinkSampler::Exact,
+            bidirectional: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2n_out_degree() {
+        assert_eq!(OutDegree::Log2N.links_for(1024), 10);
+        assert_eq!(OutDegree::Log2N.links_for(1025), 11);
+        assert_eq!(OutDegree::Log2N.links_for(2), 1);
+        // Never zero, even for degenerate n.
+        assert_eq!(OutDegree::Log2N.links_for(1), 1);
+    }
+
+    #[test]
+    fn const_out_degree() {
+        assert_eq!(OutDegree::Const(5).links_for(1_000_000), 5);
+        assert_eq!(OutDegree::Const(0).links_for(64), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn scaled_out_degree() {
+        assert_eq!(OutDegree::ScaledLog(0.5).links_for(1024), 5);
+        assert_eq!(OutDegree::ScaledLog(2.0).links_for(1024), 20);
+        assert_eq!(OutDegree::ScaledLog(0.01).links_for(1024), 1);
+    }
+
+    #[test]
+    fn mass_thresholds() {
+        assert_eq!(MassThreshold::OneOverN.min_mass(1000), 0.001);
+        assert_eq!(MassThreshold::Fixed(0.05).min_mass(1000), 0.05);
+        assert_eq!(MassThreshold::Fixed(-1.0).min_mass(10), 0.0);
+        assert_eq!(MassThreshold::None.min_mass(1000), 0.0);
+    }
+
+    #[test]
+    fn default_matches_the_paper() {
+        let c = SmallWorldConfig::default();
+        assert_eq!(c.topology, Topology::Interval);
+        assert_eq!(c.out_degree, OutDegree::Log2N);
+        assert_eq!(c.threshold, MassThreshold::OneOverN);
+        assert_eq!(c.sampler, LinkSampler::Exact);
+        assert!(!c.bidirectional);
+    }
+}

@@ -1,0 +1,292 @@
+//! The constructed small-world overlay: placement + neighbour edges +
+//! long-range links.
+
+use crate::config::SmallWorldConfig;
+use std::sync::Arc;
+use sw_graph::NodeId;
+use sw_keyspace::distribution::KeyDistribution;
+use sw_keyspace::{Rng, Topology};
+use sw_overlay::route::{RoutingSurvey, TargetModel};
+use sw_overlay::{Overlay, Placement};
+
+/// A small-world network per the paper's construction: every peer has its
+/// interval/ring neighbours (keeping the graph connected, §3) plus the
+/// sampled long-range links.
+#[derive(Clone)]
+pub struct SmallWorldNetwork {
+    placement: Placement,
+    /// The density used for link construction (the *assumed* `f̂`).
+    assumed: Arc<dyn KeyDistribution>,
+    /// `F̂(key_i)` cache — normalized-space positions of all peers.
+    cdf: Vec<f64>,
+    config: SmallWorldConfig,
+    long: Vec<Vec<NodeId>>,
+    incoming: Vec<Vec<NodeId>>,
+    /// Display label, e.g. `"sw(uniform,exact)"`.
+    label: String,
+}
+
+impl std::fmt::Debug for SmallWorldNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmallWorldNetwork")
+            .field("n", &self.placement.len())
+            .field("label", &self.label)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SmallWorldNetwork {
+    /// Assembles a network from parts (used by the builder and the join
+    /// protocol's snapshots).
+    pub(crate) fn assemble(
+        placement: Placement,
+        assumed: Arc<dyn KeyDistribution>,
+        config: SmallWorldConfig,
+        long: Vec<Vec<NodeId>>,
+        label: String,
+    ) -> Self {
+        let cdf = placement
+            .keys()
+            .iter()
+            .map(|k| assumed.cdf(k.get()))
+            .collect();
+        let mut net = SmallWorldNetwork {
+            placement,
+            assumed,
+            cdf,
+            config,
+            long,
+            incoming: Vec::new(),
+            label,
+        };
+        net.rebuild_incoming();
+        net
+    }
+
+    fn rebuild_incoming(&mut self) {
+        let n = self.placement.len();
+        let mut incoming = vec![Vec::new(); n];
+        for (u, links) in self.long.iter().enumerate() {
+            for &v in links {
+                incoming[v as usize].push(u as NodeId);
+            }
+        }
+        self.incoming = incoming;
+    }
+
+    /// Assembles a network from explicit parts: a placement, the density
+    /// to treat as `f̂`, and per-peer long-link lists.
+    ///
+    /// This is the link-transport constructor used by the Figure 1/2
+    /// equivalence experiment (E9): build `G′` in the normalized space,
+    /// then re-attach its links to the original skewed placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `long.len() != placement.len()` or any link id is out of
+    /// range.
+    pub fn with_links(
+        placement: Placement,
+        assumed: Arc<dyn KeyDistribution>,
+        config: SmallWorldConfig,
+        long: Vec<Vec<NodeId>>,
+        label: impl Into<String>,
+    ) -> Self {
+        assert_eq!(long.len(), placement.len(), "one link list per peer");
+        let n = placement.len() as NodeId;
+        assert!(
+            long.iter().flatten().all(|&v| v < n),
+            "link id out of range"
+        );
+        SmallWorldNetwork::assemble(placement, assumed, config, long, label.into())
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// True if the network has no peers (never for a built network).
+    pub fn is_empty(&self) -> bool {
+        self.placement.is_empty()
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &SmallWorldConfig {
+        &self.config
+    }
+
+    /// The density assumed during link construction.
+    pub fn assumed(&self) -> &Arc<dyn KeyDistribution> {
+        &self.assumed
+    }
+
+    /// Outgoing long-range links of peer `u`.
+    pub fn long_links(&self, u: NodeId) -> &[NodeId] {
+        &self.long[u as usize]
+    }
+
+    /// Incoming long-range links of peer `u`.
+    pub fn incoming_links(&self, u: NodeId) -> &[NodeId] {
+        &self.incoming[u as usize]
+    }
+
+    /// Normalized-space position `F̂(key_u)` of peer `u`.
+    #[inline]
+    pub fn normalized_position(&self, u: NodeId) -> f64 {
+        self.cdf[u as usize]
+    }
+
+    /// Mass distance between two peers in the assumed normalized space
+    /// (wrapping on the ring).
+    #[inline]
+    pub fn mass_between(&self, u: NodeId, v: NodeId) -> f64 {
+        let d = (self.cdf[v as usize] - self.cdf[u as usize]).abs();
+        match self.placement.topology() {
+            Topology::Interval => d,
+            Topology::Ring => d.min(1.0 - d),
+        }
+    }
+
+    /// Replaces the long links of peer `u` (used by refresh/estimation).
+    pub fn set_long_links(&mut self, u: NodeId, links: Vec<NodeId>) {
+        self.long[u as usize] = links;
+        self.rebuild_incoming();
+    }
+
+    /// Replaces every peer's long links at once (bulk refresh; rebuilds
+    /// the incoming index a single time).
+    pub fn set_all_long_links(&mut self, links: Vec<Vec<NodeId>>) {
+        assert_eq!(links.len(), self.placement.len());
+        self.long = links;
+        self.rebuild_incoming();
+    }
+
+    /// Removes each long link independently with probability `fraction`
+    /// (neighbour edges are structural and survive). Returns how many
+    /// links were dropped. This is the §3.1 robustness experiment E7.
+    pub fn drop_random_long_links(&mut self, fraction: f64, rng: &mut Rng) -> usize {
+        let mut dropped = 0;
+        for links in &mut self.long {
+            links.retain(|_| {
+                let keep = !rng.chance(fraction);
+                if !keep {
+                    dropped += 1;
+                }
+                keep
+            });
+        }
+        self.rebuild_incoming();
+        dropped
+    }
+
+    /// Total number of long links in the network.
+    pub fn total_long_links(&self) -> usize {
+        self.long.iter().map(Vec::len).sum()
+    }
+
+    /// Convenience survey: `queries` member-key lookups from random
+    /// sources.
+    pub fn routing_survey(&self, queries: usize, rng: &mut Rng) -> RoutingSurvey {
+        RoutingSurvey::run(self, queries, TargetModel::MemberKeys, rng)
+    }
+}
+
+impl Overlay for SmallWorldNetwork {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
+        let mut c: Vec<NodeId> = match self.placement.topology() {
+            Topology::Ring => vec![self.placement.prev(u), self.placement.next(u)],
+            Topology::Interval => {
+                let (l, r) = self.placement.interval_neighbors(u);
+                l.into_iter().chain(r).collect()
+            }
+        };
+        for &v in &self.long[u as usize] {
+            if !c.contains(&v) {
+                c.push(v);
+            }
+        }
+        if self.config.bidirectional {
+            for &v in &self.incoming[u as usize] {
+                if !c.contains(&v) {
+                    c.push(v);
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SmallWorldBuilder;
+
+    fn small_net(n: usize, seed: u64) -> SmallWorldNetwork {
+        let mut rng = Rng::new(seed);
+        SmallWorldBuilder::new(n).build(&mut rng).unwrap()
+    }
+
+    #[test]
+    fn contacts_contain_neighbours_and_links() {
+        let net = small_net(256, 1);
+        // Interior peer on the interval: two neighbours + log2(256) = 8.
+        let c = net.contacts(100);
+        assert!(c.contains(&99));
+        assert!(c.contains(&101));
+        assert!(c.len() >= 8, "contacts {}", c.len());
+    }
+
+    #[test]
+    fn boundary_peers_have_one_neighbour() {
+        let net = small_net(128, 2);
+        let c0 = net.contacts(0);
+        assert!(c0.contains(&1));
+        assert!(!c0.contains(&127), "interval does not wrap");
+    }
+
+    #[test]
+    fn incoming_index_matches_outgoing() {
+        let net = small_net(128, 3);
+        for u in 0..128u32 {
+            for &v in net.long_links(u) {
+                assert!(net.incoming_links(v).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_links_counts_and_removes() {
+        let mut net = small_net(256, 4);
+        let before = net.total_long_links();
+        let mut rng = Rng::new(5);
+        let dropped = net.drop_random_long_links(0.5, &mut rng);
+        assert_eq!(before - net.total_long_links(), dropped);
+        assert!(dropped > before / 3 && dropped < 2 * before / 3);
+    }
+
+    #[test]
+    fn set_long_links_updates_incoming() {
+        let mut net = small_net(64, 6);
+        net.set_long_links(0, vec![42]);
+        assert_eq!(net.long_links(0), &[42]);
+        assert!(net.incoming_links(42).contains(&0));
+    }
+
+    #[test]
+    fn mass_equals_key_distance_under_uniform() {
+        let net = small_net(128, 7);
+        let p = net.placement();
+        let d_key = (p.key(10).get() - p.key(90).get()).abs();
+        assert!((net.mass_between(10, 90) - d_key).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! The logarithmic-partition machinery from the proof of Theorem 1.
+//!
+//! The proof views the key space around a target `t` as `log2 N`
+//! partitions `A_j`, where `A_j` holds the peers at (normalized) distance
+//! `[2^{−log2 N + j − 1}, 2^{−log2 N + j})` from `t` — each partition
+//! twice as wide as the previous. Routing advances when a hop moves the
+//! message to a strictly lower partition; the proof lower-bounds the
+//! advance probability by `c ≈ 0.3819` per hop and the expected dwell
+//! time per partition by `(1−c)/c`.
+//!
+//! This module measures all three quantities empirically (experiments E2
+//! and E6): per-hop advance probability, per-partition dwell time, and
+//! the partition occupancy of the long links themselves.
+
+use crate::network::SmallWorldNetwork;
+use crate::theory;
+use sw_graph::NodeId;
+use sw_keyspace::stats::OnlineStats;
+use sw_keyspace::Rng;
+use sw_overlay::route::RouteOptions;
+use sw_overlay::Overlay;
+
+/// Partition index of a normalized distance `d` for an `m`-partition
+/// space: `0` means “inside the innermost `2^{−m}` band” (home), `j ∈
+/// [1, m]` means `d ∈ [2^{j−1−m}, 2^{j−m})`.
+pub fn partition_index(d: f64, m: usize) -> usize {
+    if d <= 0.0 {
+        return 0;
+    }
+    let j = d.log2().floor() + m as f64 + 1.0;
+    if j < 1.0 {
+        0
+    } else {
+        (j as usize).min(m)
+    }
+}
+
+/// Empirical partition statistics over many greedy routes.
+#[derive(Debug, Clone)]
+pub struct PartitionSurvey {
+    /// Number of partitions `m = ceil(log2 N)`.
+    pub m: usize,
+    /// Per-partition count of hops that advanced to a lower partition.
+    pub advance: Vec<u64>,
+    /// Per-partition count of hops that stayed (or regressed).
+    pub stay: Vec<u64>,
+    /// Per-partition dwell lengths (consecutive hops spent in partition
+    /// `j` before leaving it downwards).
+    pub dwell: Vec<OnlineStats>,
+    /// Routes analyzed.
+    pub routes: usize,
+}
+
+impl PartitionSurvey {
+    /// Empirical advance probability from partition `j`.
+    pub fn pnext(&self, j: usize) -> Option<f64> {
+        let total = self.advance[j] + self.stay[j];
+        if total == 0 {
+            None
+        } else {
+            Some(self.advance[j] as f64 / total as f64)
+        }
+    }
+
+    /// Advance probability pooled over all partitions.
+    pub fn pnext_overall(&self) -> f64 {
+        let adv: u64 = self.advance.iter().sum();
+        let stay: u64 = self.stay.iter().sum();
+        if adv + stay == 0 {
+            0.0
+        } else {
+            adv as f64 / (adv + stay) as f64
+        }
+    }
+
+    /// Mean dwell time pooled over all partitions (`E[X_j]` in the
+    /// proof).
+    pub fn mean_dwell_overall(&self) -> f64 {
+        let mut all = OnlineStats::new();
+        for d in &self.dwell {
+            all.merge(d);
+        }
+        all.mean()
+    }
+
+    /// Runs the survey: `queries` member lookups, each route analyzed
+    /// hop-by-hop in the normalized space of the network's assumed
+    /// density.
+    pub fn run(net: &SmallWorldNetwork, queries: usize, rng: &mut Rng) -> PartitionSurvey {
+        let n = net.len();
+        let m = theory::partition_count(n);
+        let mut survey = PartitionSurvey {
+            m,
+            advance: vec![0; m + 1],
+            stay: vec![0; m + 1],
+            dwell: vec![OnlineStats::new(); m + 1],
+            routes: 0,
+        };
+        let opts = RouteOptions::for_n(n);
+        for _ in 0..queries {
+            let from = rng.index(n) as NodeId;
+            let to = rng.index(n) as NodeId;
+            if from == to {
+                continue;
+            }
+            let target = net.placement().key(to);
+            let r = net.route(from, target, &opts);
+            if !r.success || r.path.len() < 2 {
+                continue;
+            }
+            survey.routes += 1;
+            // Partition of every node on the path w.r.t. the target, in
+            // normalized (mass) space.
+            let parts: Vec<usize> = r
+                .path
+                .iter()
+                .map(|&s| partition_index(net.mass_between(s, to), m))
+                .collect();
+            let mut dwell_len = 0u32;
+            for w in parts.windows(2) {
+                let (cur, next) = (w[0], w[1]);
+                if cur == 0 {
+                    break; // home partition: only neighbour steps remain
+                }
+                dwell_len += 1;
+                if next < cur {
+                    survey.advance[cur] += 1;
+                    survey.dwell[cur].push(dwell_len as f64);
+                    dwell_len = 0;
+                } else {
+                    survey.stay[cur] += 1;
+                }
+            }
+        }
+        survey
+    }
+}
+
+/// Histogram of long-link partition occupancy: for every long link
+/// `(u, v)`, the partition of `mass(u, v)` relative to `u`. §3.1 predicts
+/// near-uniform occupancy over `j = 1..m` (“almost equal probabilities to
+/// choose the long-range neighbor from each of these partitions”).
+pub fn link_partition_histogram(net: &SmallWorldNetwork) -> Vec<u64> {
+    let m = theory::partition_count(net.len());
+    let mut counts = vec![0u64; m + 1];
+    for u in 0..net.len() as NodeId {
+        for &v in net.long_links(u) {
+            counts[partition_index(net.mass_between(u, v), m)] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SmallWorldBuilder;
+    use sw_keyspace::distribution::TruncatedPareto;
+
+    #[test]
+    fn partition_index_bands() {
+        let m = 10; // N = 1024
+        assert_eq!(partition_index(0.0, m), 0);
+        // d < 2^-10: home.
+        assert_eq!(partition_index(0.0005, m), 0);
+        // d in [2^-10, 2^-9): partition 1.
+        assert_eq!(partition_index(1.0 / 1024.0, m), 1);
+        assert_eq!(partition_index(0.0015, m), 1);
+        // d in [2^-2, 2^-1): partition 9.
+        assert_eq!(partition_index(0.3, m), 9);
+        // d in [1/2, 1): partition 10 (clamped top band).
+        assert_eq!(partition_index(0.6, m), 10);
+        assert_eq!(partition_index(0.999, m), 10);
+    }
+
+    #[test]
+    fn partition_bands_double_in_width() {
+        let m = 8;
+        for j in 1..m {
+            let lo = (2.0f64).powi(j as i32 - 1 - m as i32);
+            let hi = (2.0f64).powi(j as i32 - m as i32);
+            assert_eq!(partition_index(lo, m), j);
+            assert_eq!(partition_index(hi * 0.999, m), j);
+            assert_eq!(partition_index(hi, m), j + 1);
+        }
+    }
+
+    #[test]
+    fn empirical_pnext_beats_the_theory_bound() {
+        // Theorem 1's machinery: the measured advance probability must be
+        // at least c ≈ 0.3819 (the proof's *lower* bound) in every
+        // populated partition, and dwell times below (1-c)/c.
+        let mut rng = Rng::new(1);
+        let net = SmallWorldBuilder::new(2048).build(&mut rng).unwrap();
+        let s = PartitionSurvey::run(&net, 400, &mut rng);
+        assert!(s.routes > 350);
+        let c = theory::advance_probability_lower_bound();
+        assert!(
+            s.pnext_overall() > c,
+            "pnext {} vs bound {c}",
+            s.pnext_overall()
+        );
+        assert!(
+            s.mean_dwell_overall() < theory::hops_per_partition_upper_bound(),
+            "dwell {} vs bound {}",
+            s.mean_dwell_overall(),
+            theory::hops_per_partition_upper_bound()
+        );
+    }
+
+    #[test]
+    fn pnext_holds_under_skew_too() {
+        // Theorem 2: the same machinery works in the normalized space of
+        // a skewed density.
+        let mut rng = Rng::new(2);
+        let net = SmallWorldBuilder::new(2048)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).unwrap()))
+            .build(&mut rng)
+            .unwrap();
+        let s = PartitionSurvey::run(&net, 400, &mut rng);
+        let c = theory::advance_probability_lower_bound();
+        assert!(
+            s.pnext_overall() > c,
+            "pnext {} vs bound {c}",
+            s.pnext_overall()
+        );
+    }
+
+    #[test]
+    fn link_partitions_are_near_uniform() {
+        // §3.1: each of the m partitions receives links with almost equal
+        // probability. Check max/min ratio over the interior partitions
+        // (the outermost bands suffer interval boundary effects).
+        let mut rng = Rng::new(3);
+        let net = SmallWorldBuilder::new(4096).build(&mut rng).unwrap();
+        let h = link_partition_histogram(&net);
+        let interior = &h[2..h.len() - 1];
+        let max = *interior.iter().max().unwrap() as f64;
+        let min = *interior.iter().min().unwrap() as f64;
+        assert!(min > 0.0);
+        assert!(
+            max / min < 2.0,
+            "interior occupancy spread too wide: {h:?}"
+        );
+    }
+
+    #[test]
+    fn home_partition_gets_no_links() {
+        // The 1/N threshold forbids links into partition 0.
+        let mut rng = Rng::new(4);
+        let net = SmallWorldBuilder::new(1024).build(&mut rng).unwrap();
+        let h = link_partition_histogram(&net);
+        assert_eq!(h[0], 0, "threshold must exclude the home band: {h:?}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Breadth-first search and path-length statistics.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+use sw_keyspace::rng::Rng;
+use sw_keyspace::stats::OnlineStats;
+
+/// Marker for unreachable nodes in [`distances_from`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS hop distances from `src` to every node ([`UNREACHABLE`] if none).
+pub fn distances_from(g: &DiGraph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.len()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Number of nodes reachable from `src` (including `src`).
+pub fn reachable_count(g: &DiGraph, src: NodeId) -> usize {
+    distances_from(g, src)
+        .iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .count()
+}
+
+/// Result of a sampled path-length survey.
+#[derive(Debug, Clone)]
+pub struct PathSurvey {
+    /// Statistics over finite pairwise distances.
+    pub lengths: OnlineStats,
+    /// Largest finite distance seen (lower bound on the diameter).
+    pub max_distance: u32,
+    /// Fraction of sampled pairs that were connected.
+    pub connected_fraction: f64,
+}
+
+/// Samples `sources` BFS trees (or all of them if `sources >= n`) and
+/// aggregates pairwise distance statistics.
+///
+/// For `sources = n` this computes the exact characteristic path length
+/// and diameter; for large graphs a few dozen sampled sources estimate
+/// both to well within the tolerances used by the experiments.
+pub fn path_survey(g: &DiGraph, sources: usize, rng: &mut Rng) -> PathSurvey {
+    let n = g.len();
+    let mut lengths = OnlineStats::new();
+    let mut max_distance = 0u32;
+    let mut pairs = 0u64;
+    let mut connected = 0u64;
+    if n == 0 {
+        return PathSurvey {
+            lengths,
+            max_distance,
+            connected_fraction: 0.0,
+        };
+    }
+    let srcs: Vec<NodeId> = if sources >= n {
+        (0..n as NodeId).collect()
+    } else {
+        (0..sources).map(|_| rng.index(n) as NodeId).collect()
+    };
+    for src in srcs {
+        let dist = distances_from(g, src);
+        for (v, &d) in dist.iter().enumerate() {
+            if v as NodeId == src {
+                continue;
+            }
+            pairs += 1;
+            if d != UNREACHABLE {
+                connected += 1;
+                lengths.push(d as f64);
+                max_distance = max_distance.max(d);
+            }
+        }
+    }
+    PathSurvey {
+        lengths,
+        max_distance,
+        connected_fraction: if pairs == 0 {
+            0.0
+        } else {
+            connected as f64 / pairs as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> DiGraph {
+        // 0 -> 1 -> 2 -> ... (directed path)
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i as NodeId, (i + 1) as NodeId);
+        }
+        g
+    }
+
+    fn cycle_graph(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+        }
+        g
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(5);
+        let d = distances_from(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        // Backwards: nothing reachable from the end.
+        let d_end = distances_from(&g, 4);
+        assert_eq!(d_end[4], 0);
+        assert!(d_end[..4].iter().all(|&x| x == UNREACHABLE));
+    }
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = cycle_graph(6);
+        let d = distances_from(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reachability_counts() {
+        let g = path_graph(5);
+        assert_eq!(reachable_count(&g, 0), 5);
+        assert_eq!(reachable_count(&g, 3), 2);
+    }
+
+    #[test]
+    fn exhaustive_survey_on_cycle() {
+        let g = cycle_graph(8);
+        let mut rng = Rng::new(1);
+        let s = path_survey(&g, usize::MAX, &mut rng);
+        // Directed cycle: distances 1..=7 from each node; mean 4.
+        assert!((s.lengths.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.max_distance, 7);
+        assert!((s.connected_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survey_detects_disconnection() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        // nodes 2, 3 isolated
+        let mut rng = Rng::new(2);
+        let s = path_survey(&g, usize::MAX, &mut rng);
+        assert!(s.connected_fraction < 0.2);
+    }
+
+    #[test]
+    fn sampled_survey_close_to_exact() {
+        let g = cycle_graph(64);
+        let mut rng = Rng::new(3);
+        let exact = path_survey(&g, usize::MAX, &mut rng);
+        let sampled = path_survey(&g, 16, &mut rng);
+        assert!((exact.lengths.mean() - sampled.lengths.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_survey() {
+        let g = DiGraph::new(0);
+        let mut rng = Rng::new(4);
+        let s = path_survey(&g, 10, &mut rng);
+        assert_eq!(s.lengths.count(), 0);
+        assert_eq!(s.connected_fraction, 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Watts–Strogatz clustering coefficient.
+//!
+//! The defining property of small-world graphs (§2 of the paper): high
+//! clustering *and* short paths. The coefficient of node `u` is the
+//! fraction of pairs of `u`'s neighbours that are themselves connected;
+//! the graph coefficient averages over all nodes with degree ≥ 2.
+//! Computed on the undirected closure, as in Watts & Strogatz (1998).
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::HashSet;
+
+/// Clustering coefficient of a single node in the undirected closure.
+/// Returns `None` for nodes with fewer than two neighbours.
+pub fn node_clustering(und: &DiGraph, u: NodeId) -> Option<f64> {
+    let nbrs: Vec<NodeId> = und.neighbors(u).to_vec();
+    let k = nbrs.len();
+    if k < 2 {
+        return None;
+    }
+    let set: HashSet<NodeId> = nbrs.iter().copied().collect();
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            // One direction suffices: the closure is symmetric.
+            if und.neighbors(a).contains(&b) {
+                links += 1;
+            }
+        }
+        let _ = set.len(); // keep set alive for debug assertions below
+    }
+    debug_assert_eq!(set.len(), k, "undirected closure must deduplicate");
+    Some(2.0 * links as f64 / (k * (k - 1)) as f64)
+}
+
+/// Average clustering coefficient of the graph (Watts–Strogatz
+/// definition). `g` may be directed; the undirected closure is used.
+pub fn clustering_coefficient(g: &DiGraph) -> f64 {
+    let und = g.undirected();
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for u in 0..und.len() as NodeId {
+        if let Some(c) = node_clustering(&und, u) {
+            sum += c;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g.add_edge(i as NodeId, j as NodeId);
+                }
+            }
+        }
+        g
+    }
+
+    /// Ring lattice where each node links to `k` neighbours on each side.
+    fn ring_lattice(n: usize, k: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            for d in 1..=k {
+                g.add_undirected_unique(i as NodeId, ((i + d) % n) as NodeId);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn complete_graph_clusters_fully() {
+        assert!((clustering_coefficient(&complete_graph(6)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_has_zero_clustering() {
+        let mut g = DiGraph::new(4);
+        g.add_undirected_unique(0, 1);
+        g.add_undirected_unique(0, 2);
+        g.add_undirected_unique(0, 3);
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn ring_lattice_k2_matches_formula() {
+        // Known closed form for the WS ring lattice with k neighbours per
+        // side: C = 3(k-1) / (2(2k-1)); for k=2: 3/6 = 0.5.
+        let g = ring_lattice(32, 2);
+        let c = clustering_coefficient(&g);
+        assert!((c - 0.5).abs() < 1e-12, "c = {c}");
+    }
+
+    #[test]
+    fn ring_lattice_k3_matches_formula() {
+        // k=3: 3*2/(2*5) = 0.6.
+        let g = ring_lattice(48, 3);
+        let c = clustering_coefficient(&g);
+        assert!((c - 0.6).abs() < 1e-12, "c = {c}");
+    }
+
+    #[test]
+    fn degree_one_nodes_skipped() {
+        let mut g = DiGraph::new(3);
+        g.add_undirected_unique(0, 1);
+        // Node 2 isolated, nodes 0/1 have degree 1: no eligible node.
+        assert_eq!(clustering_coefficient(&g), 0.0);
+        assert!(node_clustering(&g.undirected(), 0).is_none());
+    }
+
+    #[test]
+    fn triangle_plus_pendant() {
+        let mut g = DiGraph::new(4);
+        g.add_undirected_unique(0, 1);
+        g.add_undirected_unique(1, 2);
+        g.add_undirected_unique(2, 0);
+        g.add_undirected_unique(2, 3);
+        // Nodes 0, 1: coefficient 1. Node 2: degree 3, one link among
+        // neighbours => 1/3. Node 3: degree 1, skipped.
+        let c = clustering_coefficient(&g);
+        assert!((c - (1.0 + 1.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
+    }
+}

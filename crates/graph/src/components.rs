@@ -1,0 +1,244 @@
+//! Connectivity: weakly connected components (union–find) and strongly
+//! connected components (iterative Tarjan).
+//!
+//! The paper's constructions keep the overlay connected through the
+//! neighbour edges; these utilities verify that and measure what survives
+//! once experiments start deleting links (E7) or churning nodes (E14).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+/// Sizes of the weakly connected components, descending.
+pub fn weak_components(g: &DiGraph) -> Vec<usize> {
+    let mut uf = UnionFind::new(g.len());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let mut sizes = std::collections::HashMap::new();
+    for x in 0..g.len() as u32 {
+        *sizes.entry(uf.find(x)).or_insert(0usize) += 1;
+    }
+    let mut out: Vec<usize> = sizes.into_values().collect();
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out
+}
+
+/// Fraction of nodes in the largest weakly connected component.
+pub fn largest_weak_fraction(g: &DiGraph) -> f64 {
+    if g.is_empty() {
+        return 0.0;
+    }
+    weak_components(g)[0] as f64 / g.len() as f64
+}
+
+/// Strongly connected components via iterative Tarjan.
+/// Returns one `Vec<NodeId>` per SCC (order unspecified).
+pub fn strong_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = g.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS frame: (node, next child offset).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+    for start in 0..n as NodeId {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        call.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (u, ref mut child)) = call.last_mut() {
+            let nbrs = g.neighbors(u);
+            if *child < nbrs.len() {
+                let v = nbrs[*child];
+                *child += 1;
+                if index[v as usize] == UNVISITED {
+                    index[v as usize] = next_index;
+                    lowlink[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    call.push((v, 0));
+                } else if on_stack[v as usize] {
+                    lowlink[u as usize] = lowlink[u as usize].min(index[v as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[u as usize]);
+                }
+                if lowlink[u as usize] == index[u as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// True if the whole graph is one strongly connected component.
+pub fn is_strongly_connected(g: &DiGraph) -> bool {
+    if g.is_empty() {
+        return true;
+    }
+    let sccs = strong_components(g);
+    sccs.len() == 1 && sccs[0].len() == g.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.component_count(), 3);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(4));
+    }
+
+    #[test]
+    fn weak_components_of_two_islands() {
+        let mut g = DiGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        let sizes = weak_components(&g);
+        assert_eq!(sizes, vec![3, 2]);
+        assert!((largest_weak_fraction(&g) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_cycle_is_one_scc() {
+        let mut g = DiGraph::new(4);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4);
+        }
+        assert!(is_strongly_connected(&g));
+        assert_eq!(strong_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn directed_path_is_all_singletons() {
+        let mut g = DiGraph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1);
+        }
+        let sccs = strong_components(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // SCCs: {0,1,2}, {3,4,5}; bridge 2 -> 3.
+        let mut g = DiGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 3);
+        g.add_edge(2, 3);
+        let mut sccs = strong_components(&g);
+        for c in &mut sccs {
+            c.sort_unstable();
+        }
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // 200k-node directed cycle: recursion-based Tarjan would blow the
+        // stack; the iterative version must handle it.
+        let n = 200_000;
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+        }
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_connected() {
+        assert!(is_strongly_connected(&DiGraph::new(0)));
+        assert_eq!(largest_weak_fraction(&DiGraph::new(0)), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! A compact directed graph over dense node indices.
+//!
+//! Node identifiers are `u32` indices (`0..n`), which keeps adjacency
+//! lists small (see the type-size guidance in the Rust perf book) and lets
+//! overlays with up to millions of nodes fit comfortably in memory.
+
+/// Dense node index.
+pub type NodeId = u32;
+
+/// Directed graph with per-node out-adjacency lists.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    adj: Vec<Vec<NodeId>>,
+    /// Total number of edges (kept in sync by mutators).
+    m: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Adds the directed edge `u → v`. Parallel edges are permitted;
+    /// self-loops are ignored (an overlay routing table never routes to
+    /// itself).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            return;
+        }
+        self.adj[u as usize].push(v);
+        self.m += 1;
+    }
+
+    /// Adds `u → v` only if not already present. Returns `true` if added.
+    pub fn add_edge_unique(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || self.adj[u as usize].contains(&v) {
+            return false;
+        }
+        self.adj[u as usize].push(v);
+        self.m += 1;
+        true
+    }
+
+    /// Adds both `u → v` and `v → u` (deduplicated).
+    pub fn add_undirected_unique(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge_unique(u, v);
+        self.add_edge_unique(v, u);
+    }
+
+    /// Removes the edge `u → v` if present. Returns `true` if removed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let list = &mut self.adj[u as usize];
+        if let Some(pos) = list.iter().position(|&x| x == v) {
+            list.swap_remove(pos);
+            self.m -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the edge `u → v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize].contains(&v)
+    }
+
+    /// Out-neighbours of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u as usize]
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Mean out-degree.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            self.m as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> DiGraph {
+        let mut rev = DiGraph::new(self.len());
+        for (u, outs) in self.adj.iter().enumerate() {
+            for &v in outs {
+                rev.adj[v as usize].push(u as NodeId);
+            }
+        }
+        rev.m = self.m;
+        rev
+    }
+
+    /// The undirected closure: for every `u → v`, both directions exist
+    /// (deduplicated). Used by clustering/diameter metrics that treat the
+    /// overlay as an undirected small-world graph.
+    pub fn undirected(&self) -> DiGraph {
+        let mut und = DiGraph::new(self.len());
+        for (u, outs) in self.adj.iter().enumerate() {
+            for &v in outs {
+                und.add_undirected_unique(u as NodeId, v);
+            }
+        }
+        und
+    }
+
+    /// In-degree of every node (one O(n + m) pass).
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.len()];
+        for outs in &self.adj {
+            for &v in outs {
+                deg[v as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Iterator over all edges as `(u, v)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, outs)| outs.iter().map(move |&v| (u as NodeId, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.avg_out_degree(), 0.0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.out_degree(2), 0);
+        assert!((g.avg_out_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.add_edge_unique(1, 1));
+    }
+
+    #[test]
+    fn unique_edges_deduplicate() {
+        let mut g = DiGraph::new(2);
+        assert!(g.add_edge_unique(0, 1));
+        assert!(!g.add_edge_unique(0, 1));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_allowed_by_add_edge() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn remove_edge_updates_count() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let r = g.reversed();
+        assert!(r.has_edge(1, 0));
+        assert!(r.has_edge(2, 1));
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn undirected_closure() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0); // already mutual
+        g.add_edge(1, 2);
+        let u = g.undirected();
+        assert!(u.has_edge(0, 1) && u.has_edge(1, 0));
+        assert!(u.has_edge(2, 1) && u.has_edge(1, 2));
+        assert_eq!(u.edge_count(), 4);
+    }
+
+    #[test]
+    fn in_degrees_counted() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        assert_eq!(g.in_degrees(), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(2, 0);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (2, 0)]);
+    }
+}

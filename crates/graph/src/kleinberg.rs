@@ -1,0 +1,357 @@
+//! Kleinberg's lattice small-world model (STOC 2000), §2 of the paper.
+//!
+//! Nodes populate a regular lattice (here: the 1-d ring `Z_n` and the 2-d
+//! torus), keep their lattice neighbours, and add `q` long-range links,
+//! choosing `v` with probability `∝ d(u, v)^{−r}`. Kleinberg proved greedy
+//! routing is poly-log *iff* the structural exponent `r` equals the
+//! lattice dimension — the fact the paper generalizes to continuous,
+//! non-uniform key spaces. Experiment E12 regenerates the U-shaped
+//! hops-vs-`r` curve.
+
+use crate::digraph::{DiGraph, NodeId};
+use sw_keyspace::rng::Rng;
+use sw_keyspace::stats::OnlineStats;
+
+/// 1-d ring lattice instance.
+#[derive(Debug, Clone)]
+pub struct KleinbergRing {
+    n: usize,
+    graph: DiGraph,
+}
+
+impl KleinbergRing {
+    /// Builds the model: `n` nodes on a ring, ±1 lattice edges, `q`
+    /// long-range links per node with exponent `r ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `r` is not finite or negative.
+    pub fn new(n: usize, q: usize, r: f64, rng: &mut Rng) -> Self {
+        assert!(n >= 4, "ring needs at least 4 nodes");
+        assert!(r.is_finite() && r >= 0.0, "exponent must be finite >= 0");
+        let mut graph = DiGraph::new(n);
+        for u in 0..n {
+            graph.add_edge(u as NodeId, ((u + 1) % n) as NodeId);
+            graph.add_edge(u as NodeId, ((u + n - 1) % n) as NodeId);
+        }
+        // Weight per lattice distance d: (#nodes at distance d) * d^-r.
+        // On the ring there are 2 nodes at each distance 1..n/2, and one
+        // node at distance n/2 when n is even.
+        let half = n / 2;
+        let mut cum = Vec::with_capacity(half);
+        let mut acc = 0.0;
+        for d in 1..=half {
+            let count = if n.is_multiple_of(2) && d == half { 1.0 } else { 2.0 };
+            acc += count * (d as f64).powf(-r);
+            cum.push(acc);
+        }
+        for u in 0..n {
+            for _ in 0..q {
+                let d = rng.sample_cumulative(&cum) + 1;
+                let both_sides = !(n.is_multiple_of(2) && d == half);
+                let sign_positive = !both_sides || rng.chance(0.5);
+                let v = if sign_positive {
+                    (u + d) % n
+                } else {
+                    (u + n - d) % n
+                };
+                graph.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+        KleinbergRing { n, graph }
+    }
+
+    /// The underlying digraph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Lattice (ring) distance between two node ids.
+    pub fn lattice_distance(&self, a: NodeId, b: NodeId) -> usize {
+        let diff = (a as i64 - b as i64).unsigned_abs() as usize;
+        diff.min(self.n - diff)
+    }
+
+    /// Greedy routing from `src` to `dst`: each hop moves to the known
+    /// contact closest to the target in lattice distance. Returns the hop
+    /// count (the ±1 lattice edges guarantee termination).
+    pub fn greedy_route(&self, src: NodeId, dst: NodeId) -> u32 {
+        let mut cur = src;
+        let mut hops = 0u32;
+        while cur != dst {
+            let mut best = cur;
+            let mut best_d = self.lattice_distance(cur, dst);
+            for &v in self.graph.neighbors(cur) {
+                let d = self.lattice_distance(v, dst);
+                if d < best_d {
+                    best_d = d;
+                    best = v;
+                }
+            }
+            debug_assert_ne!(best, cur, "lattice edges always make progress");
+            cur = best;
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Mean greedy hops over `pairs` random (src, dst) pairs.
+    pub fn mean_greedy_hops(&self, pairs: usize, rng: &mut Rng) -> OnlineStats {
+        let mut stats = OnlineStats::new();
+        for _ in 0..pairs {
+            let s = rng.index(self.n) as NodeId;
+            let t = rng.index(self.n) as NodeId;
+            if s != t {
+                stats.push(self.greedy_route(s, t) as f64);
+            }
+        }
+        stats
+    }
+}
+
+/// 2-d torus lattice instance (`side × side` nodes, Manhattan metric).
+#[derive(Debug, Clone)]
+pub struct KleinbergGrid {
+    side: usize,
+    graph: DiGraph,
+}
+
+impl KleinbergGrid {
+    /// Builds the 2-d model with `q` long-range links and exponent `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 3` or `r` is not finite or negative.
+    pub fn new(side: usize, q: usize, r: f64, rng: &mut Rng) -> Self {
+        assert!(side >= 3, "grid needs side >= 3");
+        assert!(r.is_finite() && r >= 0.0, "exponent must be finite >= 0");
+        let n = side * side;
+        let mut graph = DiGraph::new(n);
+        let id = |x: usize, y: usize| (y * side + x) as NodeId;
+        for y in 0..side {
+            for x in 0..side {
+                graph.add_edge(id(x, y), id((x + 1) % side, y));
+                graph.add_edge(id(x, y), id((x + side - 1) % side, y));
+                graph.add_edge(id(x, y), id(x, (y + 1) % side));
+                graph.add_edge(id(x, y), id(x, (y + side - 1) % side));
+            }
+        }
+        // Bucket all nonzero offsets by Manhattan distance, then weight
+        // each distance class by count * d^-r.
+        let ring_d = |d: usize| d.min(side - d);
+        let max_d = 2 * (side / 2);
+        let mut buckets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); max_d + 1];
+        for dy in 0..side {
+            for dx in 0..side {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                buckets[ring_d(dx) + ring_d(dy)].push((dx, dy));
+            }
+        }
+        let mut cum = Vec::with_capacity(max_d);
+        let mut acc = 0.0;
+        for (d, bucket) in buckets.iter().enumerate().skip(1) {
+            acc += bucket.len() as f64 * (d as f64).powf(-r);
+            cum.push(acc);
+        }
+        for y in 0..side {
+            for x in 0..side {
+                for _ in 0..q {
+                    let d = rng.sample_cumulative(&cum) + 1;
+                    let bucket = &buckets[d];
+                    let (dx, dy) = bucket[rng.index(bucket.len())];
+                    let v = id((x + dx) % side, (y + dy) % side);
+                    graph.add_edge(id(x, y), v);
+                }
+            }
+        }
+        KleinbergGrid { side, graph }
+    }
+
+    /// The underlying digraph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Torus Manhattan distance between two node ids.
+    pub fn lattice_distance(&self, a: NodeId, b: NodeId) -> usize {
+        let s = self.side;
+        let (ax, ay) = (a as usize % s, a as usize / s);
+        let (bx, by) = (b as usize % s, b as usize / s);
+        let dx = ax.abs_diff(bx);
+        let dy = ay.abs_diff(by);
+        dx.min(s - dx) + dy.min(s - dy)
+    }
+
+    /// Greedy routing hop count from `src` to `dst`.
+    pub fn greedy_route(&self, src: NodeId, dst: NodeId) -> u32 {
+        let mut cur = src;
+        let mut hops = 0u32;
+        while cur != dst {
+            let mut best = cur;
+            let mut best_d = self.lattice_distance(cur, dst);
+            for &v in self.graph.neighbors(cur) {
+                let d = self.lattice_distance(v, dst);
+                if d < best_d {
+                    best_d = d;
+                    best = v;
+                }
+            }
+            debug_assert_ne!(best, cur, "grid edges always make progress");
+            cur = best;
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Mean greedy hops over `pairs` random pairs.
+    pub fn mean_greedy_hops(&self, pairs: usize, rng: &mut Rng) -> OnlineStats {
+        let n = self.side * self.side;
+        let mut stats = OnlineStats::new();
+        for _ in 0..pairs {
+            let s = rng.index(n) as NodeId;
+            let t = rng.index(n) as NodeId;
+            if s != t {
+                stats.push(self.greedy_route(s, t) as f64);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_lattice_distance() {
+        let mut rng = Rng::new(1);
+        let kr = KleinbergRing::new(10, 0, 1.0, &mut rng);
+        assert_eq!(kr.lattice_distance(0, 1), 1);
+        assert_eq!(kr.lattice_distance(0, 9), 1);
+        assert_eq!(kr.lattice_distance(0, 5), 5);
+        assert_eq!(kr.lattice_distance(2, 8), 4);
+    }
+
+    #[test]
+    fn ring_without_long_links_routes_along_ring() {
+        let mut rng = Rng::new(2);
+        let kr = KleinbergRing::new(16, 0, 1.0, &mut rng);
+        assert_eq!(kr.greedy_route(0, 8), 8);
+        assert_eq!(kr.greedy_route(0, 15), 1);
+        assert_eq!(kr.greedy_route(3, 3), 0);
+    }
+
+    #[test]
+    fn ring_degree_is_two_plus_q() {
+        let mut rng = Rng::new(3);
+        let q = 3;
+        let kr = KleinbergRing::new(64, q, 1.0, &mut rng);
+        for u in 0..64 {
+            // Long links may coincide, but out-degree counts parallel
+            // edges, so it is exactly 2 + q.
+            assert_eq!(kr.graph().out_degree(u), 2 + q);
+        }
+    }
+
+    #[test]
+    fn harmonic_exponent_beats_uniform_and_steep() {
+        // Kleinberg's dichotomy at moderate scale: r=1 (harmonic) routes
+        // markedly faster than r=0 (distance-oblivious) and r=3 (too
+        // parochial).
+        let n = 4096;
+        let pairs = 400;
+        let mut rng = Rng::new(4);
+        let h1 = KleinbergRing::new(n, 1, 1.0, &mut rng)
+            .mean_greedy_hops(pairs, &mut rng)
+            .mean();
+        let h0 = KleinbergRing::new(n, 1, 0.0, &mut rng)
+            .mean_greedy_hops(pairs, &mut rng)
+            .mean();
+        let h3 = KleinbergRing::new(n, 1, 3.0, &mut rng)
+            .mean_greedy_hops(pairs, &mut rng)
+            .mean();
+        assert!(h1 < 0.75 * h0, "r=1: {h1}, r=0: {h0}");
+        assert!(h1 < 0.75 * h3, "r=1: {h1}, r=3: {h3}");
+    }
+
+    #[test]
+    fn grid_lattice_distance_wraps() {
+        let mut rng = Rng::new(5);
+        let kg = KleinbergGrid::new(8, 0, 2.0, &mut rng);
+        let id = |x: u32, y: u32| y * 8 + x;
+        assert_eq!(kg.lattice_distance(id(0, 0), id(7, 0)), 1);
+        assert_eq!(kg.lattice_distance(id(0, 0), id(4, 4)), 8);
+        assert_eq!(kg.lattice_distance(id(1, 1), id(3, 6)), 2 + 3);
+    }
+
+    #[test]
+    fn grid_without_long_links_is_manhattan_routing() {
+        let mut rng = Rng::new(6);
+        let kg = KleinbergGrid::new(8, 0, 2.0, &mut rng);
+        let id = |x: u32, y: u32| y * 8 + x;
+        assert_eq!(kg.greedy_route(id(0, 0), id(3, 2)), 5);
+        assert_eq!(kg.greedy_route(id(0, 0), id(0, 0)), 0);
+    }
+
+    #[test]
+    fn grid_steep_exponents_degrade_monotonically() {
+        // At laptop scale the 2-d U-curve minimum sits *below* r = 2 (the
+        // asymptotic r = dim optimum emerges only at very large n — a
+        // well-documented finite-size effect; Kleinberg's own simulations
+        // used n in the hundreds of millions). What is robust at this
+        // scale, and what we assert: (a) exponents steeper than the
+        // dimension degrade fast and monotonically, and (b) r = 2 stays
+        // within a small factor of the distance-oblivious r = 0 curve.
+        // Experiment E12 reports the full curve.
+        let side = 64; // n = 4096
+        let pairs = 300;
+        let mut rng = Rng::new(7);
+        let h0 = KleinbergGrid::new(side, 1, 0.0, &mut rng)
+            .mean_greedy_hops(pairs, &mut rng)
+            .mean();
+        let h2 = KleinbergGrid::new(side, 1, 2.0, &mut rng)
+            .mean_greedy_hops(pairs, &mut rng)
+            .mean();
+        let h3 = KleinbergGrid::new(side, 1, 3.0, &mut rng)
+            .mean_greedy_hops(pairs, &mut rng)
+            .mean();
+        let h5 = KleinbergGrid::new(side, 1, 5.0, &mut rng)
+            .mean_greedy_hops(pairs, &mut rng)
+            .mean();
+        assert!(h2 < 0.8 * h3, "r=2: {h2}, r=3: {h3}");
+        assert!(h3 < h5, "r=3: {h3}, r=5: {h5}");
+        assert!(h2 < 1.5 * h0, "r=2: {h2}, r=0: {h0}");
+    }
+
+    #[test]
+    fn routing_is_deterministic_for_fixed_seed() {
+        let mut a = Rng::new(11);
+        let mut b = Rng::new(11);
+        let ka = KleinbergRing::new(256, 2, 1.0, &mut a);
+        let kb = KleinbergRing::new(256, 2, 1.0, &mut b);
+        for (s, t) in [(0, 100), (5, 250), (77, 3)] {
+            assert_eq!(ka.greedy_route(s, t), kb.greedy_route(s, t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    #[test]
+    #[ignore]
+    fn probe_grid_r_curve() {
+        for side in [40usize, 64, 90] {
+            let mut line = format!("side={side}:");
+            for r in [0.0, 1.0, 2.0, 3.0, 5.0] {
+                let mut rng = Rng::new(7);
+                let g = KleinbergGrid::new(side, 1, r, &mut rng);
+                let h = g.mean_greedy_hops(400, &mut rng).mean();
+                line.push_str(&format!(" r{r}={h:.1}"));
+            }
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # sw-graph
+//!
+//! Directed-graph substrate and the two classic small-world constructions
+//! the paper builds on (systems S5–S7 of `DESIGN.md`):
+//!
+//! * [`digraph`] — a compact adjacency-list digraph used as the common
+//!   representation for every overlay topology in the workspace.
+//! * [`bfs`] — breadth-first distances, sampled average path length and
+//!   diameter estimation.
+//! * [`clustering`] — the Watts–Strogatz clustering coefficient.
+//! * [`components`] — weak/strong connectivity (union-find + Tarjan).
+//! * [`watts_strogatz`] — the rewiring model of §2 of the paper
+//!   (Watts & Strogatz, 1998).
+//! * [`kleinberg`] — Kleinberg's lattice model (2000) with structural
+//!   exponent `r`, on the 1-d ring and the 2-d torus, plus greedy routing;
+//!   the `r = dimension` optimum is what the paper's two models extend.
+//! * [`metrics`] — one-call graph summary used by the experiment harness.
+
+pub mod bfs;
+pub mod clustering;
+pub mod components;
+pub mod digraph;
+pub mod kleinberg;
+pub mod metrics;
+pub mod watts_strogatz;
+
+pub use digraph::{DiGraph, NodeId};
+pub use metrics::GraphMetrics;

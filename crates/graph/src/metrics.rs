@@ -1,0 +1,81 @@
+//! One-call structural summary of an overlay graph.
+
+use crate::bfs::path_survey;
+use crate::clustering::clustering_coefficient;
+use crate::components::largest_weak_fraction;
+use crate::digraph::DiGraph;
+use sw_keyspace::rng::Rng;
+
+/// Structural metrics of a graph, as reported by the experiment harness.
+#[derive(Debug, Clone)]
+pub struct GraphMetrics {
+    /// Node count.
+    pub n: usize,
+    /// Directed edge count.
+    pub m: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Watts–Strogatz clustering coefficient (undirected closure).
+    pub clustering: f64,
+    /// Mean BFS distance over sampled sources (characteristic path
+    /// length when fully sampled).
+    pub avg_path_length: f64,
+    /// Largest finite BFS distance observed (diameter lower bound).
+    pub diameter_lower_bound: u32,
+    /// Fraction of sampled pairs that are connected.
+    pub connected_fraction: f64,
+    /// Fraction of nodes in the largest weakly connected component.
+    pub largest_wcc_fraction: f64,
+}
+
+/// Computes [`GraphMetrics`] with `bfs_sources` sampled BFS trees
+/// (`usize::MAX` for exact).
+pub fn summarize(g: &DiGraph, bfs_sources: usize, rng: &mut Rng) -> GraphMetrics {
+    let survey = path_survey(g, bfs_sources, rng);
+    GraphMetrics {
+        n: g.len(),
+        m: g.edge_count(),
+        avg_out_degree: g.avg_out_degree(),
+        clustering: clustering_coefficient(g),
+        avg_path_length: survey.lengths.mean(),
+        diameter_lower_bound: survey.max_distance,
+        connected_fraction: survey.connected_fraction,
+        largest_wcc_fraction: largest_weak_fraction(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::NodeId;
+
+    #[test]
+    fn summary_of_directed_cycle() {
+        let n = 12;
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+        }
+        let mut rng = Rng::new(1);
+        let m = summarize(&g, usize::MAX, &mut rng);
+        assert_eq!(m.n, 12);
+        assert_eq!(m.m, 12);
+        assert!((m.avg_out_degree - 1.0).abs() < 1e-12);
+        assert_eq!(m.diameter_lower_bound, 11);
+        assert!((m.avg_path_length - 6.0).abs() < 1e-9);
+        assert!((m.connected_fraction - 1.0).abs() < 1e-12);
+        assert!((m.largest_wcc_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(m.clustering, 0.0);
+    }
+
+    #[test]
+    fn summary_flags_fragmentation() {
+        let mut g = DiGraph::new(6);
+        g.add_undirected_unique(0, 1);
+        g.add_undirected_unique(2, 3);
+        let mut rng = Rng::new(2);
+        let m = summarize(&g, usize::MAX, &mut rng);
+        assert!(m.largest_wcc_fraction < 0.5);
+        assert!(m.connected_fraction < 0.2);
+    }
+}

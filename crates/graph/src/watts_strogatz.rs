@@ -1,0 +1,176 @@
+//! The Watts–Strogatz rewiring model (1998), §2 of the paper.
+//!
+//! Start from a ring lattice where each node connects to its `k` nearest
+//! neighbours on each side; rewire each edge with probability `p` to a
+//! uniformly random endpoint. `p = 0` keeps the regular lattice (high
+//! clustering, long paths), `p = 1` yields a random graph (low
+//! clustering, short paths); the small-world regime lies between.
+//! Experiment E13 regenerates the classic `C(p)/C(0)`, `L(p)/L(0)` curves.
+
+use crate::digraph::{DiGraph, NodeId};
+use sw_keyspace::rng::Rng;
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct WattsStrogatz {
+    /// Number of nodes; must be `> 2 * k`.
+    pub n: usize,
+    /// Lattice neighbours on *each* side (total initial degree `2k`).
+    pub k: usize,
+    /// Rewiring probability in `[0, 1]`.
+    pub p: f64,
+}
+
+/// Errors from [`generate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsError {
+    /// `n <= 2k` leaves no room for rewiring.
+    TooDense,
+    /// `k == 0` or `n == 0`.
+    Degenerate,
+}
+
+impl std::fmt::Display for WsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WsError::TooDense => write!(f, "watts-strogatz requires n > 2k"),
+            WsError::Degenerate => write!(f, "watts-strogatz requires n > 0 and k > 0"),
+        }
+    }
+}
+
+impl std::error::Error for WsError {}
+
+/// Generates an undirected Watts–Strogatz graph (both edge directions are
+/// present in the returned [`DiGraph`]).
+pub fn generate(params: WattsStrogatz, rng: &mut Rng) -> Result<DiGraph, WsError> {
+    let WattsStrogatz { n, k, p } = params;
+    if n == 0 || k == 0 {
+        return Err(WsError::Degenerate);
+    }
+    if n <= 2 * k {
+        return Err(WsError::TooDense);
+    }
+    let p = p.clamp(0.0, 1.0);
+    let mut g = DiGraph::new(n);
+    // Lay down the ring lattice.
+    for u in 0..n {
+        for d in 1..=k {
+            g.add_undirected_unique(u as NodeId, ((u + d) % n) as NodeId);
+        }
+    }
+    // Rewire: visit each original lattice edge (u, u+d) once, as in the
+    // original formulation (one lap per distance class).
+    for d in 1..=k {
+        for u in 0..n {
+            if !rng.chance(p) {
+                continue;
+            }
+            let v = ((u + d) % n) as NodeId;
+            let u = u as NodeId;
+            // Pick a new endpoint, avoiding self-loops and duplicates.
+            // Bounded retries: in pathological dense cases keep the edge.
+            let mut rewired = false;
+            for _ in 0..32 {
+                let w = rng.index(n) as NodeId;
+                if w != u && !g.has_edge(u, w) {
+                    g.remove_edge(u, v);
+                    g.remove_edge(v, u);
+                    g.add_undirected_unique(u, w);
+                    rewired = true;
+                    break;
+                }
+            }
+            let _ = rewired;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::path_survey;
+    use crate::clustering::clustering_coefficient;
+    use crate::components::largest_weak_fraction;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let mut rng = Rng::new(1);
+        assert_eq!(
+            generate(WattsStrogatz { n: 0, k: 1, p: 0.0 }, &mut rng).unwrap_err(),
+            WsError::Degenerate
+        );
+        assert_eq!(
+            generate(WattsStrogatz { n: 10, k: 0, p: 0.0 }, &mut rng).unwrap_err(),
+            WsError::Degenerate
+        );
+        assert_eq!(
+            generate(WattsStrogatz { n: 8, k: 4, p: 0.0 }, &mut rng).unwrap_err(),
+            WsError::TooDense
+        );
+    }
+
+    #[test]
+    fn p_zero_is_the_exact_lattice() {
+        let mut rng = Rng::new(2);
+        let g = generate(WattsStrogatz { n: 30, k: 2, p: 0.0 }, &mut rng).unwrap();
+        // Every node has degree exactly 2k, and the k=2 lattice clustering
+        // coefficient is 0.5.
+        for u in 0..30 {
+            assert_eq!(g.out_degree(u), 4);
+        }
+        assert!((clustering_coefficient(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        let mut rng = Rng::new(3);
+        let g0 = generate(WattsStrogatz { n: 100, k: 3, p: 0.0 }, &mut rng).unwrap();
+        let g1 = generate(WattsStrogatz { n: 100, k: 3, p: 0.7 }, &mut rng).unwrap();
+        assert_eq!(g0.edge_count(), g1.edge_count());
+    }
+
+    #[test]
+    fn small_world_regime_shortens_paths_keeps_clustering() {
+        let mut rng = Rng::new(4);
+        let n = 400;
+        let k = 3;
+        let lattice = generate(WattsStrogatz { n, k, p: 0.0 }, &mut rng).unwrap();
+        let small_world = generate(WattsStrogatz { n, k, p: 0.05 }, &mut rng).unwrap();
+        let random = generate(WattsStrogatz { n, k, p: 1.0 }, &mut rng).unwrap();
+
+        let c0 = clustering_coefficient(&lattice);
+        let c_sw = clustering_coefficient(&small_world);
+        let c_rand = clustering_coefficient(&random);
+
+        let l0 = path_survey(&lattice, 40, &mut rng).lengths.mean();
+        let l_sw = path_survey(&small_world, 40, &mut rng).lengths.mean();
+
+        // Clustering barely drops at p=0.05 but collapses at p=1.
+        assert!(c_sw > 0.6 * c0, "c_sw={c_sw} c0={c0}");
+        assert!(c_rand < 0.3 * c0, "c_rand={c_rand} c0={c0}");
+        // Path length collapses already at p=0.05.
+        assert!(l_sw < 0.5 * l0, "l_sw={l_sw} l0={l0}");
+    }
+
+    #[test]
+    fn stays_essentially_connected() {
+        let mut rng = Rng::new(5);
+        for p in [0.1, 0.5, 1.0] {
+            let g = generate(WattsStrogatz { n: 300, k: 3, p }, &mut rng).unwrap();
+            assert!(largest_weak_fraction(&g) > 0.99, "p={p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        let ga = generate(WattsStrogatz { n: 50, k: 2, p: 0.3 }, &mut a).unwrap();
+        let gb = generate(WattsStrogatz { n: 50, k: 2, p: 0.3 }, &mut b).unwrap();
+        let ea: Vec<_> = ga.edges().collect();
+        let eb: Vec<_> = gb.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

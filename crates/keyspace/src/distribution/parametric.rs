@@ -1,0 +1,430 @@
+//! Parametric families truncated/renormalized to the unit interval.
+
+use super::numerics::{norm_cdf, norm_pdf};
+use super::{DistributionError, KeyDistribution};
+
+/// Kumaraswamy(a, b): `cdf(x) = 1 − (1 − x^a)^b`.
+///
+/// Covers the same shape palette as the Beta distribution (bathtub for
+/// `a, b < 1`, unimodal for `a, b > 1`, J-shapes otherwise) but with
+/// closed-form CDF *and* quantile — ideal for the exact mass computations
+/// Model 2 needs.
+#[derive(Debug, Clone, Copy)]
+pub struct Kumaraswamy {
+    a: f64,
+    b: f64,
+}
+
+impl Kumaraswamy {
+    /// Creates a Kumaraswamy(a, b) distribution; both parameters must be
+    /// finite and positive.
+    pub fn new(a: f64, b: f64) -> Result<Self, DistributionError> {
+        check_param("a", a, a.is_finite() && a > 0.0, "finite > 0")?;
+        check_param("b", b, b.is_finite() && b > 0.0, "finite > 0")?;
+        Ok(Kumaraswamy { a, b })
+    }
+
+    /// Shape parameter `a`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Shape parameter `b`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+}
+
+impl KeyDistribution for Kumaraswamy {
+    fn name(&self) -> String {
+        format!("kumaraswamy({},{})", self.a, self.b)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..1.0).contains(&x) {
+            return 0.0;
+        }
+        // Density can legitimately diverge at the boundary for a<1 or b<1;
+        // nudge off the singular points so we return a large finite value.
+        let x = x.clamp(1e-300, 1.0 - 1e-16);
+        self.a * self.b * x.powf(self.a - 1.0) * (1.0 - x.powf(self.a)).powf(self.b - 1.0)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            1.0 - (1.0 - x.powf(self.a)).powf(self.b)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        (1.0 - (1.0 - p).powf(1.0 / self.b)).powf(1.0 / self.a)
+    }
+}
+
+/// Normal(mu, sigma) truncated and renormalized to `[0, 1)`.
+///
+/// Models a hotspot around `mu` — e.g. peers clustered around a popular
+/// key region.
+#[derive(Debug, Clone, Copy)]
+pub struct TruncatedNormal {
+    mu: f64,
+    sigma: f64,
+    /// `Φ(α)` at the left truncation point.
+    phi_lo: f64,
+    /// Total mass `Φ(β) − Φ(α)` inside `[0, 1]`.
+    mass: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal; `sigma` must be finite and positive and
+    /// `mu` finite. The untruncated mean may lie outside `[0, 1)`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistributionError> {
+        check_param("mu", mu, mu.is_finite(), "finite")?;
+        check_param("sigma", sigma, sigma.is_finite() && sigma > 0.0, "finite > 0")?;
+        let phi_lo = norm_cdf((0.0 - mu) / sigma);
+        let phi_hi = norm_cdf((1.0 - mu) / sigma);
+        let mass = phi_hi - phi_lo;
+        if mass <= 1e-12 {
+            return Err(DistributionError::InvalidParameter {
+                name: "mu/sigma",
+                value: mu,
+                expected: "non-negligible mass inside [0,1)",
+            });
+        }
+        Ok(TruncatedNormal {
+            mu,
+            sigma,
+            phi_lo,
+            mass,
+        })
+    }
+}
+
+impl KeyDistribution for TruncatedNormal {
+    fn name(&self) -> String {
+        format!("normal({},{})", self.mu, self.sigma)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..1.0).contains(&x) {
+            return 0.0;
+        }
+        norm_pdf((x - self.mu) / self.sigma) / (self.sigma * self.mass)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            ((norm_cdf((x - self.mu) / self.sigma) - self.phi_lo) / self.mass).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Exponential with rate `lambda`, truncated to `[0, 1)`:
+/// `cdf(x) = (1 − e^{−λx}) / (1 − e^{−λ})`.
+///
+/// Positive `lambda` concentrates keys near `0`; negative `lambda` is also
+/// accepted and concentrates keys near `1` (the algebra goes through
+/// unchanged).
+#[derive(Debug, Clone, Copy)]
+pub struct TruncatedExponential {
+    lambda: f64,
+    /// Precomputed `1 − e^{−λ}`.
+    denom: f64,
+}
+
+impl TruncatedExponential {
+    /// Creates a truncated exponential; `lambda` must be finite, nonzero
+    /// (use [`super::Uniform`] for the `λ → 0` limit) and `|λ| ≤ 700` to
+    /// keep `e^{±λ}` in range.
+    pub fn new(lambda: f64) -> Result<Self, DistributionError> {
+        check_param(
+            "lambda",
+            lambda,
+            lambda.is_finite() && lambda != 0.0 && lambda.abs() <= 700.0,
+            "finite, nonzero, |lambda| <= 700",
+        )?;
+        Ok(TruncatedExponential {
+            lambda,
+            denom: 1.0 - (-lambda).exp(),
+        })
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl KeyDistribution for TruncatedExponential {
+    fn name(&self) -> String {
+        format!("exponential({})", self.lambda)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..1.0).contains(&x) {
+            return 0.0;
+        }
+        self.lambda * (-self.lambda * x).exp() / self.denom
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            ((1.0 - (-self.lambda * x).exp()) / self.denom).clamp(0.0, 1.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        (-(1.0 - p * self.denom).ln() / self.lambda).clamp(0.0, 1.0)
+    }
+}
+
+/// Shifted Pareto density `f(x) ∝ (x + x0)^{−α}` on `[0, 1)`.
+///
+/// The heavy-tailed “Zipf-like” skew of the early-2000s P2P measurement
+/// studies: small `x0` puts an extreme spike at the low end of the key
+/// space; `α` controls the tail.
+#[derive(Debug, Clone, Copy)]
+pub struct TruncatedPareto {
+    alpha: f64,
+    x0: f64,
+}
+
+impl TruncatedPareto {
+    /// Creates the distribution; requires finite `alpha > 0` and
+    /// `x0 > 0`.
+    pub fn new(alpha: f64, x0: f64) -> Result<Self, DistributionError> {
+        check_param("alpha", alpha, alpha.is_finite() && alpha > 0.0, "finite > 0")?;
+        check_param("x0", x0, x0.is_finite() && x0 > 0.0, "finite > 0")?;
+        Ok(TruncatedPareto { alpha, x0 })
+    }
+
+    /// Antiderivative of the *unnormalized* density on `[0, x]`.
+    fn raw_integral(&self, x: f64) -> f64 {
+        if (self.alpha - 1.0).abs() < 1e-9 {
+            ((x + self.x0) / self.x0).ln()
+        } else {
+            let e = 1.0 - self.alpha;
+            ((x + self.x0).powf(e) - self.x0.powf(e)) / e
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.raw_integral(1.0)
+    }
+}
+
+impl KeyDistribution for TruncatedPareto {
+    fn name(&self) -> String {
+        format!("pareto({},{})", self.alpha, self.x0)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..1.0).contains(&x) {
+            return 0.0;
+        }
+        (x + self.x0).powf(-self.alpha) / self.total()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            (self.raw_integral(x) / self.total()).clamp(0.0, 1.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let target = p * self.total();
+        let x = if (self.alpha - 1.0).abs() < 1e-9 {
+            self.x0 * target.exp() - self.x0
+        } else {
+            let e = 1.0 - self.alpha;
+            (target * e + self.x0.powf(e)).powf(1.0 / e) - self.x0
+        };
+        x.clamp(0.0, 1.0)
+    }
+}
+
+fn check_param(
+    name: &'static str,
+    value: f64,
+    ok: bool,
+    expected: &'static str,
+) -> Result<(), DistributionError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(DistributionError::InvalidParameter {
+            name,
+            value,
+            expected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn check_cdf_quantile_roundtrip(d: &dyn KeyDistribution) {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = d.quantile(p);
+            let back = d.cdf(x);
+            assert!(
+                (back - p).abs() < 1e-6,
+                "{}: quantile({p}) = {x}, cdf back = {back}",
+                d.name()
+            );
+        }
+    }
+
+    fn check_pdf_matches_cdf_derivative(d: &dyn KeyDistribution) {
+        let h = 1e-6;
+        for i in 1..50 {
+            let x = i as f64 / 50.0 - 0.01;
+            if x <= h || x >= 1.0 - h {
+                continue;
+            }
+            let numeric = (d.cdf(x + h) - d.cdf(x - h)) / (2.0 * h);
+            let analytic = d.pdf(x);
+            let tol = 1e-3 * (1.0 + analytic.abs());
+            assert!(
+                (numeric - analytic).abs() < tol,
+                "{} at x={x}: pdf={analytic}, dF/dx={numeric}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kumaraswamy_rejects_bad_params() {
+        assert!(Kumaraswamy::new(0.0, 1.0).is_err());
+        assert!(Kumaraswamy::new(1.0, -2.0).is_err());
+        assert!(Kumaraswamy::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn kumaraswamy_closed_forms_consistent() {
+        for (a, b) in [(0.5, 0.5), (2.0, 2.0), (3.0, 4.0), (1.0, 1.0), (0.7, 2.5)] {
+            let d = Kumaraswamy::new(a, b).unwrap();
+            check_cdf_quantile_roundtrip(&d);
+            check_pdf_matches_cdf_derivative(&d);
+        }
+    }
+
+    #[test]
+    fn kumaraswamy_1_1_is_uniform() {
+        let d = Kumaraswamy::new(1.0, 1.0).unwrap();
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            assert!((d.cdf(x) - x.clamp(0.0, 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_mass_concentrates_at_mu() {
+        let d = TruncatedNormal::new(0.5, 0.05).unwrap();
+        // ~all mass within 4 sigma of mu.
+        assert!(d.mass_between(0.3, 0.7) > 0.999);
+        assert!(d.pdf(0.5) > d.pdf(0.3));
+        check_cdf_quantile_roundtrip(&d);
+        check_pdf_matches_cdf_derivative(&d);
+    }
+
+    #[test]
+    fn normal_offcenter_mu_allowed() {
+        let d = TruncatedNormal::new(0.0, 0.3).unwrap();
+        assert!(d.cdf(0.0) == 0.0 && d.cdf(1.0) == 1.0);
+        assert!(d.pdf(0.01) > d.pdf(0.9));
+        check_cdf_quantile_roundtrip(&d);
+    }
+
+    #[test]
+    fn normal_rejects_vanishing_mass() {
+        // All mass far outside the unit interval.
+        assert!(TruncatedNormal::new(100.0, 0.001).is_err());
+        assert!(TruncatedNormal::new(0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn exponential_shapes() {
+        let pos = TruncatedExponential::new(8.0).unwrap();
+        assert!(pos.pdf(0.05) > pos.pdf(0.9));
+        let neg = TruncatedExponential::new(-8.0).unwrap();
+        assert!(neg.pdf(0.9) > neg.pdf(0.05));
+        for d in [&pos, &neg] {
+            check_cdf_quantile_roundtrip(d);
+            check_pdf_matches_cdf_derivative(d);
+        }
+    }
+
+    #[test]
+    fn exponential_rejects_zero_rate() {
+        assert!(TruncatedExponential::new(0.0).is_err());
+        assert!(TruncatedExponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pareto_consistency_both_branches() {
+        // alpha != 1 branch and the log branch at alpha == 1.
+        for (alpha, x0) in [(1.5, 0.02), (0.8, 0.1), (1.0, 0.05), (2.5, 0.01)] {
+            let d = TruncatedPareto::new(alpha, x0).unwrap();
+            check_cdf_quantile_roundtrip(&d);
+            check_pdf_matches_cdf_derivative(&d);
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavily_front_loaded() {
+        let d = TruncatedPareto::new(1.5, 0.02).unwrap();
+        // Most of the mass in the first 10% of the key space.
+        assert!(d.cdf(0.1) > 0.6, "cdf(0.1) = {}", d.cdf(0.1));
+    }
+
+    #[test]
+    fn sampling_matches_cdf() {
+        // Kolmogorov-Smirnov-style check: empirical CDF within 2% of the
+        // analytic CDF at a grid of points.
+        let dists: Vec<Box<dyn KeyDistribution>> = vec![
+            Box::new(Kumaraswamy::new(0.5, 0.5).unwrap()),
+            Box::new(TruncatedNormal::new(0.5, 0.1).unwrap()),
+            Box::new(TruncatedExponential::new(5.0).unwrap()),
+            Box::new(TruncatedPareto::new(1.5, 0.05).unwrap()),
+        ];
+        let mut rng = Rng::new(1234);
+        for d in &dists {
+            let n = 20_000;
+            let mut xs: Vec<f64> = (0..n).map(|_| d.sample_value(&mut rng)).collect();
+            xs.sort_by(f64::total_cmp);
+            for i in 1..10 {
+                let q = i as f64 / 10.0;
+                let x = d.quantile(q);
+                let emp = xs.partition_point(|&s| s <= x) as f64 / n as f64;
+                assert!(
+                    (emp - q).abs() < 0.02,
+                    "{}: q={q} emp={emp}",
+                    d.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The `R → R′` space normalization of the paper's Theorem 2 proof.
+//!
+//! Figure 1 of the paper (“Normalization of the space”) maps each
+//! identifier `u.id` in the skewed space `R` to
+//! `u′.id = ∫_0^{u.id} f(x)dx = F(u.id)` in the normalized space `R′`,
+//! where identifiers are uniformly distributed. Figure 2 observes that the
+//! interval distance in `R′` equals the mass distance in `R`:
+//! `d′(u′, v′) = |∫_u^v f|`. [`Normalizer`] implements both directions and
+//! is used by experiment E9 to check that building the graph directly in
+//! `R` (Model 2) is statistically equivalent to building it in `R′`
+//! (Model 1) and mapping back.
+
+use crate::distribution::KeyDistribution;
+use crate::key::Key;
+use std::sync::Arc;
+
+/// Bidirectional CDF transform between the skewed space `R` and the
+/// normalized space `R′`.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    dist: Arc<dyn KeyDistribution>,
+}
+
+impl Normalizer {
+    /// Wraps a distribution as a space transform.
+    pub fn new(dist: Arc<dyn KeyDistribution>) -> Self {
+        Normalizer { dist }
+    }
+
+    /// The underlying distribution.
+    pub fn distribution(&self) -> &Arc<dyn KeyDistribution> {
+        &self.dist
+    }
+
+    /// `R → R′`: maps a skewed-space key to its normalized image `F(x)`.
+    pub fn to_uniform(&self, key: Key) -> Key {
+        Key::clamped(self.dist.cdf(key.get()))
+    }
+
+    /// `R′ → R`: maps a normalized key back through the quantile `F⁻¹`.
+    pub fn from_uniform(&self, key: Key) -> Key {
+        Key::clamped(self.dist.quantile(key.get()))
+    }
+
+    /// Interval distance in `R′` between the images of two `R` keys —
+    /// identically the mass distance `|∫_u^v f|` (paper Eq. 8).
+    pub fn normalized_distance(&self, a: Key, b: Key) -> f64 {
+        self.dist.mass_between(a.get(), b.get())
+    }
+
+    /// Maps a whole placement of keys into the normalized space,
+    /// preserving order.
+    pub fn map_keys(&self, keys: &[Key]) -> Vec<Key> {
+        keys.iter().map(|&k| self.to_uniform(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{Kumaraswamy, TruncatedPareto, Uniform};
+    use crate::rng::Rng;
+
+    fn key(v: f64) -> Key {
+        Key::new(v).unwrap()
+    }
+
+    #[test]
+    fn uniform_normalizer_is_identity() {
+        let n = Normalizer::new(Arc::new(Uniform));
+        for v in [0.0, 0.25, 0.5, 0.99] {
+            assert!((n.to_uniform(key(v)).get() - v).abs() < 1e-12);
+            assert!((n.from_uniform(key(v)).get() - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_skewed_space() {
+        let n = Normalizer::new(Arc::new(Kumaraswamy::new(0.5, 0.5).unwrap()));
+        for i in 1..100 {
+            let v = i as f64 / 100.0;
+            let there = n.to_uniform(key(v));
+            let back = n.from_uniform(there);
+            assert!((back.get() - v).abs() < 1e-6, "v={v}, back={}", back.get());
+        }
+    }
+
+    #[test]
+    fn normalized_distance_equals_mass() {
+        let d = Arc::new(TruncatedPareto::new(1.5, 0.05).unwrap());
+        let n = Normalizer::new(d.clone());
+        let a = key(0.1);
+        let b = key(0.6);
+        let direct = d.mass_between(0.1, 0.6);
+        assert!((n.normalized_distance(a, b) - direct).abs() < 1e-12);
+        // And equals the interval distance between images.
+        let ia = n.to_uniform(a).get();
+        let ib = n.to_uniform(b).get();
+        assert!(((ib - ia).abs() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_placement_is_uniformish() {
+        // Keys sampled from f, pushed through F, should look uniform:
+        // mean ~ 0.5, and each decile holds ~10%.
+        let d = Arc::new(Kumaraswamy::new(3.0, 4.0).unwrap());
+        let n = Normalizer::new(d.clone());
+        let mut rng = Rng::new(77);
+        let keys: Vec<Key> = (0..20_000).map(|_| d.sample_key(&mut rng)).collect();
+        let mapped = n.map_keys(&keys);
+        let mut counts = [0usize; 10];
+        for k in &mapped {
+            counts[((k.get() * 10.0) as usize).min(9)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 20_000.0;
+            assert!((frac - 0.1).abs() < 0.01, "decile fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn map_keys_preserves_order() {
+        let d = Arc::new(TruncatedPareto::new(2.0, 0.03).unwrap());
+        let n = Normalizer::new(d);
+        let keys: Vec<Key> = (1..50).map(|i| key(i as f64 / 50.0)).collect();
+        let mapped = n.map_keys(&keys);
+        for w in mapped.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

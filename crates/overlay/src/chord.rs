@@ -1,0 +1,238 @@
+//! Chord (Stoica et al., SIGCOMM 2001) and randomized Chord
+//! (Manku PODC 2003; Zhang, Goel & Govindan) on the unit ring.
+//!
+//! §3.1 of the paper: “in Chord the chosen node will be the one with the
+//! smallest identifier of the given partition” — i.e. finger `k` of peer
+//! `u` is the *successor* of `u + 2^{−k}`, one entry per logarithmic
+//! partition. Randomized Chord instead picks a *uniformly random* peer in
+//! the partition `[u + 2^{−k}, u + 2^{−k+1})`, which is exactly the
+//! “special case” relaxation the paper compares its Model 1 against.
+
+use crate::placement::Placement;
+use crate::route::{Overlay, RouteOptions, RouteResult};
+use sw_graph::NodeId;
+use sw_keyspace::{Key, Rng, Topology};
+
+/// Classic Chord: deterministic successor fingers.
+#[derive(Debug, Clone)]
+pub struct Chord {
+    p: Placement,
+    tables: Vec<Vec<NodeId>>,
+}
+
+impl Chord {
+    /// Builds finger tables over a ring placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement topology is not [`Topology::Ring`].
+    pub fn build(p: Placement) -> Chord {
+        assert_eq!(p.topology(), Topology::Ring, "chord lives on the ring");
+        let n = p.len();
+        let m = p.log2_n();
+        let mut tables = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            let base = p.key(u).get();
+            let mut t: Vec<NodeId> = vec![p.next(u), p.prev(u)];
+            for k in 1..=m {
+                let target = Key::clamped((base + (0.5f64).powi(k as i32)).rem_euclid(1.0));
+                let finger = p.successor(target);
+                if finger != u && !t.contains(&finger) {
+                    t.push(finger);
+                }
+            }
+            tables.push(t);
+        }
+        Chord { p, tables }
+    }
+
+    /// Classic clockwise Chord routing (closest preceding finger):
+    /// success means reaching the *successor* of the target key.
+    pub fn route_clockwise(&self, from: NodeId, target: Key, opts: &RouteOptions) -> RouteResult {
+        crate::route::clockwise_route(&self.p, &|u| self.contacts(u), from, target, opts)
+    }
+}
+
+impl Overlay for Chord {
+    fn name(&self) -> String {
+        "chord".into()
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.p
+    }
+
+    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
+        self.tables[u as usize].clone()
+    }
+
+    /// Chord's fingers are unidirectional, so its native router is the
+    /// clockwise closest-preceding-finger walk, not symmetric greedy.
+    fn route(&self, from: NodeId, target: Key, opts: &RouteOptions) -> RouteResult {
+        self.route_clockwise(from, target, opts)
+    }
+}
+
+/// Randomized Chord: finger `k` is a uniformly random peer in the
+/// logarithmic partition `[u + 2^{−k}, u + 2^{−k+1})`.
+#[derive(Debug, Clone)]
+pub struct RandomizedChord {
+    p: Placement,
+    tables: Vec<Vec<NodeId>>,
+}
+
+impl RandomizedChord {
+    /// Builds randomized finger tables over a ring placement.
+    ///
+    /// Empty partitions fall back to the deterministic successor finger,
+    /// preserving reachability under skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement topology is not [`Topology::Ring`].
+    pub fn build(p: Placement, rng: &mut Rng) -> RandomizedChord {
+        assert_eq!(p.topology(), Topology::Ring, "chord lives on the ring");
+        let n = p.len();
+        let m = p.log2_n();
+        let mut tables = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            let base = p.key(u).get();
+            let mut t: Vec<NodeId> = vec![p.next(u), p.prev(u)];
+            for k in 1..=m {
+                let lo = base + (0.5f64).powi(k as i32);
+                let hi = base + (0.5f64).powi(k as i32 - 1);
+                let finger = p
+                    .random_in_arc(lo, hi, rng)
+                    .unwrap_or_else(|| p.successor(Key::clamped(lo.rem_euclid(1.0))));
+                if finger != u && !t.contains(&finger) {
+                    t.push(finger);
+                }
+            }
+            tables.push(t);
+        }
+        RandomizedChord { p, tables }
+    }
+}
+
+impl Overlay for RandomizedChord {
+    fn name(&self) -> String {
+        "randomized-chord".into()
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.p
+    }
+
+    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
+        self.tables[u as usize].clone()
+    }
+
+    /// Same unidirectional geometry as Chord: route clockwise.
+    fn route(&self, from: NodeId, target: Key, opts: &RouteOptions) -> RouteResult {
+        crate::route::clockwise_route(&self.p, &|u| self.contacts(u), from, target, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{RoutingSurvey, TargetModel};
+    use sw_keyspace::distribution::Uniform;
+
+    fn uniform_placement(n: usize, seed: u64) -> Placement {
+        let mut rng = Rng::new(seed);
+        Placement::sample(n, &Uniform, Topology::Ring, &mut rng)
+    }
+
+    #[test]
+    fn chord_tables_are_logarithmic() {
+        let c = Chord::build(uniform_placement(1024, 1));
+        let avg = c.avg_table_size();
+        // 2 ring neighbours + up to log2(n) fingers (deduped).
+        assert!(avg > 6.0 && avg <= 12.0, "avg table {avg}");
+        assert!(c.max_table_size() <= 12);
+    }
+
+    #[test]
+    fn chord_greedy_routing_is_logarithmic_and_total() {
+        let c = Chord::build(uniform_placement(1024, 2));
+        let mut rng = Rng::new(3);
+        let s = RoutingSurvey::run(&c, 300, TargetModel::MemberKeys, &mut rng);
+        assert!((s.success_rate() - 1.0).abs() < 1e-12);
+        // O(log n) hops: log2(1024) = 10; greedy Chord does ~log n / 2.
+        assert!(s.hops.mean() < 12.0, "mean hops {}", s.hops.mean());
+    }
+
+    #[test]
+    fn chord_clockwise_routing_reaches_successor() {
+        let c = Chord::build(uniform_placement(256, 4));
+        let mut rng = Rng::new(5);
+        let opts = RouteOptions::for_n(256);
+        for _ in 0..100 {
+            let from = rng.index(256) as NodeId;
+            let target = Key::clamped(rng.f64());
+            let r = c.route_clockwise(from, target, &opts);
+            assert!(r.success);
+            assert_eq!(*r.path.last().unwrap(), c.p.successor(target));
+            assert!(r.hops <= 40);
+        }
+    }
+
+    #[test]
+    fn chord_fingers_halve_distances() {
+        // Peer 0's fingers should include peers roughly 1/2, 1/4, ... away.
+        let p = Placement::regular(256, Topology::Ring);
+        let c = Chord::build(p);
+        let contacts = c.contacts(0);
+        let has_near = |target: f64| {
+            contacts
+                .iter()
+                .any(|&v| (c.p.key(v).get() - target).abs() < 0.02)
+        };
+        assert!(has_near(0.5));
+        assert!(has_near(0.25));
+        assert!(has_near(0.125));
+    }
+
+    #[test]
+    fn randomized_chord_routes_fully() {
+        let mut rng = Rng::new(6);
+        let rc = RandomizedChord::build(uniform_placement(1024, 7), &mut rng);
+        let s = RoutingSurvey::run(&rc, 300, TargetModel::MemberKeys, &mut rng);
+        assert!((s.success_rate() - 1.0).abs() < 1e-12);
+        assert!(s.hops.mean() < 14.0, "mean hops {}", s.hops.mean());
+    }
+
+    #[test]
+    fn randomized_fingers_fall_in_their_partition() {
+        let mut rng = Rng::new(8);
+        let p = Placement::regular(512, Topology::Ring);
+        let rc = RandomizedChord::build(p, &mut rng);
+        // For the regular placement every partition is nonempty, so every
+        // non-neighbour finger of peer 0 must sit inside [2^-k, 2^-k+1).
+        let contacts = rc.contacts(0);
+        for &v in contacts.iter().skip(2) {
+            let key = rc.p.key(v).get();
+            let k = (-key.log2()).ceil() as i32; // partition index
+            let lo = (0.5f64).powi(k);
+            let hi = (0.5f64).powi(k - 1);
+            assert!(
+                key >= lo - 1e-12 && key < hi + 1e-12,
+                "finger at {key} outside [{lo},{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::new(9);
+        let mut b = Rng::new(9);
+        let pa = uniform_placement(128, 10);
+        let pb = uniform_placement(128, 10);
+        let ra = RandomizedChord::build(pa, &mut a);
+        let rb = RandomizedChord::build(pb, &mut b);
+        for u in 0..128 {
+            assert_eq!(ra.contacts(u), rb.contacts(u));
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The shared greedy routing engine and the [`Overlay`] trait.
+//!
+//! “In each step a node u forwards a search request for a target key t to
+//! the node with the minimal distance to the target node t among all
+//! nodes reachable through an edge from u.” (§3). Every overlay in the
+//! workspace routes through this one engine so that hop counts are
+//! comparable across systems.
+
+use crate::placement::Placement;
+use sw_graph::{DiGraph, NodeId};
+use sw_keyspace::stats::OnlineStats;
+use sw_keyspace::{Key, Rng};
+
+/// Options for a single greedy route.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteOptions {
+    /// Abort (and count as failure) after this many hops.
+    pub max_hops: u32,
+    /// Record the full node path (otherwise only endpoints).
+    pub record_path: bool,
+}
+
+impl RouteOptions {
+    /// A generous default for an `n`-peer overlay: `32 + 8·ceil(log2 n)`
+    /// hops, far above anything a healthy logarithmic overlay needs, while
+    /// still catching livelock in degraded ones.
+    pub fn for_n(n: usize) -> Self {
+        RouteOptions {
+            max_hops: 32 + 8 * (n.max(2) as f64).log2().ceil() as u32,
+            record_path: true,
+        }
+    }
+}
+
+/// Outcome of one greedy route.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// True if the route reached the peer responsible for the target.
+    pub success: bool,
+    /// Hops taken (edges traversed).
+    pub hops: u32,
+    /// Visited peers from source to final (inclusive) when
+    /// `record_path`; otherwise just `[source, final]`.
+    pub path: Vec<NodeId>,
+}
+
+/// A key-based overlay network: a placement plus per-peer routing tables.
+pub trait Overlay {
+    /// Display name with parameters, e.g. `"chord"`.
+    fn name(&self) -> String;
+
+    /// The peer placement this overlay is built over.
+    fn placement(&self) -> &Placement;
+
+    /// The routing table of peer `u`: every peer reachable in one hop
+    /// (neighbour links *and* long-range links).
+    fn contacts(&self, u: NodeId) -> Vec<NodeId>;
+
+    /// Greedy distance-minimizing route from `from` toward `target`.
+    fn route(&self, from: NodeId, target: Key, opts: &RouteOptions) -> RouteResult {
+        greedy_route(
+            self.placement(),
+            &|u| self.contacts(u),
+            from,
+            target,
+            opts,
+        )
+    }
+
+    /// Mean routing-table size (out-degree).
+    fn avg_table_size(&self) -> f64 {
+        let n = self.placement().len();
+        let total: usize = (0..n as NodeId).map(|u| self.contacts(u).len()).sum();
+        total as f64 / n as f64
+    }
+
+    /// Largest routing table in the overlay.
+    fn max_table_size(&self) -> usize {
+        let n = self.placement().len();
+        (0..n as NodeId)
+            .map(|u| self.contacts(u).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Materializes the overlay as a digraph (for `sw-graph` metrics).
+    fn to_graph(&self) -> DiGraph {
+        let n = self.placement().len();
+        let mut g = DiGraph::new(n);
+        for u in 0..n as NodeId {
+            for v in self.contacts(u) {
+                g.add_edge_unique(u, v);
+            }
+        }
+        g
+    }
+}
+
+/// The greedy engine itself, usable with a closure routing table.
+///
+/// The goal peer is the placement-wide nearest peer to `target`; success
+/// means reaching exactly that peer. A hop is taken only if it *strictly*
+/// decreases the distance to the target, so the walk cannot cycle; a local
+/// minimum that is not the goal is reported as failure (this happens only
+/// in degraded overlays — intact neighbour links always offer progress).
+pub fn greedy_route(
+    placement: &Placement,
+    contacts: &dyn Fn(NodeId) -> Vec<NodeId>,
+    from: NodeId,
+    target: Key,
+    opts: &RouteOptions,
+) -> RouteResult {
+    let goal = placement.nearest(target);
+    let mut cur = from;
+    let mut hops = 0u32;
+    let mut path = Vec::new();
+    if opts.record_path {
+        path.push(cur);
+    }
+    while cur != goal {
+        if hops >= opts.max_hops {
+            return finish(false, hops, path, from, cur, opts);
+        }
+        let mut best = cur;
+        let mut best_d = placement.distance_to(cur, target);
+        for v in contacts(cur) {
+            let d = placement.distance_to(v, target);
+            if d < best_d {
+                best_d = d;
+                best = v;
+            }
+        }
+        if best == cur {
+            // Local minimum away from the goal: routing failure.
+            return finish(false, hops, path, from, cur, opts);
+        }
+        cur = best;
+        hops += 1;
+        if opts.record_path {
+            path.push(cur);
+        }
+    }
+    finish(true, hops, path, from, cur, opts)
+}
+
+fn finish(
+    success: bool,
+    hops: u32,
+    path: Vec<NodeId>,
+    from: NodeId,
+    last: NodeId,
+    opts: &RouteOptions,
+) -> RouteResult {
+    let path = if opts.record_path {
+        path
+    } else {
+        vec![from, last]
+    };
+    RouteResult {
+        success,
+        hops,
+        path,
+    }
+}
+
+/// Clockwise (closest-preceding-contact) routing: the native algorithm of
+/// unidirectional-finger DHTs like Chord.
+///
+/// The goal is the *successor* of the target key; each hop forwards to the
+/// contact that advances furthest clockwise without overshooting the
+/// target, falling back to the immediate successor edge. Symmetric greedy
+/// distance-minimization is wrong for these overlays: their fingers only
+/// point clockwise, so a target just counter-clockwise of the current peer
+/// would otherwise be approached by `O(n)` single predecessor steps.
+pub fn clockwise_route(
+    placement: &Placement,
+    contacts: &dyn Fn(NodeId) -> Vec<NodeId>,
+    from: NodeId,
+    target: Key,
+    opts: &RouteOptions,
+) -> RouteResult {
+    use sw_keyspace::Topology;
+    let goal = placement.successor(target);
+    let mut cur = from;
+    let mut hops = 0u32;
+    let mut path = Vec::new();
+    if opts.record_path {
+        path.push(cur);
+    }
+    while cur != goal {
+        if hops >= opts.max_hops {
+            return finish(false, hops, path, from, cur, opts);
+        }
+        let arc_to_target = Topology::Ring.clockwise(placement.key(cur), target);
+        let mut best = cur;
+        let mut best_remaining = f64::INFINITY;
+        for v in contacts(cur) {
+            let adv = Topology::Ring.clockwise(placement.key(cur), placement.key(v));
+            if adv > 0.0 && adv <= arc_to_target {
+                let remaining = arc_to_target - adv;
+                if remaining < best_remaining {
+                    best_remaining = remaining;
+                    best = v;
+                }
+            }
+        }
+        if best == cur {
+            // No contact precedes the target: the successor edge finishes.
+            best = placement.next(cur);
+        }
+        cur = best;
+        hops += 1;
+        if opts.record_path {
+            path.push(cur);
+        }
+    }
+    finish(true, hops, path, from, cur, opts)
+}
+
+/// How survey target keys are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetModel {
+    /// Target is the key of a uniformly random peer (member lookup) —
+    /// matches the paper's “search request for a target key t” where `t`
+    /// is a node.
+    MemberKeys,
+    /// Target is a uniformly random point of the key space.
+    UniformKeys,
+}
+
+/// Aggregated routing statistics over many random lookups.
+#[derive(Debug, Clone)]
+pub struct RoutingSurvey {
+    /// Hop statistics over successful routes.
+    pub hops: OnlineStats,
+    /// Raw hop samples of successful routes (for percentiles).
+    pub hop_samples: Vec<f64>,
+    /// Number of lookups attempted.
+    pub attempts: usize,
+    /// Number of successful lookups.
+    pub successes: usize,
+}
+
+impl RoutingSurvey {
+    /// Fraction of lookups that succeeded.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// Hop-count percentile over successful routes (`q` in `[0, 1]`).
+    /// Returns `0` when no route succeeded.
+    pub fn hop_percentile(&self, q: f64) -> f64 {
+        if self.hop_samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.hop_samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        sw_keyspace::stats::quantile_sorted(&sorted, q)
+    }
+
+    /// Runs `queries` random lookups over `overlay` with default options.
+    pub fn run(
+        overlay: &dyn Overlay,
+        queries: usize,
+        model: TargetModel,
+        rng: &mut Rng,
+    ) -> RoutingSurvey {
+        let opts = RouteOptions {
+            record_path: false,
+            ..RouteOptions::for_n(overlay.placement().len())
+        };
+        Self::run_with_opts(overlay, queries, model, &opts, rng)
+    }
+
+    /// Runs `queries` random lookups with explicit [`RouteOptions`] —
+    /// needed when linear-walk hop counts are legitimate (e.g. a ring
+    /// stripped of long links).
+    pub fn run_with_opts(
+        overlay: &dyn Overlay,
+        queries: usize,
+        model: TargetModel,
+        opts: &RouteOptions,
+        rng: &mut Rng,
+    ) -> RoutingSurvey {
+        let p = overlay.placement();
+        let n = p.len();
+        let mut hops = OnlineStats::new();
+        let mut hop_samples = Vec::with_capacity(queries);
+        let mut successes = 0usize;
+        for _ in 0..queries {
+            let from = rng.index(n) as NodeId;
+            let target = match model {
+                TargetModel::MemberKeys => p.key(rng.index(n) as NodeId),
+                TargetModel::UniformKeys => Key::clamped(rng.f64()),
+            };
+            let r = overlay.route(from, target, opts);
+            if r.success {
+                successes += 1;
+                hops.push(r.hops as f64);
+                hop_samples.push(r.hops as f64);
+            }
+        }
+        RoutingSurvey {
+            hops,
+            hop_samples,
+            attempts: queries,
+            successes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_keyspace::Topology;
+
+    /// Minimal overlay: ring successor/predecessor only.
+    struct RingOnly {
+        p: Placement,
+    }
+
+    impl Overlay for RingOnly {
+        fn name(&self) -> String {
+            "ring-only".into()
+        }
+        fn placement(&self) -> &Placement {
+            &self.p
+        }
+        fn contacts(&self, u: NodeId) -> Vec<NodeId> {
+            vec![self.p.prev(u), self.p.next(u)]
+        }
+    }
+
+    fn ring(n: usize) -> RingOnly {
+        RingOnly {
+            p: Placement::regular(n, Topology::Ring),
+        }
+    }
+
+    #[test]
+    fn ring_routing_takes_ring_distance_hops() {
+        let o = ring(16);
+        let opts = RouteOptions::for_n(16);
+        // From peer 0 to peer 8's key: 8 hops either way.
+        let r = o.route(0, o.p.key(8), &opts);
+        assert!(r.success);
+        assert_eq!(r.hops, 8);
+        // Wrap-around: 0 to 15 is one hop backwards.
+        let r = o.route(0, o.p.key(15), &opts);
+        assert!(r.success);
+        assert_eq!(r.hops, 1);
+    }
+
+    #[test]
+    fn self_route_is_zero_hops() {
+        let o = ring(8);
+        let r = o.route(3, o.p.key(3), &RouteOptions::for_n(8));
+        assert!(r.success);
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.path, vec![3]);
+    }
+
+    #[test]
+    fn route_to_nonmember_key_reaches_nearest() {
+        let o = ring(10); // keys at multiples of 0.1
+        let r = o.route(0, Key::new(0.33).unwrap(), &RouteOptions::for_n(10));
+        assert!(r.success);
+        assert_eq!(*r.path.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn hop_limit_aborts() {
+        let o = ring(64);
+        let opts = RouteOptions {
+            max_hops: 3,
+            record_path: true,
+        };
+        let r = o.route(0, o.p.key(32), &opts);
+        assert!(!r.success);
+        assert_eq!(r.hops, 3);
+    }
+
+    #[test]
+    fn path_is_recorded_in_order() {
+        let o = ring(8);
+        let r = o.route(1, o.p.key(4), &RouteOptions::for_n(8));
+        assert_eq!(r.path, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn local_minimum_is_failure() {
+        // A broken overlay where peer 0 has no contacts at all.
+        struct Broken {
+            p: Placement,
+        }
+        impl Overlay for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn placement(&self) -> &Placement {
+                &self.p
+            }
+            fn contacts(&self, _u: NodeId) -> Vec<NodeId> {
+                vec![]
+            }
+        }
+        let o = Broken {
+            p: Placement::regular(8, Topology::Ring),
+        };
+        let r = o.route(0, o.p.key(4), &RouteOptions::for_n(8));
+        assert!(!r.success);
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    fn survey_counts_successes() {
+        let o = ring(32);
+        let mut rng = Rng::new(7);
+        let s = RoutingSurvey::run(&o, 200, TargetModel::MemberKeys, &mut rng);
+        assert_eq!(s.attempts, 200);
+        assert_eq!(s.successes, 200);
+        assert!((s.success_rate() - 1.0).abs() < 1e-12);
+        // Mean ring-routing distance on n=32 is ~8.
+        assert!(s.hops.mean() > 4.0 && s.hops.mean() < 12.0);
+    }
+
+    #[test]
+    fn to_graph_matches_contacts() {
+        let o = ring(8);
+        let g = o.to_graph();
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.edge_count(), 16);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 7));
+    }
+
+    #[test]
+    fn avg_and_max_table_size() {
+        let o = ring(8);
+        assert!((o.avg_table_size() - 2.0).abs() < 1e-12);
+        assert_eq!(o.max_table_size(), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Symphony (Manku, Bawa & Raghavan, USITS 2003): constant out-degree
+//! small-world ring with harmonic long links in raw key space.
+//!
+//! Each peer draws `k` long-distance links with the clockwise key-space
+//! offset `x` distributed as `p(x) = 1/(x ln n)` on `[1/n, 1)` — the
+//! continuous harmonic distribution. Symphony assumes *hashed, uniform*
+//! peer ids; on a skewed placement its raw key-space offsets ignore the
+//! density `f`, which is precisely the failure mode the paper's Model 2
+//! fixes (experiment E4 quantifies it).
+
+use crate::placement::Placement;
+use crate::route::Overlay;
+use sw_graph::NodeId;
+use sw_keyspace::{Key, Rng, Topology};
+
+/// Symphony overlay instance.
+#[derive(Debug, Clone)]
+pub struct Symphony {
+    p: Placement,
+    /// Outgoing long links per peer.
+    out: Vec<Vec<NodeId>>,
+    /// Incoming long links (contacts are bidirectional, as in Symphony).
+    inc: Vec<Vec<NodeId>>,
+    k: usize,
+    bidirectional: bool,
+}
+
+impl Symphony {
+    /// Builds a Symphony overlay with `k` harmonic long links per peer.
+    ///
+    /// `bidirectional` adds each long link's reverse direction to the
+    /// contact set (Symphony's links are undirected); turn it off to match
+    /// the directed graphs of the paper's models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement topology is not [`Topology::Ring`].
+    pub fn build(p: Placement, k: usize, bidirectional: bool, rng: &mut Rng) -> Symphony {
+        assert_eq!(p.topology(), Topology::Ring, "symphony lives on the ring");
+        let n = p.len();
+        let ln_n = (n as f64).ln();
+        let mut out = vec![Vec::with_capacity(k); n];
+        for u in 0..n as NodeId {
+            let base = p.key(u).get();
+            let mut tries = 0;
+            while out[u as usize].len() < k && tries < 16 * k + 32 {
+                tries += 1;
+                // Inverse-CDF of p(x) = 1/(x ln n) on [1/n, 1): x = n^(U-1).
+                // Symphony draws the offset clockwise; with
+                // `bidirectional = false` we apply a random sign instead so
+                // that symmetric greedy routing is not starved of
+                // counter-clockwise shortcuts (Symphony itself always
+                // routes over the undirected link set).
+                let x = (rng.f64() * ln_n).exp() / n as f64;
+                let signed = if bidirectional || rng.chance(0.5) { x } else { -x };
+                let target = Key::clamped((base + signed).rem_euclid(1.0));
+                let v = p.nearest(target);
+                if v != u && !out[u as usize].contains(&v) {
+                    out[u as usize].push(v);
+                }
+            }
+        }
+        let mut inc = vec![Vec::new(); n];
+        for (u, links) in out.iter().enumerate() {
+            for &v in links {
+                inc[v as usize].push(u as NodeId);
+            }
+        }
+        Symphony {
+            p,
+            out,
+            inc,
+            k,
+            bidirectional,
+        }
+    }
+
+    /// The configured long-link budget `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Overlay for Symphony {
+    fn name(&self) -> String {
+        format!(
+            "symphony(k={}{})",
+            self.k,
+            if self.bidirectional { ",bidir" } else { "" }
+        )
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.p
+    }
+
+    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
+        let mut c = vec![self.p.prev(u), self.p.next(u)];
+        // A long link can land on a ring neighbour; dedupe.
+        for &v in &self.out[u as usize] {
+            if !c.contains(&v) {
+                c.push(v);
+            }
+        }
+        if self.bidirectional {
+            for &v in &self.inc[u as usize] {
+                if !c.contains(&v) {
+                    c.push(v);
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{RoutingSurvey, TargetModel};
+    use sw_keyspace::distribution::{TruncatedPareto, Uniform};
+
+    fn uniform_placement(n: usize, seed: u64) -> Placement {
+        let mut rng = Rng::new(seed);
+        Placement::sample(n, &Uniform, Topology::Ring, &mut rng)
+    }
+
+    #[test]
+    fn constant_out_degree() {
+        let mut rng = Rng::new(1);
+        let s = Symphony::build(uniform_placement(512, 2), 4, false, &mut rng);
+        for u in 0..512 {
+            // 2 ring neighbours + k distinct long links; a long link that
+            // lands on a ring neighbour is deduplicated, so the contact
+            // count is at most 6 and at least 4.
+            let len = s.contacts(u).len();
+            assert!((4..=6).contains(&len), "contact count {len}");
+        }
+        let avg = s.avg_table_size();
+        assert!(avg > 5.7, "avg {avg} — neighbour collisions are rare");
+    }
+
+    #[test]
+    fn routing_succeeds_on_uniform_keys() {
+        let mut rng = Rng::new(3);
+        let s = Symphony::build(uniform_placement(2048, 4), 5, true, &mut rng);
+        let survey = RoutingSurvey::run(&s, 300, TargetModel::MemberKeys, &mut rng);
+        assert!((survey.success_rate() - 1.0).abs() < 1e-12);
+        // Symphony promises O(log^2 n / k); with k=5 and n=2048 the mean
+        // should sit well under the plain-ring baseline of n/4.
+        assert!(survey.hops.mean() < 30.0, "hops {}", survey.hops.mean());
+    }
+
+    #[test]
+    fn more_links_fewer_hops() {
+        let mut rng = Rng::new(5);
+        let p = uniform_placement(2048, 6);
+        let s1 = Symphony::build(p.clone(), 1, false, &mut rng);
+        let s8 = Symphony::build(p, 8, false, &mut rng);
+        let h1 = RoutingSurvey::run(&s1, 300, TargetModel::MemberKeys, &mut rng)
+            .hops
+            .mean();
+        let h8 = RoutingSurvey::run(&s8, 300, TargetModel::MemberKeys, &mut rng)
+            .hops
+            .mean();
+        assert!(h8 < 0.6 * h1, "k=1: {h1}, k=8: {h8}");
+    }
+
+    #[test]
+    fn degrades_on_skewed_placement() {
+        // Symphony's raw key-space harmonic links ignore the density: on
+        // a heavy Pareto placement routing inside the dense region needs
+        // many more hops than on uniform keys.
+        let mut rng = Rng::new(7);
+        let n = 2048;
+        let uni = Symphony::build(uniform_placement(n, 8), 4, false, &mut rng);
+        let skew_p = Placement::sample(
+            n,
+            &TruncatedPareto::new(1.5, 0.001).unwrap(),
+            Topology::Ring,
+            &mut rng,
+        );
+        let skew = Symphony::build(skew_p, 4, false, &mut rng);
+        let h_uni = RoutingSurvey::run(&uni, 300, TargetModel::MemberKeys, &mut rng)
+            .hops
+            .mean();
+        let h_skew = RoutingSurvey::run(&skew, 300, TargetModel::MemberKeys, &mut rng)
+            .hops
+            .mean();
+        assert!(
+            h_skew > 1.25 * h_uni,
+            "expected degradation: uniform {h_uni}, skewed {h_skew}"
+        );
+    }
+
+    #[test]
+    fn bidirectional_adds_reverse_contacts() {
+        let mut rng = Rng::new(9);
+        let p = uniform_placement(256, 10);
+        let s = Symphony::build(p, 3, true, &mut rng);
+        // Every out-link of u must appear in v's contact set.
+        for u in 0..256u32 {
+            for &v in &s.out[u as usize] {
+                assert!(
+                    s.contacts(v).contains(&u),
+                    "reverse of {u}->{v} missing"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based invariants of the overlay framework and every
+//! baseline DHT: placements index correctly, the greedy engine is
+//! monotone, and all baselines route totally over arbitrary uniform
+//! placements.
+
+use proptest::prelude::*;
+use sw_keyspace::distribution::Uniform;
+use sw_keyspace::{Key, Rng, Topology};
+use sw_overlay::chord::{Chord, RandomizedChord};
+use sw_overlay::mercury::Mercury;
+use sw_overlay::pastry::PastryLike;
+use sw_overlay::pgrid::{PGridLike, SplitPolicy};
+use sw_overlay::route::{RouteOptions, RoutingSurvey, TargetModel};
+use sw_overlay::symphony::Symphony;
+use sw_overlay::{Overlay, Placement};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `nearest` agrees with the brute-force argmin for both topologies.
+    #[test]
+    fn nearest_is_argmin(
+        seed in any::<u64>(),
+        n in 8usize..128,
+        target in 0.0f64..1.0,
+        ring in any::<bool>(),
+    ) {
+        let topology = if ring { Topology::Ring } else { Topology::Interval };
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, topology, &mut rng);
+        let t = Key::clamped(target);
+        let got = p.nearest(t);
+        let want = (0..n as u32)
+            .min_by(|&a, &b| p.distance_to(a, t).total_cmp(&p.distance_to(b, t)))
+            .unwrap();
+        prop_assert!(
+            (p.distance_to(got, t) - p.distance_to(want, t)).abs() < 1e-15,
+            "nearest {} vs argmin {}",
+            got,
+            want
+        );
+    }
+
+    /// `successor` returns the first peer at-or-after the key, with wrap.
+    #[test]
+    fn successor_contract(seed in any::<u64>(), n in 8usize..128, target in 0.0f64..1.0) {
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+        let t = Key::clamped(target);
+        let s = p.successor(t);
+        prop_assert!(p.key(s) >= t || s == 0);
+        if s > 0 {
+            prop_assert!(p.key(s - 1) < t);
+        }
+    }
+
+    /// `random_in_arc` only returns peers on the requested arc and
+    /// returns `None` iff the arc is empty.
+    #[test]
+    fn arc_sampling_membership(
+        seed in any::<u64>(),
+        n in 8usize..128,
+        lo in 0.0f64..1.0,
+        width in 0.0f64..0.6,
+    ) {
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+        let hi = lo + width;
+        let [a, b] = p.arc(lo, hi);
+        let count = a.len() + b.len();
+        match p.random_in_arc(lo, hi, &mut rng) {
+            None => prop_assert_eq!(count, 0),
+            Some(v) => {
+                prop_assert!(count > 0);
+                let k = p.key(v).get();
+                let lo_w = lo.rem_euclid(1.0);
+                let hi_w = hi.rem_euclid(1.0);
+                let inside = if lo_w < hi_w {
+                    (lo_w..hi_w).contains(&k)
+                } else {
+                    k >= lo_w || k < hi_w
+                };
+                prop_assert!(inside, "key {k} outside arc [{lo_w},{hi_w})");
+            }
+        }
+    }
+
+    /// Every baseline DHT routes 100% of member lookups over arbitrary
+    /// uniform placements.
+    #[test]
+    fn all_baselines_route_totally(seed in any::<u64>(), n in 64usize..192) {
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+        let overlays: Vec<Box<dyn Overlay>> = vec![
+            Box::new(Chord::build(p.clone())),
+            Box::new(RandomizedChord::build(p.clone(), &mut rng)),
+            Box::new(Symphony::build(p.clone(), 3, true, &mut rng)),
+            Box::new(Mercury::build(p.clone(), 3, 32, &mut rng)),
+            Box::new(PastryLike::build(p.clone(), 2, 2, &mut rng)),
+            Box::new(PGridLike::build(p.clone(), SplitPolicy::Median, 1, &mut rng)),
+            Box::new(PGridLike::build(p, SplitPolicy::Midpoint, 1, &mut rng)),
+        ];
+        for o in &overlays {
+            let s = RoutingSurvey::run(o.as_ref(), 40, TargetModel::MemberKeys, &mut rng);
+            prop_assert!(
+                (s.success_rate() - 1.0).abs() < 1e-12,
+                "{} failed lookups",
+                o.name()
+            );
+        }
+    }
+
+    /// The generic greedy engine's recorded path has strictly
+    /// decreasing distance and starts/ends correctly.
+    #[test]
+    fn greedy_path_contract(seed in any::<u64>(), n in 64usize..192) {
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+        let o = Symphony::build(p, 4, true, &mut rng);
+        let opts = RouteOptions::for_n(n);
+        let from = rng.index(n) as u32;
+        let to = rng.index(n) as u32;
+        let target = o.placement().key(to);
+        let r = o.route(from, target, &opts);
+        prop_assert!(r.success);
+        prop_assert_eq!(r.path[0], from);
+        prop_assert_eq!(*r.path.last().unwrap(), to);
+        prop_assert_eq!(r.path.len() as u32, r.hops + 1);
+        let mut last = f64::INFINITY;
+        for &s in &r.path {
+            let d = o.placement().distance_to(s, target);
+            prop_assert!(d < last);
+            last = d;
+        }
+    }
+
+    /// Chord's clockwise router reaches the successor of arbitrary
+    /// (non-member) keys.
+    #[test]
+    fn chord_clockwise_reaches_successor(
+        seed in any::<u64>(),
+        n in 64usize..192,
+        target in 0.0f64..1.0,
+    ) {
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+        let c = Chord::build(p);
+        let t = Key::clamped(target);
+        let from = rng.index(n) as u32;
+        let r = c.route_clockwise(from, t, &RouteOptions::for_n(n));
+        prop_assert!(r.success);
+        prop_assert_eq!(*r.path.last().unwrap(), c.placement().successor(t));
+    }
+
+    /// P-Grid median split always yields depth exactly ceil(log2 n).
+    #[test]
+    fn pgrid_median_depth(seed in any::<u64>(), n in 8usize..512) {
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+        let g = PGridLike::build(p, SplitPolicy::Median, 1, &mut rng);
+        let want = (n as f64).log2().ceil() as usize;
+        prop_assert_eq!(g.max_depth(), want);
+    }
+}

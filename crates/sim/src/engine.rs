@@ -1,0 +1,773 @@
+//! The discrete-event simulation engine.
+
+use crate::latency::LatencyModel;
+use crate::metrics::SimMetrics;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, HashSet};
+use std::sync::Arc;
+use sw_core::config::OutDegree;
+use sw_keyspace::distribution::KeyDistribution;
+use sw_keyspace::stats::OnlineStats;
+use sw_keyspace::{Key, Rng};
+
+/// Churn intensity: Poisson arrival rates (events per virtual second).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Node joins per second (`0` disables).
+    pub join_rate: f64,
+    /// Silent node failures per second (`0` disables).
+    pub fail_rate: f64,
+}
+
+impl ChurnConfig {
+    /// No churn at all.
+    pub const NONE: ChurnConfig = ChurnConfig {
+        join_rate: 0.0,
+        fail_rate: 0.0,
+    };
+
+    /// Symmetric churn: equal join and failure rates keep the population
+    /// roughly stable.
+    pub fn symmetric(rate: f64) -> ChurnConfig {
+        ChurnConfig {
+            join_rate: rate,
+            fail_rate: rate,
+        }
+    }
+}
+
+/// Lookup workload: Poisson arrivals of member-key lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Lookups per virtual second.
+    pub lookup_rate: f64,
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// PRNG seed — two runs with equal config are bit-identical.
+    pub seed: u64,
+    /// Initial population (built converged, without message cost).
+    pub initial_n: usize,
+    /// Long-link budget policy (the paper's `log2 N` by default).
+    pub out_degree: OutDegree,
+    /// Per-hop latency model.
+    pub latency: LatencyModel,
+    /// Latency penalty for each timeout on a dead contact.
+    pub timeout_penalty: SimTime,
+    /// Successor-list length (ring repair redundancy).
+    pub successor_list: usize,
+    /// Ring stabilization period (`None` disables maintenance).
+    pub stabilize_interval: Option<SimTime>,
+    /// Long-link refresh period (`None` disables refresh).
+    pub refresh_interval: Option<SimTime>,
+    /// Churn rates.
+    pub churn: ChurnConfig,
+    /// Lookup workload.
+    pub workload: WorkloadConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            initial_n: 512,
+            out_degree: OutDegree::Log2N,
+            latency: LatencyModel::Constant(SimTime::from_millis(50)),
+            timeout_penalty: SimTime::from_millis(500),
+            successor_list: 4,
+            stabilize_interval: Some(SimTime::from_secs(10)),
+            refresh_interval: Some(SimTime::from_secs(60)),
+            churn: ChurnConfig::NONE,
+            workload: WorkloadConfig { lookup_rate: 1.0 },
+        }
+    }
+}
+
+/// A simulated peer. Routing state (`pred`, `succ`, `long`) is the node's
+/// *local view* and can go stale under churn; the simulator's `alive`
+/// index is ground truth.
+#[derive(Debug, Clone)]
+struct SimNode {
+    key: Key,
+    alive: bool,
+    /// Clockwise successor list (nearest first).
+    succ: Vec<u32>,
+    /// Counter-clockwise neighbour.
+    pred: Option<u32>,
+    /// Long-range links.
+    long: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Join,
+    Fail,
+    Lookup,
+    Stabilize(u32),
+    Refresh(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Outcome of one simulated greedy walk.
+struct WalkOutcome {
+    final_node: u32,
+    hops: u32,
+    timeouts: u32,
+    latency: SimTime,
+}
+
+/// The simulator itself (ring topology).
+pub struct Simulator {
+    cfg: SimConfig,
+    dist: Arc<dyn KeyDistribution>,
+    rng: Rng,
+    clock: SimTime,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    nodes: Vec<SimNode>,
+    /// Ground-truth alive index: key → node id.
+    alive: BTreeMap<Key, u32>,
+    metrics: SimMetrics,
+}
+
+impl Simulator {
+    /// Builds the initial converged network and schedules the recurring
+    /// processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_n < 8`.
+    pub fn new(cfg: SimConfig, dist: Arc<dyn KeyDistribution>) -> Simulator {
+        assert!(cfg.initial_n >= 8, "simulator needs at least 8 peers");
+        let mut rng = Rng::new(cfg.seed);
+        let mut sim = Simulator {
+            dist,
+            rng: rng.fork(),
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            nodes: Vec::new(),
+            alive: BTreeMap::new(),
+            metrics: SimMetrics::default(),
+            cfg,
+        };
+        // Initial population: distinct keys.
+        while sim.alive.len() < sim.cfg.initial_n {
+            let key = sim.dist.sample_key(&mut rng);
+            if sim.alive.contains_key(&key) {
+                continue;
+            }
+            let id = sim.nodes.len() as u32;
+            sim.nodes.push(SimNode {
+                key,
+                alive: true,
+                succ: Vec::new(),
+                pred: None,
+                long: Vec::new(),
+            });
+            sim.alive.insert(key, id);
+        }
+        // Converged ring state + long links for everyone.
+        for id in 0..sim.nodes.len() as u32 {
+            sim.repair_ring_state(id);
+        }
+        for id in 0..sim.nodes.len() as u32 {
+            let links = sim.draw_links_closed_form(id, &mut rng);
+            sim.nodes[id as usize].long = links;
+        }
+        // Recurring processes.
+        if sim.cfg.churn.join_rate > 0.0 {
+            let dt = sim.next_interval(sim.cfg.churn.join_rate);
+            sim.schedule(dt, EventKind::Join);
+        }
+        if sim.cfg.churn.fail_rate > 0.0 {
+            let dt = sim.next_interval(sim.cfg.churn.fail_rate);
+            sim.schedule(dt, EventKind::Fail);
+        }
+        if sim.cfg.workload.lookup_rate > 0.0 {
+            let dt = sim.next_interval(sim.cfg.workload.lookup_rate);
+            sim.schedule(dt, EventKind::Lookup);
+        }
+        for id in 0..sim.nodes.len() as u32 {
+            sim.schedule_timers(id);
+        }
+        sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of live peers.
+    pub fn alive_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Runs until the virtual clock passes `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(&Reverse(ev)) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            self.queue.pop();
+            self.clock = ev.at;
+            self.handle(ev.kind);
+        }
+        self.clock = until;
+        self.metrics.end_time = self.clock;
+    }
+
+    /// Measurement probe: runs `queries` member lookups *without*
+    /// advancing the clock or touching the workload metrics. Returns
+    /// (success rate, hop stats).
+    pub fn probe_lookups(&mut self, queries: usize) -> (f64, OnlineStats) {
+        let mut hops = OnlineStats::new();
+        let mut ok = 0usize;
+        let mut rng = self.rng.fork();
+        for _ in 0..queries {
+            let (from, target_id) = match (self.random_alive(&mut rng), self.random_alive(&mut rng))
+            {
+                (Some(a), Some(b)) => (a, b),
+                _ => break,
+            };
+            let target = self.nodes[target_id as usize].key;
+            let outcome = self.walk(from, target, &mut rng);
+            if outcome.final_node == target_id {
+                ok += 1;
+                hops.push(outcome.hops as f64);
+            }
+        }
+        (ok as f64 / queries.max(1) as f64, hops)
+    }
+
+    // ----- internals ------------------------------------------------
+
+    fn schedule(&mut self, delay: SimTime, kind: EventKind) {
+        let ev = QueuedEvent {
+            at: self.clock + delay,
+            seq: self.seq,
+            kind,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(ev));
+    }
+
+    fn schedule_timers(&mut self, id: u32) {
+        // Stagger timers so maintenance does not arrive in bursts.
+        if let Some(interval) = self.cfg.stabilize_interval {
+            let stagger = SimTime(self.rng.bounded_u64(interval.0.max(1)));
+            self.schedule(stagger, EventKind::Stabilize(id));
+        }
+        if let Some(interval) = self.cfg.refresh_interval {
+            let stagger = SimTime(self.rng.bounded_u64(interval.0.max(1)));
+            self.schedule(stagger, EventKind::Refresh(id));
+        }
+    }
+
+    fn next_interval(&mut self, rate: f64) -> SimTime {
+        SimTime::from_secs_f64(self.rng.exponential(rate))
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Join => {
+                self.do_join();
+                let dt = self.next_interval(self.cfg.churn.join_rate);
+                self.schedule(dt, EventKind::Join);
+            }
+            EventKind::Fail => {
+                self.do_fail();
+                let dt = self.next_interval(self.cfg.churn.fail_rate);
+                self.schedule(dt, EventKind::Fail);
+            }
+            EventKind::Lookup => {
+                self.do_lookup();
+                let dt = self.next_interval(self.cfg.workload.lookup_rate);
+                self.schedule(dt, EventKind::Lookup);
+            }
+            EventKind::Stabilize(id) => {
+                if self.nodes[id as usize].alive {
+                    self.do_stabilize(id);
+                    let interval = self.cfg.stabilize_interval.expect("timer scheduled");
+                    self.schedule(interval, EventKind::Stabilize(id));
+                }
+            }
+            EventKind::Refresh(id) => {
+                if self.nodes[id as usize].alive {
+                    self.do_refresh(id);
+                    let interval = self.cfg.refresh_interval.expect("timer scheduled");
+                    self.schedule(interval, EventKind::Refresh(id));
+                }
+            }
+        }
+    }
+
+    fn random_alive(&self, rng: &mut Rng) -> Option<u32> {
+        if self.alive.is_empty() {
+            return None;
+        }
+        // Key-space sampling + successor lookup: O(log n), uniform enough
+        // for workload generation (density-weighted by arc ownership).
+        let probe = Key::clamped(rng.f64());
+        Some(self.owner_of(probe))
+    }
+
+    /// Ground-truth successor-owner of a key (first alive peer clockwise).
+    fn owner_of(&self, key: Key) -> u32 {
+        if let Some((_, &id)) = self.alive.range(key..).next() {
+            id
+        } else {
+            *self.alive.values().next().expect("nonempty alive set")
+        }
+    }
+
+    /// Ground-truth nearest alive peer by ring distance.
+    fn nearest_alive(&self, key: Key) -> u32 {
+        let succ = self.owner_of(key);
+        let pred = self.pred_alive_of(key);
+        let ds = ring_dist(self.nodes[succ as usize].key, key);
+        let dp = ring_dist(self.nodes[pred as usize].key, key);
+        if dp < ds {
+            pred
+        } else {
+            succ
+        }
+    }
+
+    fn pred_alive_of(&self, key: Key) -> u32 {
+        if let Some((_, &id)) = self.alive.range(..key).next_back() {
+            id
+        } else {
+            *self.alive.values().next_back().expect("nonempty alive set")
+        }
+    }
+
+    /// Rebuilds `id`'s ring state from ground truth (used for the initial
+    /// converged network and by stabilization).
+    fn repair_ring_state(&mut self, id: u32) {
+        let key = self.nodes[id as usize].key;
+        let s = self.cfg.successor_list.max(1);
+        let mut succ = Vec::with_capacity(s);
+        for (_, &v) in self
+            .alive
+            .range((std::ops::Bound::Excluded(key), std::ops::Bound::Unbounded))
+            .chain(self.alive.range(..key))
+        {
+            if v != id {
+                succ.push(v);
+                if succ.len() == s {
+                    break;
+                }
+            }
+        }
+        let pred = {
+            let p = self
+                .alive
+                .range(..key)
+                .next_back()
+                .or_else(|| self.alive.iter().next_back())
+                .map(|(_, &v)| v);
+            p.filter(|&v| v != id)
+        };
+        let node = &mut self.nodes[id as usize];
+        node.succ = succ;
+        node.pred = pred;
+    }
+
+    /// Draws long links with the closed-form harmonic rule against the
+    /// ground-truth population (no message cost — used for the initial
+    /// converged network and as the refresh target distribution).
+    fn draw_links_closed_form(&self, id: u32, rng: &mut Rng) -> Vec<u32> {
+        let n = self.alive.len();
+        let budget = self.cfg.out_degree.links_for(n);
+        let tau = 1.0 / n as f64;
+        let pos = self.dist.cdf(self.nodes[id as usize].key.get());
+        let side_weight = (0.5f64 / tau).max(1.0).ln();
+        if side_weight <= 0.0 {
+            return Vec::new();
+        }
+        let mut links = Vec::with_capacity(budget);
+        let mut tries = 0;
+        while links.len() < budget && tries < 16 * budget + 32 {
+            tries += 1;
+            let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            let m = tau * (side_weight * rng.f64()).exp();
+            let target_pos = (pos + sign * m).rem_euclid(1.0);
+            let target = Key::clamped(self.dist.quantile(target_pos));
+            let v = self.nearest_alive(target);
+            if v != id && !links.contains(&v) {
+                links.push(v);
+            }
+        }
+        links
+    }
+
+    /// One greedy walk using local (possibly stale) views; dead contacts
+    /// cost a timeout and are excluded for the rest of the walk.
+    fn walk(&mut self, from: u32, target: Key, rng: &mut Rng) -> WalkOutcome {
+        let mut cur = from;
+        let mut hops = 0u32;
+        let mut timeouts = 0u32;
+        let mut latency = SimTime::ZERO;
+        let mut excluded: HashSet<u32> = HashSet::new();
+        let max_hops = 64 + 8 * (self.alive.len().max(2) as f64).log2().ceil() as u32;
+        loop {
+            let cur_d = ring_dist(self.nodes[cur as usize].key, target);
+            if cur_d == 0.0 {
+                break;
+            }
+            // Candidate view: pred + successor list + long links.
+            let node = &self.nodes[cur as usize];
+            let mut best: Option<u32> = None;
+            let mut best_d = cur_d;
+            for v in node
+                .pred
+                .iter()
+                .copied()
+                .chain(node.succ.iter().copied())
+                .chain(node.long.iter().copied())
+            {
+                if v == cur || excluded.contains(&v) {
+                    continue;
+                }
+                let d = ring_dist(self.nodes[v as usize].key, target);
+                if d < best_d {
+                    best_d = d;
+                    best = Some(v);
+                }
+            }
+            let Some(next) = best else {
+                break; // local minimum in the live view
+            };
+            if !self.nodes[next as usize].alive {
+                timeouts += 1;
+                latency += self.cfg.timeout_penalty;
+                excluded.insert(next);
+                continue;
+            }
+            latency += self.cfg.latency.sample(rng);
+            hops += 1;
+            cur = next;
+            if hops >= max_hops {
+                break;
+            }
+        }
+        WalkOutcome {
+            final_node: cur,
+            hops,
+            timeouts,
+            latency,
+        }
+    }
+
+    fn do_join(&mut self) {
+        let mut rng = self.rng.fork();
+        let mut key = self.dist.sample_key(&mut rng);
+        while self.alive.contains_key(&key) {
+            key = self.dist.sample_key(&mut rng);
+        }
+        let Some(entry) = self.random_alive(&mut rng) else {
+            return;
+        };
+        // Route to own key to find the join point.
+        let outcome = self.walk(entry, key, &mut rng);
+        self.metrics.join_messages += (outcome.hops + outcome.timeouts) as u64;
+        self.metrics.timeouts += outcome.timeouts as u64;
+        let id = self.nodes.len() as u32;
+        self.nodes.push(SimNode {
+            key,
+            alive: true,
+            succ: Vec::new(),
+            pred: None,
+            long: Vec::new(),
+        });
+        self.alive.insert(key, id);
+        self.repair_ring_state(id);
+        // Splice: the new peer's ring neighbours learn about it.
+        if let Some(p) = self.nodes[id as usize].pred {
+            self.nodes[p as usize].succ.insert(0, id);
+            self.nodes[p as usize].succ.truncate(self.cfg.successor_list.max(1));
+        }
+        if let Some(&s) = self.nodes[id as usize].succ.first() {
+            self.nodes[s as usize].pred = Some(id);
+        }
+        // Long links via routed queries (message-accounted).
+        let n = self.alive.len();
+        let budget = self.cfg.out_degree.links_for(n);
+        let tau = 1.0 / n as f64;
+        let pos = self.dist.cdf(key.get());
+        let side_weight = (0.5f64 / tau).max(1.0).ln();
+        let mut links = Vec::with_capacity(budget);
+        let mut tries = 0;
+        while links.len() < budget && tries < 8 * budget + 16 {
+            tries += 1;
+            let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            let m = tau * (side_weight * rng.f64()).exp();
+            let target_pos = (pos + sign * m).rem_euclid(1.0);
+            let target = Key::clamped(self.dist.quantile(target_pos));
+            let o = self.walk(id, target, &mut rng);
+            self.metrics.join_messages += (o.hops + o.timeouts) as u64;
+            self.metrics.timeouts += o.timeouts as u64;
+            let v = o.final_node;
+            if v != id && self.nodes[v as usize].alive && !links.contains(&v) {
+                links.push(v);
+            }
+        }
+        self.nodes[id as usize].long = links;
+        self.metrics.joins += 1;
+        self.schedule_timers(id);
+    }
+
+    fn do_fail(&mut self) {
+        // Keep a minimal population so the ring never vanishes.
+        if self.alive.len() <= 8 {
+            return;
+        }
+        let mut rng = self.rng.fork();
+        let Some(victim) = self.random_alive(&mut rng) else {
+            return;
+        };
+        let key = self.nodes[victim as usize].key;
+        self.alive.remove(&key);
+        self.nodes[victim as usize].alive = false;
+        self.metrics.failures += 1;
+    }
+
+    fn do_lookup(&mut self) {
+        let mut rng = self.rng.fork();
+        let (Some(from), Some(target_id)) =
+            (self.random_alive(&mut rng), self.random_alive(&mut rng))
+        else {
+            return;
+        };
+        let target = self.nodes[target_id as usize].key;
+        let outcome = self.walk(from, target, &mut rng);
+        self.metrics.lookups += 1;
+        self.metrics.timeouts += outcome.timeouts as u64;
+        if outcome.final_node == target_id {
+            self.metrics.lookups_ok += 1;
+            self.metrics.hops.push(outcome.hops as f64);
+            self.metrics
+                .latency_secs
+                .push(outcome.latency.as_secs_f64());
+        }
+    }
+
+    fn do_stabilize(&mut self, id: u32) {
+        // Ping current ring state + prune dead long links.
+        let pings = self.nodes[id as usize].succ.len() as u64
+            + self.nodes[id as usize].pred.iter().len() as u64
+            + self.nodes[id as usize].long.len() as u64;
+        self.metrics.stabilize_messages += pings;
+        self.repair_ring_state(id);
+        let alive_ref: Vec<u32> = self.nodes[id as usize]
+            .long
+            .iter()
+            .copied()
+            .filter(|&v| self.nodes[v as usize].alive)
+            .collect();
+        self.nodes[id as usize].long = alive_ref;
+    }
+
+    fn do_refresh(&mut self, id: u32) {
+        let mut rng = self.rng.fork();
+        let links = self.draw_links_closed_form(id, &mut rng);
+        // Message cost: one routed query per drawn link, approximated by
+        // the closed-form draw plus an accounted lookup cost of log2 n.
+        let approx_cost = (self.alive.len().max(2) as f64).log2().ceil() as u64;
+        self.metrics.refresh_messages += links.len() as u64 * approx_cost;
+        self.nodes[id as usize].long = links;
+    }
+}
+
+/// Ring distance between two keys.
+#[inline]
+fn ring_dist(a: Key, b: Key) -> f64 {
+    let d = (a.get() - b.get()).abs();
+    d.min(1.0 - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_keyspace::distribution::{TruncatedPareto, Uniform};
+
+    fn quiet_config(seed: u64, n: usize) -> SimConfig {
+        SimConfig {
+            seed,
+            initial_n: n,
+            workload: WorkloadConfig { lookup_rate: 20.0 },
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn static_network_lookups_always_succeed() {
+        let mut sim = Simulator::new(quiet_config(1, 512), Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(60));
+        let m = sim.metrics();
+        assert!(m.lookups > 1000, "lookups {}", m.lookups);
+        assert!((m.success_rate() - 1.0).abs() < 1e-12, "{}", m.success_rate());
+        assert!(m.hops.mean() < 12.0, "hops {}", m.hops.mean());
+        assert_eq!(m.timeouts, 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sim = Simulator::new(quiet_config(seed, 128), Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(30));
+            (
+                sim.metrics().lookups,
+                sim.metrics().lookups_ok,
+                sim.metrics().hops.mean(),
+                sim.alive_count(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn churn_without_maintenance_hurts_success() {
+        let cfg = SimConfig {
+            stabilize_interval: None,
+            refresh_interval: None,
+            churn: ChurnConfig::symmetric(4.0),
+            ..quiet_config(2, 512)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(120));
+        let m = sim.metrics();
+        assert!(m.failures > 100, "failures {}", m.failures);
+        assert!(
+            m.success_rate() < 0.999,
+            "expected degradation, got {}",
+            m.success_rate()
+        );
+    }
+
+    #[test]
+    fn maintenance_restores_success_under_churn() {
+        let base = quiet_config(3, 512);
+        let churn = ChurnConfig::symmetric(4.0);
+        let without = {
+            let cfg = SimConfig {
+                stabilize_interval: None,
+                refresh_interval: None,
+                churn,
+                ..base.clone()
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(120));
+            sim.metrics().success_rate()
+        };
+        let with = {
+            let cfg = SimConfig {
+                stabilize_interval: Some(SimTime::from_secs(5)),
+                refresh_interval: Some(SimTime::from_secs(30)),
+                churn,
+                ..base
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(120));
+            sim.metrics().success_rate()
+        };
+        assert!(
+            with > without,
+            "maintenance must help: {without} -> {with}"
+        );
+        assert!(with > 0.97, "maintained success {with}");
+    }
+
+    #[test]
+    fn population_tracks_join_and_fail_rates() {
+        let cfg = SimConfig {
+            churn: ChurnConfig {
+                join_rate: 10.0,
+                fail_rate: 2.0,
+            },
+            ..quiet_config(4, 128)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(60));
+        // ~600 joins vs ~120 failures: population must grow.
+        assert!(sim.alive_count() > 400, "alive {}", sim.alive_count());
+        assert!(sim.metrics().joins > 400);
+        assert!(sim.metrics().failures > 50);
+    }
+
+    #[test]
+    fn skewed_density_simulation_routes_well() {
+        let cfg = quiet_config(5, 512);
+        let mut sim = Simulator::new(
+            cfg,
+            Arc::new(TruncatedPareto::new(1.5, 0.01).unwrap()),
+        );
+        sim.run_until(SimTime::from_secs(60));
+        let m = sim.metrics();
+        assert!((m.success_rate() - 1.0).abs() < 1e-12);
+        assert!(m.hops.mean() < 12.0, "hops {}", m.hops.mean());
+    }
+
+    #[test]
+    fn probe_does_not_touch_metrics() {
+        let mut sim = Simulator::new(quiet_config(6, 256), Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(10));
+        let before = sim.metrics().lookups;
+        let (ok, hops) = sim.probe_lookups(100);
+        assert_eq!(sim.metrics().lookups, before);
+        assert!(ok > 0.99);
+        assert!(hops.mean() > 0.0);
+    }
+
+    #[test]
+    fn maintenance_costs_are_accounted() {
+        let mut sim = Simulator::new(quiet_config(7, 128), Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(120));
+        let m = sim.metrics();
+        assert!(m.stabilize_messages > 0);
+        assert!(m.refresh_messages > 0);
+    }
+
+    #[test]
+    fn failures_leave_population_floor() {
+        let cfg = SimConfig {
+            churn: ChurnConfig {
+                join_rate: 0.0,
+                fail_rate: 50.0,
+            },
+            ..quiet_config(8, 64)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(60));
+        assert!(sim.alive_count() >= 8, "floor {}", sim.alive_count());
+    }
+}

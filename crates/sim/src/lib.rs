@@ -1,0 +1,39 @@
+//! # sw-sim
+//!
+//! Discrete-event simulator for dynamic small-world overlays (system S11
+//! of `DESIGN.md`): Poisson churn (joins and silent failures), periodic
+//! ring stabilization, periodic long-link refresh, and lookup workloads
+//! with per-hop latency and timeout/retry on stale routing entries.
+//!
+//! The paper defers dynamics to future work (§4.2/§5: “an iterative
+//! process of revising its routing table …”, “models that can take into
+//! account an unstable P2P environment (nodes are allowed to fail)”);
+//! this crate implements that setting so experiment E14 can measure
+//! lookup success and hop inflation as functions of churn rate, with and
+//! without maintenance.
+//!
+//! ## Model
+//!
+//! * The event queue orders joins, failures, lookups and per-node
+//!   maintenance timers on a microsecond-resolution virtual clock.
+//! * A lookup fired at time `t` walks the overlay greedily using each
+//!   hop's *local* (possibly stale) routing table. A hop into a dead
+//!   contact costs a timeout penalty, excludes that contact, and retries;
+//!   a node with no live closer contact fails the lookup. Hop and timeout
+//!   latencies accumulate into the recorded lookup latency. (The walk
+//!   itself executes atomically at `t` — the standard simplification of
+//!   cycle-driven P2P simulators; topology changes are only visible
+//!   between events.)
+//! * Stabilization repairs a node's ring neighbours; refresh re-draws its
+//!   long links against the current population with the harmonic rule.
+//!   Both charge protocol messages.
+
+pub mod engine;
+pub mod latency;
+pub mod metrics;
+pub mod time;
+
+pub use engine::{ChurnConfig, SimConfig, Simulator, WorkloadConfig};
+pub use latency::LatencyModel;
+pub use metrics::SimMetrics;
+pub use time::SimTime;

@@ -1,0 +1,70 @@
+//! Metrics collected by the simulator.
+
+use crate::time::SimTime;
+use sw_keyspace::stats::OnlineStats;
+
+/// Everything the simulator measures.
+#[derive(Debug, Clone, Default)]
+pub struct SimMetrics {
+    /// Lookups issued.
+    pub lookups: u64,
+    /// Lookups that reached the key's live owner.
+    pub lookups_ok: u64,
+    /// Hop counts of successful lookups.
+    pub hops: OnlineStats,
+    /// End-to-end latency (seconds) of successful lookups, including
+    /// timeout penalties.
+    pub latency_secs: OnlineStats,
+    /// Timeouts encountered while routing (stale entries hit).
+    pub timeouts: u64,
+    /// Protocol messages spent on joins.
+    pub join_messages: u64,
+    /// Protocol messages spent on stabilization.
+    pub stabilize_messages: u64,
+    /// Protocol messages spent on long-link refresh.
+    pub refresh_messages: u64,
+    /// Nodes that joined during the run.
+    pub joins: u64,
+    /// Nodes that failed during the run.
+    pub failures: u64,
+    /// Virtual time at the end of the run.
+    pub end_time: SimTime,
+}
+
+impl SimMetrics {
+    /// Fraction of lookups that succeeded.
+    pub fn success_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.lookups_ok as f64 / self.lookups as f64
+        }
+    }
+
+    /// Total maintenance messages (stabilize + refresh).
+    pub fn maintenance_messages(&self) -> u64 {
+        self.stabilize_messages + self.refresh_messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_handles_zero() {
+        let m = SimMetrics::default();
+        assert_eq!(m.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn success_rate_computes() {
+        let m = SimMetrics {
+            lookups: 10,
+            lookups_ok: 7,
+            ..Default::default()
+        };
+        assert!((m.success_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(m.maintenance_messages(), 0);
+    }
+}

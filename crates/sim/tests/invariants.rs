@@ -1,0 +1,109 @@
+//! Property-based invariants of the discrete-event simulator.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use sw_keyspace::distribution::{KeyDistribution, TruncatedPareto, Uniform};
+use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, WorkloadConfig};
+
+fn dist_for(choice: u8) -> Arc<dyn KeyDistribution> {
+    match choice % 2 {
+        0 => Arc::new(Uniform),
+        _ => Arc::new(TruncatedPareto::new(1.5, 0.02).unwrap()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Population accounting: alive = initial + joins − failures, and
+    /// the floor of 8 peers is never breached.
+    #[test]
+    fn population_accounting(
+        seed in any::<u64>(),
+        join_rate in 0.0f64..8.0,
+        fail_rate in 0.0f64..8.0,
+        dist_choice in 0u8..2,
+    ) {
+        let initial = 64usize;
+        let cfg = SimConfig {
+            seed,
+            initial_n: initial,
+            churn: ChurnConfig { join_rate, fail_rate },
+            workload: WorkloadConfig { lookup_rate: 2.0 },
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(cfg, dist_for(dist_choice));
+        sim.run_until(SimTime::from_secs(60));
+        let m = sim.metrics();
+        prop_assert_eq!(
+            sim.alive_count() as i64,
+            initial as i64 + m.joins as i64 - m.failures as i64
+        );
+        prop_assert!(sim.alive_count() >= 8);
+    }
+
+    /// Metrics are internally consistent: successes never exceed
+    /// attempts, hop/latency samples only come from successes.
+    #[test]
+    fn metrics_consistency(seed in any::<u64>(), rate in 0.0f64..6.0) {
+        let cfg = SimConfig {
+            seed,
+            initial_n: 64,
+            churn: ChurnConfig::symmetric(rate),
+            workload: WorkloadConfig { lookup_rate: 10.0 },
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(30));
+        let m = sim.metrics();
+        prop_assert!(m.lookups_ok <= m.lookups);
+        prop_assert_eq!(m.hops.count(), m.lookups_ok);
+        prop_assert_eq!(m.latency_secs.count(), m.lookups_ok);
+        prop_assert!(m.success_rate() >= 0.0 && m.success_rate() <= 1.0);
+        prop_assert_eq!(m.end_time, SimTime::from_secs(30));
+    }
+
+    /// Bit-for-bit determinism across identical configurations.
+    #[test]
+    fn determinism(seed in any::<u64>()) {
+        let run = || {
+            let cfg = SimConfig {
+                seed,
+                initial_n: 48,
+                churn: ChurnConfig::symmetric(3.0),
+                workload: WorkloadConfig { lookup_rate: 8.0 },
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(45));
+            (
+                sim.alive_count(),
+                sim.metrics().lookups,
+                sim.metrics().lookups_ok,
+                sim.metrics().timeouts,
+                sim.metrics().hops.mean().to_bits(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Without churn, lookups never fail and never time out, regardless
+    /// of maintenance configuration.
+    #[test]
+    fn static_network_is_perfect(seed in any::<u64>(), maintenance in any::<bool>()) {
+        let cfg = SimConfig {
+            seed,
+            initial_n: 64,
+            stabilize_interval: maintenance.then(|| SimTime::from_secs(5)),
+            refresh_interval: maintenance.then(|| SimTime::from_secs(15)),
+            workload: WorkloadConfig { lookup_rate: 10.0 },
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(30));
+        let m = sim.metrics();
+        prop_assert!(m.lookups > 0);
+        prop_assert_eq!(m.lookups_ok, m.lookups);
+        prop_assert_eq!(m.timeouts, 0);
+    }
+}

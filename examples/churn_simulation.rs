@@ -1,0 +1,60 @@
+//! Churn: run the discrete-event simulator with joins, silent failures,
+//! stabilization and long-link refresh, and print a timeline of lookup
+//! health.
+//!
+//! ```text
+//! cargo run --release --example churn_simulation
+//! ```
+
+use smallworld::keyspace::prelude::*;
+use smallworld::sim::{ChurnConfig, SimConfig, SimTime, Simulator, WorkloadConfig};
+use std::sync::Arc;
+
+fn main() {
+    let cfg = SimConfig {
+        seed: 7,
+        initial_n: 1024,
+        churn: ChurnConfig::symmetric(8.0), // 8 joins + 8 failures per second
+        workload: WorkloadConfig { lookup_rate: 20.0 },
+        stabilize_interval: Some(SimTime::from_secs(10)),
+        refresh_interval: Some(SimTime::from_secs(30)),
+        ..SimConfig::default()
+    };
+    println!(
+        "simulating {} peers under symmetric churn of {} events/s ...\n",
+        cfg.initial_n, cfg.churn.join_rate
+    );
+    let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+    println!(
+        "{:>6} {:>7} {:>9} {:>7} {:>9} {:>10}",
+        "t (s)", "peers", "success", "hops", "timeouts", "maint msgs"
+    );
+    for minute in 1..=10 {
+        sim.run_until(SimTime::from_secs(minute * 60));
+        let (ok, hops) = sim.probe_lookups(300);
+        let m = sim.metrics();
+        println!(
+            "{:>6} {:>7} {:>8.1}% {:>7.2} {:>9} {:>10}",
+            minute * 60,
+            sim.alive_count(),
+            ok * 100.0,
+            hops.mean(),
+            m.timeouts,
+            m.maintenance_messages()
+        );
+    }
+    let m = sim.metrics();
+    println!(
+        "\nworkload totals: {} lookups, {:.1}% success, mean {:.2} hops, \
+         mean latency {:.0} ms",
+        m.lookups,
+        m.success_rate() * 100.0,
+        m.hops.mean(),
+        m.latency_secs.mean() * 1000.0
+    );
+    println!(
+        "{} joins and {} failures were absorbed while lookups kept succeeding — \
+         the §3.1 robustness story under continuous churn",
+        m.joins, m.failures
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build the paper's Model 1 network (uniform keys,
+//! `log2 N` long links), route a few lookups, and check the measured
+//! cost against Theorem 1's bound.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use smallworld::core::prelude::*;
+use smallworld::keyspace::prelude::*;
+use smallworld::overlay::route::RouteOptions;
+use smallworld::overlay::Overlay;
+
+fn main() {
+    let n = 2048;
+    let mut rng = Rng::new(2005);
+
+    // Model 1 (§3): uniform keys, log2 N out-degree, exact inverse-mass
+    // link sampling, interval topology — all defaults.
+    let net = SmallWorldBuilder::new(n).build(&mut rng).expect("n >= 4");
+    println!(
+        "built {} with {} peers, {} long links ({} per peer)",
+        net.name(),
+        net.len(),
+        net.total_long_links(),
+        net.total_long_links() / net.len()
+    );
+
+    // One lookup, with the full path.
+    let opts = RouteOptions::for_n(n);
+    let from = 0;
+    let target = net.placement().key((n / 2) as u32);
+    let route = net.route(from, target, &opts);
+    println!(
+        "lookup {} -> {}: {} hops (path: {} peers)",
+        net.placement().key(from),
+        target,
+        route.hops,
+        route.path.len()
+    );
+
+    // A thousand random lookups vs the paper's bound.
+    let survey = net.routing_survey(1000, &mut rng);
+    println!(
+        "1000 lookups: success {:.1}%, mean hops {:.2} ± {:.2}",
+        survey.success_rate() * 100.0,
+        survey.hops.mean(),
+        survey.hops.ci95()
+    );
+    println!(
+        "Theorem 1 upper bound for N = {}: (1/c)·log2 N + 1 = {:.1} hops",
+        n,
+        theory::expected_hops_upper_bound(n)
+    );
+    assert!(survey.hops.mean() < theory::expected_hops_upper_bound(n));
+    println!("measured cost is comfortably inside the bound — Theorem 1 in action");
+}

@@ -1,0 +1,102 @@
+//! Range queries: the application motivating the whole paper.
+//!
+//! §1: order-preserving key spaces matter because “it is important to
+//! preserve semantic relationships among resource keys, such as ordering
+//! or proximity, to allow semantic data processing, such as complex
+//! queries”. Hashing destroys ordering; the paper's Model 2 keeps raw
+//! keys and still routes in O(log2 N).
+//!
+//! This example stores a skewed corpus on a Model 2 overlay and answers
+//! range queries: greedy-route to the start of the range, then sweep
+//! right along neighbour links, collecting items until the range ends.
+//!
+//! ```text
+//! cargo run --release --example range_queries
+//! ```
+
+use smallworld::balance::corpus::Corpus;
+use smallworld::balance::ownership::owner_of;
+use smallworld::core::prelude::*;
+use smallworld::keyspace::prelude::*;
+use smallworld::overlay::route::RouteOptions;
+use smallworld::overlay::Overlay;
+
+fn main() {
+    let n_peers = 1024;
+    let n_items = 20_000;
+    let mut rng = Rng::new(3);
+    let dist = TruncatedPareto::new(1.5, 0.01).expect("valid params");
+
+    // Items and peers share the skewed density (peers placed for balance).
+    let corpus = Corpus::generate(n_items, &dist, &mut rng);
+    let net = SmallWorldBuilder::new(n_peers)
+        .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid params")))
+        .build(&mut rng)
+        .expect("n >= 4");
+    let placement = net.placement();
+
+    // Assign each item to its owning peer.
+    let mut stored: Vec<Vec<f64>> = vec![Vec::new(); n_peers];
+    for k in corpus.keys() {
+        stored[owner_of(placement, k.get()) as usize].push(k.get());
+    }
+
+    println!(
+        "{} items stored across {} peers; answering range queries:\n",
+        n_items, n_peers
+    );
+    let opts = RouteOptions::for_n(n_peers);
+    let ranges = [(0.001, 0.002), (0.01, 0.02), (0.1, 0.2), (0.5, 0.9)];
+    println!(
+        "{:>16} {:>12} {:>12} {:>11} {:>10}",
+        "range", "route hops", "sweep peers", "items", "verified"
+    );
+    for (lo, hi) in ranges {
+        // 1. Greedy-route from a random peer to the range start.
+        let from = rng.index(n_peers) as u32;
+        let route = net.route(from, Key::clamped(lo), &opts);
+        assert!(route.success);
+        // 2. Sweep clockwise over consecutive peers collecting items.
+        let mut peer = *route.path.last().expect("nonempty path");
+        let mut collected: Vec<f64> = Vec::new();
+        let mut sweep = 0;
+        loop {
+            collected.extend(
+                stored[peer as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&k| (lo..hi).contains(&k)),
+            );
+            let (_, right) = placement.interval_neighbors(peer);
+            match right {
+                Some(r) if placement.key(peer).get() < hi => {
+                    peer = r;
+                    sweep += 1;
+                }
+                _ => break,
+            }
+        }
+        // 3. Verify against a linear scan of the corpus.
+        let expected = corpus
+            .keys()
+            .iter()
+            .filter(|k| (lo..hi).contains(&k.get()))
+            .count();
+        assert_eq!(collected.len(), expected, "range [{lo},{hi}) complete");
+        println!(
+            "{:>7}..{:<7} {:>12} {:>12} {:>11} {:>10}",
+            lo,
+            hi,
+            route.hops,
+            sweep,
+            collected.len(),
+            "yes"
+        );
+    }
+    println!(
+        "\nnote the dense range [0.001, 0.002): a tiny key interval holding a large\n\
+         item count is served by many peers (balanced storage), while the wide but\n\
+         sparse [0.5, 0.9) touches only a few — the skew-adaptive placement at work.\n\
+         A hashed DHT would need one lookup per item key to answer any of these."
+    );
+}

@@ -1,0 +1,71 @@
+//! Skewed key spaces: the paper's headline result.
+//!
+//! Builds three networks over the *same* heavily skewed peer placement:
+//!
+//! 1. Model 2 — long links by mass distance (the paper's construction);
+//! 2. the naive graph — long links by raw key distance (what you get if
+//!    you run Kleinberg's rule while ignoring the skew);
+//! 3. a Mercury-style approximation — mass distance estimated from
+//!    sampled peer keys.
+//!
+//! ```text
+//! cargo run --release --example skewed_overlay
+//! ```
+
+use smallworld::core::prelude::*;
+use smallworld::keyspace::prelude::*;
+use smallworld::overlay::Overlay;
+
+fn main() {
+    let n = 4096;
+    let mut rng = Rng::new(42);
+    let skew = || TruncatedPareto::new(1.5, 0.002).expect("valid params");
+    println!(
+        "key density: {} — {:.0}% of peers sit in the first 10% of the key space",
+        skew().name(),
+        skew().cdf(0.1) * 100.0
+    );
+
+    // Shared placement so the comparison is apples-to-apples.
+    let oracle = SmallWorldBuilder::new(n)
+        .distribution(Box::new(skew()))
+        .build(&mut rng)
+        .expect("n >= 4");
+    let placement = oracle.placement().clone();
+
+    let naive = SmallWorldBuilder::new(n)
+        .distribution(Box::new(skew()))
+        .assumed(Box::new(Uniform)) // <- ignores the skew
+        .build_on(placement.clone(), &mut rng)
+        .expect("n >= 4");
+
+    // Mercury-style: estimate the density from 256 sampled keys.
+    let samples: Vec<f64> = (0..256)
+        .map(|_| placement.key(rng.index(n) as u32).get())
+        .collect();
+    let estimated = Empirical::from_samples(&samples)
+        .expect("samples are distinct")
+        .to_histogram(64)
+        .expect("bins > 0");
+    let approx = SmallWorldBuilder::new(n)
+        .distribution(Box::new(skew()))
+        .assumed(Box::new(estimated))
+        .build_on(placement, &mut rng)
+        .expect("n >= 4");
+
+    println!("\n{:<28} {:>10} {:>9}", "construction", "mean hops", "success");
+    for net in [&oracle, &naive, &approx] {
+        let s = net.routing_survey(2000, &mut rng);
+        println!(
+            "{:<28} {:>10.2} {:>8.1}%",
+            net.name(),
+            s.hops.mean(),
+            s.success_rate() * 100.0
+        );
+    }
+    println!(
+        "\nTheorem 2: mass-based links keep routing at O(log2 N) regardless of the\n\
+         skew; the same rule with the wrong density (naive) pays several times more,\n\
+         and a sampled estimate of f recovers almost all of the difference."
+    );
+}

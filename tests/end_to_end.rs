@@ -1,0 +1,236 @@
+//! Cross-crate integration tests: the full pipelines a downstream user
+//! would run, exercised through the `smallworld` facade.
+
+use smallworld::balance::corpus::Corpus;
+use smallworld::balance::ownership::{storage_loads, BalanceReport};
+use smallworld::balance::rebalance::{place_peers, PeerPlacement};
+use smallworld::core::config::{LinkSampler, SmallWorldConfig};
+use smallworld::core::estimate::{refine_links_round, Estimator};
+use smallworld::core::join::GrowingNetwork;
+use smallworld::core::partition::PartitionSurvey;
+use smallworld::core::prelude::*;
+use smallworld::graph::components::is_strongly_connected;
+use smallworld::graph::metrics::summarize;
+use smallworld::keyspace::prelude::*;
+use smallworld::overlay::Overlay;
+use smallworld::sim::{ChurnConfig, SimConfig, SimTime, Simulator, WorkloadConfig};
+use std::sync::Arc;
+
+/// Theorem 1 end-to-end: uniform network routes in O(log N), within the
+/// paper's bound, under both samplers.
+#[test]
+fn theorem1_pipeline() {
+    for sampler in [LinkSampler::Exact, LinkSampler::Harmonic] {
+        let mut rng = Rng::new(1);
+        let net = SmallWorldBuilder::new(1024)
+            .sampler(sampler)
+            .build(&mut rng)
+            .unwrap();
+        let s = net.routing_survey(400, &mut rng);
+        assert!(s.success_rate() > 0.999);
+        assert!(s.hops.mean() < theory::expected_hops_upper_bound(1024));
+        assert!(s.hops.mean() < 10.0, "{sampler:?}: {}", s.hops.mean());
+    }
+}
+
+/// Theorem 2 end-to-end: six skewed densities route as cheaply as
+/// uniform.
+#[test]
+fn theorem2_pipeline() {
+    let mut rng = Rng::new(2);
+    let uniform_hops = {
+        let net = SmallWorldBuilder::new(1024).build(&mut rng).unwrap();
+        net.routing_survey(400, &mut rng).hops.mean()
+    };
+    for dist in smallworld::keyspace::distribution::standard_suite().into_iter().skip(1) {
+        let name = dist.name();
+        let net = SmallWorldBuilder::new(1024)
+            .distribution(dist)
+            .build(&mut rng)
+            .unwrap();
+        let s = net.routing_survey(400, &mut rng);
+        assert!(s.success_rate() > 0.999, "{name}");
+        assert!(
+            s.hops.mean() < 1.35 * uniform_hops,
+            "{name}: {} vs uniform {}",
+            s.hops.mean(),
+            uniform_hops
+        );
+    }
+}
+
+/// The Figure 1/2 normalization argument, as a statistical test: the
+/// graph built directly in R and the graph transported from R′ agree on
+/// hops and partition-advance probability.
+#[test]
+fn normalization_equivalence() {
+    let n = 1024;
+    let dist: Arc<dyn smallworld::keyspace::distribution::KeyDistribution> =
+        Arc::new(Kumaraswamy::new(0.5, 0.5).unwrap());
+    let mut rng = Rng::new(3);
+    let direct = SmallWorldBuilder::new(n)
+        .distribution(Box::new(Kumaraswamy::new(0.5, 0.5).unwrap()))
+        .build(&mut rng)
+        .unwrap();
+    let mapped: Vec<Key> = direct
+        .placement()
+        .keys()
+        .iter()
+        .map(|k| Key::clamped(dist.cdf(k.get())))
+        .collect();
+    let normalized =
+        smallworld::overlay::Placement::from_keys(mapped, Topology::Interval, "normalized")
+            .unwrap();
+    let g_prime = SmallWorldBuilder::new(n).build_on(normalized, &mut rng).unwrap();
+    let links: Vec<Vec<u32>> = (0..n as u32).map(|u| g_prime.long_links(u).to_vec()).collect();
+    let transported = SmallWorldNetwork::with_links(
+        direct.placement().clone(),
+        dist,
+        SmallWorldConfig::default(),
+        links,
+        "transported",
+    );
+    let h_direct = direct.routing_survey(600, &mut rng).hops.mean();
+    let h_transported = transported.routing_survey(600, &mut rng).hops.mean();
+    assert!(
+        (h_direct - h_transported).abs() < 1.0,
+        "direct {h_direct} vs transported {h_transported}"
+    );
+    let p_direct = PartitionSurvey::run(&direct, 300, &mut rng).pnext_overall();
+    let p_trans = PartitionSurvey::run(&transported, 300, &mut rng).pnext_overall();
+    assert!((p_direct - p_trans).abs() < 0.1, "{p_direct} vs {p_trans}");
+}
+
+/// Graph-theoretic sanity via sw-graph: the constructed overlay is one
+/// strongly connected component with logarithmic average degree.
+#[test]
+fn overlay_graph_structure() {
+    let mut rng = Rng::new(4);
+    let net = SmallWorldBuilder::new(512).build(&mut rng).unwrap();
+    let g = net.to_graph();
+    assert!(is_strongly_connected(&g), "neighbour links close the chain");
+    let m = summarize(&g, 32, &mut rng);
+    assert!(m.avg_out_degree >= 10.0 && m.avg_out_degree <= 12.5);
+    assert!(m.avg_path_length < 7.0, "BFS paths even shorter than greedy");
+    assert!((m.largest_wcc_fraction - 1.0).abs() < 1e-12);
+}
+
+/// §4.2 join protocol feeding the standard survey machinery.
+#[test]
+fn join_then_route() {
+    let dist = Arc::new(TruncatedPareto::new(1.5, 0.02).unwrap());
+    let seeds: Vec<Key> = (0..8).map(|i| Key::clamped((i as f64 + 0.5) / 8.0)).collect();
+    let mut grown = GrowingNetwork::bootstrap(
+        &seeds,
+        dist,
+        Topology::Interval,
+        smallworld::core::config::OutDegree::Log2N,
+    );
+    let mut rng = Rng::new(5);
+    while grown.len() < 512 {
+        grown.join(&mut rng);
+    }
+    grown.refresh_all(&mut rng);
+    let s = grown.snapshot().routing_survey(300, &mut rng);
+    assert!(s.success_rate() > 0.999);
+    assert!(s.hops.mean() < 12.0, "hops {}", s.hops.mean());
+    assert!(grown.stats().messages > 0);
+}
+
+/// The full §4 story: skewed corpus → data-adapted peer placement →
+/// Model 2 overlay → balanced storage AND logarithmic routing.
+#[test]
+fn balanced_storage_with_logarithmic_routing() {
+    let mut rng = Rng::new(6);
+    let dist = TruncatedPareto::new(1.5, 0.005).unwrap();
+    let corpus = Corpus::generate(20_000, &dist, &mut rng);
+    let placement = place_peers(256, &corpus, PeerPlacement::SampleData, Topology::Ring, &mut rng);
+    let balance = BalanceReport::from_loads(&storage_loads(&placement, &corpus));
+    assert!(balance.gini < 0.65, "storage balanced: {}", balance.gini);
+    let net = SmallWorldBuilder::new(256)
+        .topology(Topology::Ring)
+        .distribution(Box::new(dist))
+        .build_on(placement, &mut rng)
+        .unwrap();
+    let s = net.routing_survey(300, &mut rng);
+    assert!(s.success_rate() > 0.999);
+    assert!(s.hops.mean() < 10.0, "hops {}", s.hops.mean());
+}
+
+/// Estimation pipeline: naive links + two refinement rounds approach the
+/// oracle.
+#[test]
+fn estimation_recovers_from_naive_links() {
+    let mut rng = Rng::new(7);
+    let skew = || TruncatedPareto::new(1.5, 0.005).unwrap();
+    let mut net = SmallWorldBuilder::new(1024)
+        .distribution(Box::new(skew()))
+        .assumed(Box::new(Uniform))
+        .sampler(LinkSampler::Harmonic)
+        .build(&mut rng)
+        .unwrap();
+    let naive_hops = net.routing_survey(300, &mut rng).hops.mean();
+    for _ in 0..2 {
+        refine_links_round(&mut net, 128, 3, Estimator::Ecdf, &mut rng);
+    }
+    let refined_hops = net.routing_survey(300, &mut rng).hops.mean();
+    let oracle = SmallWorldBuilder::new(1024)
+        .distribution(Box::new(skew()))
+        .sampler(LinkSampler::Harmonic)
+        .build_on(net.placement().clone(), &mut rng)
+        .unwrap();
+    let oracle_hops = oracle.routing_survey(300, &mut rng).hops.mean();
+    assert!(refined_hops < naive_hops, "{naive_hops} -> {refined_hops}");
+    assert!(
+        refined_hops < 2.5 * oracle_hops,
+        "refined {refined_hops} vs oracle {oracle_hops}"
+    );
+}
+
+/// Simulator pipeline over a skewed density with churn + maintenance.
+#[test]
+fn simulator_with_skew_and_churn() {
+    let cfg = SimConfig {
+        seed: 8,
+        initial_n: 256,
+        churn: ChurnConfig::symmetric(2.0),
+        workload: WorkloadConfig { lookup_rate: 10.0 },
+        stabilize_interval: Some(SimTime::from_secs(5)),
+        refresh_interval: Some(SimTime::from_secs(20)),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(cfg, Arc::new(TruncatedPareto::new(1.5, 0.01).unwrap()));
+    sim.run_until(SimTime::from_secs(120));
+    let m = sim.metrics();
+    assert!(m.lookups > 500);
+    assert!(m.success_rate() > 0.9, "success {}", m.success_rate());
+    assert!(m.joins > 100 && m.failures > 100);
+}
+
+/// Determinism across the whole stack: same seed, same everything.
+#[test]
+fn cross_crate_determinism() {
+    let run = |seed: u64| {
+        let mut rng = Rng::new(seed);
+        let net = SmallWorldBuilder::new(256)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.02).unwrap()))
+            .build(&mut rng)
+            .unwrap();
+        let s = net.routing_survey(100, &mut rng);
+        (net.total_long_links(), s.hops.mean())
+    };
+    assert_eq!(run(99), run(99));
+    assert_ne!(run(99), run(100));
+}
+
+/// Facade re-exports expose every subsystem.
+#[test]
+fn facade_exposes_all_crates() {
+    let mut rng = smallworld::keyspace::Rng::new(1);
+    let _ = smallworld::keyspace::distribution::Uniform;
+    let _ = smallworld::graph::DiGraph::new(4);
+    let _ = smallworld::overlay::Placement::regular(8, Topology::Ring);
+    let _ = smallworld::core::SmallWorldBuilder::new(16).build(&mut rng).unwrap();
+    let _ = smallworld::sim::SimTime::from_secs(1);
+    let _ = smallworld::balance::corpus::Corpus::generate(10, &Uniform, &mut rng);
+}
