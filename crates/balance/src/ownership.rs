@@ -88,12 +88,8 @@ mod tests {
 
     #[test]
     fn ring_ownership_is_successor() {
-        let p = Placement::from_keys(
-            vec![key(0.2), key(0.5), key(0.8)],
-            Topology::Ring,
-            "t",
-        )
-        .unwrap();
+        let p =
+            Placement::from_keys(vec![key(0.2), key(0.5), key(0.8)], Topology::Ring, "t").unwrap();
         assert_eq!(owner_of(&p, 0.1), 0);
         assert_eq!(owner_of(&p, 0.2), 0);
         assert_eq!(owner_of(&p, 0.3), 1);
@@ -102,12 +98,8 @@ mod tests {
 
     #[test]
     fn interval_ownership_assigns_tail_to_last() {
-        let p = Placement::from_keys(
-            vec![key(0.2), key(0.5), key(0.8)],
-            Topology::Interval,
-            "t",
-        )
-        .unwrap();
+        let p = Placement::from_keys(vec![key(0.2), key(0.5), key(0.8)], Topology::Interval, "t")
+            .unwrap();
         assert_eq!(owner_of(&p, 0.1), 0);
         assert_eq!(owner_of(&p, 0.9), 2);
     }

@@ -183,9 +183,7 @@ pub fn rebalance_once(placement: &mut Placement, corpus: &Corpus, delta: f64) ->
                             moves += 1;
                         } else {
                             // Collision with an existing boundary: undo.
-                            let pos = keys
-                                .binary_search(&old)
-                                .unwrap_err();
+                            let pos = keys.binary_search(&old).unwrap_err();
                             keys.insert(pos, old);
                         }
                     }
@@ -242,7 +240,13 @@ mod tests {
     fn uniform_hash_breaks_under_skew() {
         let mut rng = Rng::new(1);
         let corpus = skewed_corpus(50_000, 2);
-        let p = place_peers(128, &corpus, PeerPlacement::UniformHash, Topology::Ring, &mut rng);
+        let p = place_peers(
+            128,
+            &corpus,
+            PeerPlacement::UniformHash,
+            Topology::Ring,
+            &mut rng,
+        );
         let r = BalanceReport::from_loads(&storage_loads(&p, &corpus));
         assert!(r.gini > 0.8, "gini {}", r.gini);
         assert!(r.max_over_mean > 10.0, "mom {}", r.max_over_mean);
@@ -252,7 +256,13 @@ mod tests {
     fn sample_data_placement_balances_skew() {
         let mut rng = Rng::new(3);
         let corpus = skewed_corpus(50_000, 4);
-        let p = place_peers(128, &corpus, PeerPlacement::SampleData, Topology::Ring, &mut rng);
+        let p = place_peers(
+            128,
+            &corpus,
+            PeerPlacement::SampleData,
+            Topology::Ring,
+            &mut rng,
+        );
         let r = BalanceReport::from_loads(&storage_loads(&p, &corpus));
         // Random arcs in *rank* space: same balance quality as uniform
         // hashing enjoys on uniform data.
@@ -264,7 +274,13 @@ mod tests {
     fn sampled_peer_density_tracks_data_density() {
         let mut rng = Rng::new(5);
         let corpus = skewed_corpus(50_000, 6);
-        let p = place_peers(256, &corpus, PeerPlacement::SampleData, Topology::Ring, &mut rng);
+        let p = place_peers(
+            256,
+            &corpus,
+            PeerPlacement::SampleData,
+            Topology::Ring,
+            &mut rng,
+        );
         let dense = p.range(0.0, 0.1).len();
         assert!(dense > 128, "dense-region peers: {dense}");
     }
@@ -273,7 +289,13 @@ mod tests {
     fn rebalancing_improves_uniform_hash_placement() {
         let mut rng = Rng::new(7);
         let corpus = skewed_corpus(20_000, 8);
-        let mut p = place_peers(64, &corpus, PeerPlacement::UniformHash, Topology::Ring, &mut rng);
+        let mut p = place_peers(
+            64,
+            &corpus,
+            PeerPlacement::UniformHash,
+            Topology::Ring,
+            &mut rng,
+        );
         let before = BalanceReport::from_loads(&storage_loads(&p, &corpus));
         let rounds = rebalance_until_stable(&mut p, &corpus, 1.5, 200);
         let after = BalanceReport::from_loads(&storage_loads(&p, &corpus));
@@ -296,7 +318,13 @@ mod tests {
     fn rebalance_preserves_item_count() {
         let mut rng = Rng::new(9);
         let corpus = skewed_corpus(10_000, 10);
-        let mut p = place_peers(32, &corpus, PeerPlacement::UniformHash, Topology::Ring, &mut rng);
+        let mut p = place_peers(
+            32,
+            &corpus,
+            PeerPlacement::UniformHash,
+            Topology::Ring,
+            &mut rng,
+        );
         rebalance_until_stable(&mut p, &corpus, 2.0, 100);
         let total: f64 = storage_loads(&p, &corpus).iter().sum();
         assert_eq!(total as usize, 10_000);
@@ -331,17 +359,26 @@ mod tests {
             let hot_range = sw_keyspace::distribution::TruncatedNormal::new(0.25, 0.03).unwrap();
             Corpus::generate(20_000, &Uniform, &mut r2).with_query_profile(&hot_range)
         };
-        let by_data = place_peers(128, &corpus, PeerPlacement::SampleData, Topology::Ring, &mut rng);
-        let by_query =
-            place_peers(128, &corpus, PeerPlacement::SampleQueries, Topology::Ring, &mut rng);
-        let q_data =
-            crate::ownership::BalanceReport::from_loads(&crate::ownership::query_loads(
-                &by_data, &corpus,
-            ));
-        let q_query =
-            crate::ownership::BalanceReport::from_loads(&crate::ownership::query_loads(
-                &by_query, &corpus,
-            ));
+        let by_data = place_peers(
+            128,
+            &corpus,
+            PeerPlacement::SampleData,
+            Topology::Ring,
+            &mut rng,
+        );
+        let by_query = place_peers(
+            128,
+            &corpus,
+            PeerPlacement::SampleQueries,
+            Topology::Ring,
+            &mut rng,
+        );
+        let q_data = crate::ownership::BalanceReport::from_loads(&crate::ownership::query_loads(
+            &by_data, &corpus,
+        ));
+        let q_query = crate::ownership::BalanceReport::from_loads(&crate::ownership::query_loads(
+            &by_query, &corpus,
+        ));
         assert!(
             q_query.gini < 0.75 * q_data.gini,
             "query-balanced gini {} vs storage-balanced {}",

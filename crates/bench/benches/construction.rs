@@ -1,57 +1,145 @@
-//! Construction throughput: exact vs harmonic link sampling, uniform vs
-//! skewed densities, and the incremental join protocol.
+//! Construction and routing throughput across the CSR + parallel
+//! refactor: sequential vs parallel per-peer link sampling, and looped
+//! single-lookup routing vs `route_batch`, at N ∈ {2¹¹, 2¹⁴, 2¹⁷}.
 //!
-//! The interesting comparison is `exact` (O(N) per peer, the paper's
-//! literal rule) against `harmonic` (O(log N) per draw, the continuous
-//! limit): E1/E3 show they produce statistically identical networks, so
-//! the harmonic sampler is the one a real deployment would ship.
+//! Writes `BENCH_construction.json` (repo root) so the perf trajectory is
+//! comparable across PRs. Pass `--quick` for a smoke run.
+//!
+//! The parallel paths are bit-identical to the sequential ones (per-peer
+//! RNG streams; asserted here too), so the comparison is pure wall-clock.
+//! On a single-core runner the ratios hover around 1×; the ≥2× batched
+//! routing win needs a multi-core machine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
+use sw_bench::microbench::{to_json, Bencher, Measurement};
 use sw_core::config::{LinkSampler, OutDegree};
 use sw_core::join::GrowingNetwork;
 use sw_core::SmallWorldBuilder;
 use sw_keyspace::distribution::TruncatedPareto;
 use sw_keyspace::{Key, Rng, Topology};
+use sw_overlay::route::{route_batch, survey_queries, RouteOptions, TargetModel};
+use sw_overlay::Overlay;
 
-fn bench_builders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("construction");
-    for &n in &[256usize, 1024, 4096] {
-        for (name, sampler) in [
-            ("exact", LinkSampler::Exact),
-            ("harmonic", LinkSampler::Harmonic),
-        ] {
-            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
-                b.iter(|| {
-                    let mut rng = Rng::new(42);
-                    let net = SmallWorldBuilder::new(n)
-                        .sampler(sampler)
-                        .build(&mut rng)
-                        .expect("n >= 4");
-                    black_box(net.total_long_links())
-                });
-            });
-        }
-        group.bench_with_input(BenchmarkId::new("skewed-harmonic", n), &n, |b, &n| {
-            b.iter(|| {
+fn main() {
+    // One flag, decided once: it picks both the sample profile and the
+    // size/query scaling.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let b = if quick {
+        Bencher::quick()
+    } else {
+        Bencher::default()
+    };
+    let mut all: Vec<Measurement> = Vec::new();
+
+    // The smallest size is 2¹¹, not 2¹⁰: the parallel builder caps
+    // workers at n/1024, so below 2048 peers the "parallel" row would
+    // silently measure the sequential path.
+    let sizes: &[usize] = if quick {
+        &[1 << 11, 1 << 12]
+    } else {
+        &[1 << 11, 1 << 14, 1 << 17]
+    };
+
+    for &n in sizes {
+        // The exact sampler is O(N) per peer — the literal paper rule —
+        // and becomes quadratic in total; keep it to the small size.
+        let samplers: &[(&str, LinkSampler)] = if n <= 1 << 11 {
+            &[
+                ("exact", LinkSampler::Exact),
+                ("harmonic", LinkSampler::Harmonic),
+            ]
+        } else {
+            &[("harmonic", LinkSampler::Harmonic)]
+        };
+        for &(sname, sampler) in samplers {
+            let build = |threads: usize| {
                 let mut rng = Rng::new(42);
-                let net = SmallWorldBuilder::new(n)
+                SmallWorldBuilder::new(n)
                     .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid")))
-                    .sampler(LinkSampler::Harmonic)
+                    .sampler(sampler)
+                    .parallelism(threads)
                     .build(&mut rng)
-                    .expect("n >= 4");
-                black_box(net.total_long_links())
-            });
-        });
-    }
-    group.finish();
-}
+                    .expect("n >= 4")
+            };
+            let seq = b.bench_with_items(
+                &format!("construction/sequential/{sname}/{n}"),
+                n as f64,
+                || black_box(build(1).total_long_links()),
+            );
+            let par = b.bench_with_items(
+                &format!("construction/parallel/{sname}/{n}"),
+                n as f64,
+                || black_box(build(0).total_long_links()),
+            );
+            println!(
+                "  -> parallel speedup {:.2}x over sequential",
+                seq.median_secs / par.median_secs
+            );
+            all.push(seq);
+            all.push(par);
 
-fn bench_join(c: &mut Criterion) {
-    let mut group = c.benchmark_group("join-protocol");
-    group.bench_function("grow-to-1024", |b| {
-        b.iter(|| {
+            // Sanity: the parallel build is the sequential build, bit
+            // for bit (per-peer RNG streams).
+            assert_eq!(
+                build(1).long_topology(),
+                build(0).long_topology(),
+                "parallel build must be bit-identical to sequential"
+            );
+        }
+
+        // Routing: one prebuilt network, one shared workload; the looped
+        // path calls `route` per query, the batched path fans the same
+        // queries across threads. Identical results by construction.
+        let mut rng = Rng::new(7);
+        let net = SmallWorldBuilder::new(n)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid")))
+            .sampler(LinkSampler::Harmonic)
+            .build(&mut rng)
+            .expect("n >= 4");
+        let queries = if quick { 1_000 } else { 4_096 };
+        let workload = survey_queries(net.placement(), queries, TargetModel::MemberKeys, &mut rng);
+        let opts = RouteOptions {
+            record_path: false,
+            ..RouteOptions::for_n(n)
+        };
+        let looped = b.bench_with_items(&format!("routing/looped/{n}"), queries as f64, || {
+            let mut hops = 0u64;
+            for &(from, t) in &workload {
+                hops += net.route(from, t, &opts).hops as u64;
+            }
+            black_box(hops)
+        });
+        let batched = b.bench_with_items(&format!("routing/batched/{n}"), queries as f64, || {
+            let results = route_batch(&net, &workload, &opts, 0);
+            black_box(results.iter().map(|r| r.hops as u64).sum::<u64>())
+        });
+        println!(
+            "  -> batched speedup {:.2}x over looped single-lookup",
+            looped.median_secs / batched.median_secs
+        );
+        all.push(looped);
+        all.push(batched);
+
+        // Sanity: the batched path answers exactly what the loop answers.
+        let a: Vec<u32> = workload
+            .iter()
+            .map(|&(from, t)| net.route(from, t, &opts).hops)
+            .collect();
+        let bt: Vec<u32> = route_batch(&net, &workload, &opts, 0)
+            .into_iter()
+            .map(|r| r.hops)
+            .collect();
+        assert_eq!(a, bt, "batched routing must match looped routing");
+    }
+
+    // Incremental join protocol (kept from the pre-CSR bench suite so
+    // GrowingNetwork::join stays on the perf trajectory).
+    let join_n = if quick { 256 } else { 1024 };
+    let join = b.bench_with_items(
+        &format!("join-protocol/grow-to-{join_n}"),
+        join_n as f64,
+        || {
             let seeds: Vec<Key> = (0..8)
                 .map(|i| Key::clamped((i as f64 + 0.5) / 8.0))
                 .collect();
@@ -62,14 +150,18 @@ fn bench_join(c: &mut Criterion) {
                 OutDegree::Log2N,
             );
             let mut rng = Rng::new(7);
-            while net.len() < 1024 {
+            while net.len() < join_n {
                 net.join(&mut rng);
             }
             black_box(net.stats().messages)
-        });
-    });
-    group.finish();
-}
+        },
+    );
+    all.push(join);
 
-criterion_group!(benches, bench_builders, bench_join);
-criterion_main!(benches);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_construction.json");
+    std::fs::write(path, to_json(&all)).expect("write BENCH_construction.json");
+    println!(
+        "\nwrote {} measurements to BENCH_construction.json",
+        all.len()
+    );
+}

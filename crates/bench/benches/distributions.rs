@@ -3,8 +3,8 @@
 //! matters operationally: the harmonic sampler calls it once per link
 //! draw, and closed-form families beat the bisection fallback by ~50×.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use sw_bench::microbench::Bencher;
 use sw_keyspace::distribution::{
     KeyDistribution, Kumaraswamy, Mixture, PiecewiseConstant, TruncatedNormal, TruncatedPareto,
     Uniform,
@@ -22,26 +22,25 @@ fn zoo() -> Vec<Box<dyn KeyDistribution>> {
     ]
 }
 
-fn bench_ops(c: &mut Criterion) {
+fn main() {
+    let b = Bencher::from_args();
+    let calls = 10_000usize;
     for op in ["cdf", "quantile", "sample"] {
-        let mut group = c.benchmark_group(op);
         for d in zoo() {
             let name = d.name();
-            group.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            b.bench_with_items(&format!("{op}/{name}"), calls as f64, || {
                 let mut rng = Rng::new(3);
-                b.iter(|| {
+                let mut acc = 0.0f64;
+                for _ in 0..calls {
                     let x = rng.f64();
-                    match op {
-                        "cdf" => black_box(d.cdf(x)),
-                        "quantile" => black_box(d.quantile(x)),
-                        _ => black_box(d.sample_value(&mut rng)),
-                    }
-                });
+                    acc += match op {
+                        "cdf" => d.cdf(x),
+                        "quantile" => d.quantile(x),
+                        _ => d.sample_value(&mut rng),
+                    };
+                }
+                black_box(acc)
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);

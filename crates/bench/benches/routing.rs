@@ -1,19 +1,21 @@
 //! Per-lookup routing latency over prebuilt networks: the paper's model
-//! vs the baseline DHTs, and key-space vs mass-space greedy.
+//! vs the baseline DHTs, and key-space vs mass-space greedy. All systems
+//! route over the same CSR contact tables, so the comparison is pure
+//! algorithm cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use sw_bench::microbench::Bencher;
 use sw_core::routing::DistanceMode;
 use sw_core::SmallWorldBuilder;
-use sw_graph::NodeId;
 use sw_keyspace::distribution::{TruncatedPareto, Uniform};
 use sw_keyspace::{Rng, Topology};
 use sw_overlay::chord::Chord;
-use sw_overlay::route::RouteOptions;
+use sw_overlay::route::{survey_queries, RouteOptions, TargetModel};
 use sw_overlay::symphony::Symphony;
 use sw_overlay::{Overlay, Placement};
 
-fn bench_lookup(c: &mut Criterion) {
+fn main() {
+    let b = Bencher::from_args();
     let n = 4096usize;
     let mut rng = Rng::new(1);
     let sw_uniform = SmallWorldBuilder::new(n).build(&mut rng).expect("n >= 4");
@@ -28,8 +30,10 @@ fn bench_lookup(c: &mut Criterion) {
         record_path: false,
         ..RouteOptions::for_n(n)
     };
+    // One shared member-lookup workload per overlay (same seed → same
+    // source/rank pairs; keys differ per placement, as they must).
+    let queries = 512usize;
 
-    let mut group = c.benchmark_group("lookup");
     let systems: Vec<(&str, &dyn Overlay)> = vec![
         ("small-world-uniform", &sw_uniform),
         ("small-world-skewed", &sw_skewed),
@@ -37,32 +41,39 @@ fn bench_lookup(c: &mut Criterion) {
         ("symphony", &symphony),
     ];
     for (name, overlay) in systems {
-        group.bench_function(BenchmarkId::new(name, n), |b| {
-            let mut rng = Rng::new(99);
-            b.iter(|| {
-                let from = rng.index(n) as NodeId;
-                let to = rng.index(n) as NodeId;
-                let r = overlay.route(from, overlay.placement().key(to), &opts);
-                black_box(r.hops)
-            });
+        let mut wrng = Rng::new(99);
+        let workload = survey_queries(
+            overlay.placement(),
+            queries,
+            TargetModel::MemberKeys,
+            &mut wrng,
+        );
+        b.bench_with_items(&format!("lookup/{name}/{n}"), queries as f64, || {
+            let mut hops = 0u64;
+            for &(from, t) in &workload {
+                hops += overlay.route(from, t, &opts).hops as u64;
+            }
+            black_box(hops)
         });
     }
+
     for (name, mode) in [
         ("key-space", DistanceMode::KeySpace),
         ("mass-space", DistanceMode::MassSpace),
     ] {
-        group.bench_function(BenchmarkId::new(format!("skewed-{name}"), n), |b| {
-            let mut rng = Rng::new(99);
-            b.iter(|| {
-                let from = rng.index(n) as NodeId;
-                let to = rng.index(n) as NodeId;
-                let t = sw_skewed.placement().key(to);
-                black_box(sw_skewed.route_with_mode(from, t, mode, &opts).hops)
-            });
+        let mut wrng = Rng::new(99);
+        let workload = survey_queries(
+            sw_skewed.placement(),
+            queries,
+            TargetModel::MemberKeys,
+            &mut wrng,
+        );
+        b.bench_with_items(&format!("lookup/skewed-{name}/{n}"), queries as f64, || {
+            let mut hops = 0u64;
+            for &(from, t) in &workload {
+                hops += sw_skewed.route_with_mode(from, t, mode, &opts).hops as u64;
+            }
+            black_box(hops)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_lookup);
-criterion_main!(benches);

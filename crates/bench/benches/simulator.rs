@@ -1,44 +1,37 @@
 //! Simulator throughput: virtual seconds of churn + workload per wall
-//! second, and the cost of one measurement probe.
+//! second, and the cost of one measurement probe (now batched across
+//! worker threads).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
+use sw_bench::microbench::Bencher;
 use sw_keyspace::distribution::Uniform;
 use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, WorkloadConfig};
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(20);
-    group.bench_function("60s-churn4-512peers", |b| {
-        b.iter(|| {
-            let cfg = SimConfig {
-                seed: 5,
-                initial_n: 512,
-                churn: ChurnConfig::symmetric(4.0),
-                workload: WorkloadConfig { lookup_rate: 20.0 },
-                ..SimConfig::default()
-            };
-            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
-            sim.run_until(SimTime::from_secs(60));
-            black_box(sim.metrics().lookups)
-        });
-    });
-    group.bench_function("probe-200-lookups", |b| {
+fn main() {
+    let b = Bencher::from_args();
+    b.bench("simulator/60s-churn4-512peers", || {
         let cfg = SimConfig {
-            seed: 6,
-            initial_n: 1024,
+            seed: 5,
+            initial_n: 512,
+            churn: ChurnConfig::symmetric(4.0),
+            workload: WorkloadConfig { lookup_rate: 20.0 },
             ..SimConfig::default()
         };
         let mut sim = Simulator::new(cfg, Arc::new(Uniform));
-        sim.run_until(SimTime::from_secs(10));
-        b.iter(|| {
-            let (ok, hops) = sim.probe_lookups(200);
-            black_box((ok, hops.mean()))
-        });
+        sim.run_until(SimTime::from_secs(60));
+        black_box(sim.metrics().lookups)
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);
+    let cfg = SimConfig {
+        seed: 6,
+        initial_n: 1024,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+    sim.run_until(SimTime::from_secs(10));
+    b.bench_with_items("simulator/probe-200-lookups", 200.0, || {
+        let (ok, hops) = sim.probe_lookups(200);
+        black_box((ok, hops.mean()))
+    });
+}

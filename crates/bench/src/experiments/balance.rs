@@ -36,8 +36,8 @@ pub fn e8_load_balance(ctx: &Ctx) {
         let mut rng = Rng::new(ctx.seed ^ 8);
         // Spatially correlated query heat (a hot key range around 0.25)
         // so that query-adaptive placement has something to adapt to.
-        let hot_range = sw_keyspace::distribution::TruncatedNormal::new(0.25, 0.05)
-            .expect("valid params");
+        let hot_range =
+            sw_keyspace::distribution::TruncatedNormal::new(0.25, 0.05).expect("valid params");
         let corpus =
             Corpus::generate(n_items, dist.as_ref(), &mut rng).with_query_profile(&hot_range);
         for strategy in [
@@ -49,15 +49,33 @@ pub fn e8_load_balance(ctx: &Ctx) {
             let mut rng = Rng::new(ctx.seed ^ 0x88);
             let (mut placement, rounds) = match strategy {
                 "uniform-hash" => (
-                    place_peers(n_peers, &corpus, PeerPlacement::UniformHash, Topology::Ring, &mut rng),
+                    place_peers(
+                        n_peers,
+                        &corpus,
+                        PeerPlacement::UniformHash,
+                        Topology::Ring,
+                        &mut rng,
+                    ),
                     0,
                 ),
                 "sample-data" => (
-                    place_peers(n_peers, &corpus, PeerPlacement::SampleData, Topology::Ring, &mut rng),
+                    place_peers(
+                        n_peers,
+                        &corpus,
+                        PeerPlacement::SampleData,
+                        Topology::Ring,
+                        &mut rng,
+                    ),
                     0,
                 ),
                 "sample-queries" => (
-                    place_peers(n_peers, &corpus, PeerPlacement::SampleQueries, Topology::Ring, &mut rng),
+                    place_peers(
+                        n_peers,
+                        &corpus,
+                        PeerPlacement::SampleQueries,
+                        Topology::Ring,
+                        &mut rng,
+                    ),
                     0,
                 ),
                 _ => {

@@ -52,9 +52,7 @@ pub fn e13_watts_strogatz(ctx: &Ctx) {
         &["p", "C(p)/C(0)", "L(p)/L(0)"],
     );
     table.row(vec!["0".into(), "1.000".into(), "1.000".into()]);
-    for &p in &[
-        0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0,
-    ] {
+    for &p in &[0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0] {
         let g = generate(WattsStrogatz { n, k, p }, &mut rng).expect("valid params");
         let c = clustering_coefficient(&g) / c0;
         let l = path_survey(&g, 48, &mut rng).lengths.mean() / l0;

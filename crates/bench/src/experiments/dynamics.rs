@@ -135,7 +135,11 @@ pub fn e11_estimation(ctx: &Ctx) {
             refine_links_round(&mut net, 128, 3, Estimator::Ecdf, &mut rng);
         }
         let (h, s) = survey(&net, &mut rng);
-        table.row(vec![format!("{rounds} rounds, 128 samples/peer, ecdf"), h, s]);
+        table.row(vec![
+            format!("{rounds} rounds, 128 samples/peer, ecdf"),
+            h,
+            s,
+        ]);
     }
     let (h, s) = survey(&oracle, &mut rng);
     table.row(vec!["oracle (true f)".into(), h, s]);

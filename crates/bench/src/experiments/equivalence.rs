@@ -35,7 +35,8 @@ pub fn e9_normalization_equivalence(ctx: &Ctx) {
         let name = dist.name();
         let mut rng = Rng::new(ctx.seed ^ 9);
         // Shared skewed placement in R.
-        let placement = Placement::sample(n, dist.as_ref(), sw_keyspace::Topology::Interval, &mut rng);
+        let placement =
+            Placement::sample(n, dist.as_ref(), sw_keyspace::Topology::Interval, &mut rng);
 
         // (a) Direct: Model 2 in R.
         let direct = SmallWorldBuilder::new(n)
@@ -50,8 +51,9 @@ pub fn e9_normalization_equivalence(ctx: &Ctx) {
             .iter()
             .map(|k| Key::clamped(dist.cdf(k.get())))
             .collect();
-        let normalized = Placement::from_keys(mapped, sw_keyspace::Topology::Interval, "normalized")
-            .expect("CDF is strictly monotone on the support");
+        let normalized =
+            Placement::from_keys(mapped, sw_keyspace::Topology::Interval, "normalized")
+                .expect("CDF is strictly monotone on the support");
         let g_prime = SmallWorldBuilder::new(n)
             .build_on(normalized, &mut rng)
             .expect("n >= 4");
@@ -66,7 +68,10 @@ pub fn e9_normalization_equivalence(ctx: &Ctx) {
             format!("sw-transported({name})"),
         );
 
-        for (variant, net) in [("direct in R", &direct), ("transported from R'", &transported)] {
+        for (variant, net) in [
+            ("direct in R", &direct),
+            ("transported from R'", &transported),
+        ] {
             let survey = net.routing_survey(queries, &mut rng);
             assert!(survey.success_rate() > 0.999);
             let parts = PartitionSurvey::run(net, queries / 2, &mut rng);

@@ -125,11 +125,23 @@ pub fn e4_system_comparison(ctx: &Ctx) {
             .build_on(p.clone(), &mut rng)
             .expect("n >= 4");
         naive.push(survey(&nv, &mut rng));
-        symphony.push(survey(&Symphony::build(p.clone(), k, true, &mut rng), &mut rng));
-        mercury.push(survey(&Mercury::build(p.clone(), k, 256, &mut rng), &mut rng));
+        symphony.push(survey(
+            &Symphony::build(p.clone(), k, true, &mut rng),
+            &mut rng,
+        ));
+        mercury.push(survey(
+            &Mercury::build(p.clone(), k, 256, &mut rng),
+            &mut rng,
+        ));
         chord.push(survey(&Chord::build(p.clone()), &mut rng));
-        rchord.push(survey(&RandomizedChord::build(p.clone(), &mut rng), &mut rng));
-        pastry.push(survey(&PastryLike::build(p.clone(), 2, 2, &mut rng), &mut rng));
+        rchord.push(survey(
+            &RandomizedChord::build(p.clone(), &mut rng),
+            &mut rng,
+        ));
+        pastry.push(survey(
+            &PastryLike::build(p.clone(), 2, 2, &mut rng),
+            &mut rng,
+        ));
         pgrid_mid.push(survey(
             &PGridLike::build(p.clone(), SplitPolicy::Midpoint, 1, &mut rng),
             &mut rng,

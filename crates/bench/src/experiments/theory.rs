@@ -72,7 +72,13 @@ pub fn e2_partition_advance(ctx: &Ctx) {
             theory::advance_probability_lower_bound(),
             theory::hops_per_partition_upper_bound()
         ),
-        &["partition j", "advances", "stays", "P_next", "E[hops in A_j]"],
+        &[
+            "partition j",
+            "advances",
+            "stays",
+            "P_next",
+            "E[hops in A_j]",
+        ],
     );
     for j in 1..=s.m {
         let (a, st) = (s.advance[j], s.stay[j]);
@@ -147,7 +153,7 @@ pub fn e6_partition_occupancy(ctx: &Ctx) {
         let p = o.placement();
         let mut h = vec![0u64; m + 1];
         for u in 0..p.len() as u32 {
-            for v in o.contacts(u) {
+            for &v in o.contacts(u) {
                 if v == p.next(u) || v == p.prev(u) {
                     continue;
                 }
@@ -206,8 +212,7 @@ pub fn e16_ring_topology(ctx: &Ctx) {
                 let mut builder = SmallWorldBuilder::new(n).topology(topology);
                 if dist_name != "uniform" {
                     builder = builder.distribution(Box::new(
-                        sw_keyspace::distribution::TruncatedPareto::new(1.5, 0.01)
-                            .expect("valid"),
+                        sw_keyspace::distribution::TruncatedPareto::new(1.5, 0.01).expect("valid"),
                     ));
                 }
                 let net = builder.build(&mut rng).expect("n >= 4");
@@ -249,7 +254,8 @@ pub fn e7_link_loss(ctx: &Ctx) {
             max_hops: n as u32,
             record_path: false,
         };
-        let s = RoutingSurvey::run_with_opts(&net, queries, TargetModel::MemberKeys, &opts, &mut rng);
+        let s =
+            RoutingSurvey::run_with_opts(&net, queries, TargetModel::MemberKeys, &opts, &mut rng);
         table.row(vec![
             format!("{:.0}%", fraction * 100.0),
             f3(s.success_rate()),

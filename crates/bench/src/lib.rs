@@ -10,11 +10,17 @@
 //! cargo run -p sw-bench --release --bin experiments -- --quick all
 //! ```
 //!
-//! Criterion micro-benchmarks live in `benches/` (construction, routing,
-//! distribution math, simulator throughput).
+//! Micro-benchmarks live in `benches/` (construction, routing,
+//! distribution math, simulator throughput), driven by the in-tree
+//! [`microbench`] harness (`harness = false` — the workspace builds
+//! offline, so criterion is not available). `benches/construction.rs`
+//! additionally writes the `BENCH_construction.json` perf-trajectory
+//! snapshot comparing sequential vs parallel construction and looped vs
+//! batched routing.
 
 pub mod ctx;
 pub mod experiments;
+pub mod microbench;
 pub mod table;
 
 pub use ctx::Ctx;

@@ -1,0 +1,229 @@
+//! A small timing harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so `criterion` cannot be pulled in; the
+//! bench binaries (`harness = false`) use this module instead. It keeps
+//! the parts that matter for our perf trajectory — warmup, repeated
+//! samples, median-of-samples reporting, throughput — and writes the
+//! machine-readable snapshots (`BENCH_*.json`) the roadmap tracks across
+//! PRs.
+
+use std::time::Instant;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `"construction/parallel/16384"`.
+    pub id: String,
+    /// Median wall time of one iteration, in seconds.
+    pub median_secs: f64,
+    /// Mean wall time of one iteration, in seconds.
+    pub mean_secs: f64,
+    /// Items processed per iteration (for throughput reporting), if any.
+    pub items_per_iter: Option<f64>,
+    /// Number of measured samples.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Items per second implied by the median sample.
+    pub fn throughput(&self) -> Option<f64> {
+        self.items_per_iter.map(|k| k / self.median_secs)
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Bencher {
+    /// Measured samples per benchmark.
+    pub samples: usize,
+    /// Warmup iterations before measuring.
+    pub warmup_iters: usize,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher {
+            samples: 10,
+            warmup_iters: 2,
+        }
+    }
+}
+
+impl Bencher {
+    /// A quicker profile for CI smoke runs (`--quick`).
+    pub fn quick() -> Bencher {
+        Bencher {
+            samples: 3,
+            warmup_iters: 1,
+        }
+    }
+
+    /// Reads `--quick` from the process arguments.
+    pub fn from_args() -> Bencher {
+        if std::env::args().any(|a| a == "--quick") {
+            Bencher::quick()
+        } else {
+            Bencher::default()
+        }
+    }
+
+    /// Times `f` (one call = one iteration) and prints one report line.
+    /// The closure's return value is consumed with a black-box sink so
+    /// the optimizer cannot elide the work.
+    pub fn bench<T>(&self, id: &str, mut f: impl FnMut() -> T) -> Measurement {
+        self.bench_items(id, None, &mut f)
+    }
+
+    /// [`Bencher::bench`] with a per-iteration item count, reported as
+    /// throughput (items/s).
+    pub fn bench_with_items<T>(
+        &self,
+        id: &str,
+        items_per_iter: f64,
+        mut f: impl FnMut() -> T,
+    ) -> Measurement {
+        self.bench_items(id, Some(items_per_iter), &mut f)
+    }
+
+    fn bench_items<T>(
+        &self,
+        id: &str,
+        items_per_iter: Option<f64>,
+        f: &mut dyn FnMut() -> T,
+    ) -> Measurement {
+        for _ in 0..self.warmup_iters {
+            std::hint::black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        times.sort_by(f64::total_cmp);
+        let median_secs = times[times.len() / 2];
+        let mean_secs = times.iter().sum::<f64>() / times.len() as f64;
+        let m = Measurement {
+            id: id.to_string(),
+            median_secs,
+            mean_secs,
+            items_per_iter,
+            samples: times.len(),
+        };
+        match m.throughput() {
+            Some(tp) => println!(
+                "{:<48} median {:>12}  ({:.1} items/s)",
+                m.id,
+                format_secs(m.median_secs),
+                tp
+            ),
+            None => println!("{:<48} median {:>12}", m.id, format_secs(m.median_secs)),
+        }
+        m
+    }
+}
+
+/// Human-readable seconds.
+pub fn format_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.3} s", s)
+    }
+}
+
+/// Serializes measurements as a JSON array (hand-rolled — the workspace
+/// has no serde) for the `BENCH_*.json` perf-trajectory snapshots.
+pub fn to_json(measurements: &[Measurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"id\": \"{}\", ", escape(&m.id)));
+        out.push_str(&format!("\"median_secs\": {:.9}, ", m.median_secs));
+        out.push_str(&format!("\"mean_secs\": {:.9}, ", m.mean_secs));
+        match m.items_per_iter {
+            Some(k) => out.push_str(&format!("\"items_per_iter\": {k}, ")),
+            None => out.push_str("\"items_per_iter\": null, "),
+        }
+        out.push_str(&format!("\"samples\": {}", m.samples));
+        out.push('}');
+        if i + 1 < measurements.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let b = Bencher {
+            samples: 3,
+            warmup_iters: 0,
+        };
+        let m = b.bench("noop-sum", || (0..1000u64).sum::<u64>());
+        assert!(m.median_secs >= 0.0);
+        assert!(m.median_secs <= m.mean_secs * 3.0 + 1e-3);
+        assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn throughput_uses_items() {
+        let b = Bencher {
+            samples: 1,
+            warmup_iters: 0,
+        };
+        let m = b.bench_with_items("tp", 100.0, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        let tp = m.throughput().unwrap();
+        assert!(tp > 0.0 && tp < 100_000.0, "tp {tp}");
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let ms = vec![
+            Measurement {
+                id: "a/1".into(),
+                median_secs: 0.5,
+                mean_secs: 0.6,
+                items_per_iter: Some(10.0),
+                samples: 3,
+            },
+            Measurement {
+                id: "b/2".into(),
+                median_secs: 0.1,
+                mean_secs: 0.1,
+                items_per_iter: None,
+                samples: 3,
+            },
+        ];
+        let j = to_json(&ms);
+        assert!(j.starts_with('['));
+        assert!(j.trim_end().ends_with(']'));
+        assert!(j.contains("\"id\": \"a/1\""));
+        assert!(j.contains("\"items_per_iter\": null"));
+    }
+
+    #[test]
+    fn format_secs_scales() {
+        assert!(format_secs(2e-9).contains("ns"));
+        assert!(format_secs(2e-6).contains("µs"));
+        assert!(format_secs(2e-3).contains("ms"));
+        assert!(format_secs(2.0).ends_with('s'));
+    }
+}

@@ -103,8 +103,12 @@ pub fn refine_links_round(
                 Err(_) => Box::new(density_from_samples(&samples, 16)),
             },
         };
-        let selector =
-            LinkSelector::new(net.placement(), est.as_ref(), min_mass, LinkSampler::Harmonic);
+        let selector = LinkSelector::new(
+            net.placement(),
+            est.as_ref(),
+            min_mass,
+            LinkSampler::Harmonic,
+        );
         new_links.push(selector.sample_links(u, budget, rng));
     }
     net.set_all_long_links(new_links);
@@ -189,6 +193,9 @@ mod tests {
         let before = net.routing_survey(200, &mut rng).hops.mean();
         refine_links_round(&mut net, 64, 3, Estimator::Ecdf, &mut rng);
         let after = net.routing_survey(200, &mut rng).hops.mean();
-        assert!(after < before * 1.4, "uniform refinement: {before} -> {after}");
+        assert!(
+            after < before * 1.4,
+            "uniform refinement: {before} -> {after}"
+        );
     }
 }

@@ -282,7 +282,11 @@ impl GrowingNetwork {
     /// Freezes the grown network into a [`SmallWorldNetwork`] (dense ids
     /// in key order) for measurement with the standard survey machinery.
     pub fn snapshot(&self) -> SmallWorldNetwork {
-        let keys: Vec<Key> = self.order.iter().map(|&id| self.keys[id as usize]).collect();
+        let keys: Vec<Key> = self
+            .order
+            .iter()
+            .map(|&id| self.keys[id as usize])
+            .collect();
         let placement = Placement::from_keys(keys, self.topology, self.assumed.name())
             .expect("grown network keys are sorted and distinct");
         // Map stable ids -> dense (order) ids.
@@ -305,7 +309,7 @@ impl GrowingNetwork {
             placement,
             self.assumed.clone(),
             config,
-            long,
+            sw_graph::Topology::from_rows(&long),
             format!("sw-grown({})", self.assumed.name()),
         )
     }
@@ -323,12 +327,8 @@ mod tests {
     }
 
     fn grow(n: usize, dist: Arc<dyn KeyDistribution>, seed: u64) -> GrowingNetwork {
-        let mut net = GrowingNetwork::bootstrap(
-            &seeds(4),
-            dist,
-            Topology::Interval,
-            OutDegree::Log2N,
-        );
+        let mut net =
+            GrowingNetwork::bootstrap(&seeds(4), dist, Topology::Interval, OutDegree::Log2N);
         let mut rng = Rng::new(seed);
         while net.len() < n {
             net.join(&mut rng);

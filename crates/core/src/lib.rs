@@ -27,6 +27,13 @@
 //! * [`links`] — exact inverse-mass sampling and the `O(log N)`
 //!   harmonic-continuous approximation.
 //! * [`builder`] / [`network`] — construction and the overlay itself.
+//!   The builder samples each peer's long links from an independent RNG
+//!   stream and fans peers out across worker threads
+//!   ([`SmallWorldBuilder::parallelism`]); the built network stores its
+//!   adjacency in two flat CSR [`Topology`](sw_graph::Topology) tables
+//!   (long links + the full contact table), so a fixed seed produces a
+//!   bit-identical network at any thread count. Batched lookups go
+//!   through `sw_overlay::route::route_batch`.
 //! * [`routing`] — greedy routing in key space or normalized (mass)
 //!   space, the ablation of E15.
 //! * [`partition`] — the `log2 N`-partition machinery of Theorem 1's

@@ -1,9 +1,10 @@
 //! The constructed small-world overlay: placement + neighbour edges +
-//! long-range links.
+//! long-range links, stored as flat CSR topologies.
 
 use crate::config::SmallWorldConfig;
 use std::sync::Arc;
-use sw_graph::NodeId;
+use sw_graph::csr::Topology as CsrTopology;
+use sw_graph::{LinkTable, NodeId};
 use sw_keyspace::distribution::KeyDistribution;
 use sw_keyspace::{Rng, Topology};
 use sw_overlay::route::{RoutingSurvey, TargetModel};
@@ -12,6 +13,12 @@ use sw_overlay::{Overlay, Placement};
 /// A small-world network per the paper's construction: every peer has its
 /// interval/ring neighbours (keeping the graph connected, §3) plus the
 /// sampled long-range links.
+///
+/// Adjacency lives in two CSR [`Topology`](sw_graph::Topology) tables —
+/// `long` (just the sampled long links, with their incoming transpose)
+/// and `contact_table` (neighbour edges + long links, the rows greedy
+/// routing reads) — so neighbour access is a slice into one flat array
+/// rather than a per-peer heap allocation.
 #[derive(Clone)]
 pub struct SmallWorldNetwork {
     placement: Placement,
@@ -20,8 +27,11 @@ pub struct SmallWorldNetwork {
     /// `F̂(key_i)` cache — normalized-space positions of all peers.
     cdf: Vec<f64>,
     config: SmallWorldConfig,
-    long: Vec<Vec<NodeId>>,
-    incoming: Vec<Vec<NodeId>>,
+    /// Long-range links only (CSR, incoming transpose included).
+    long: CsrTopology,
+    /// Full routing table: neighbours + long links (+ incoming links when
+    /// `config.bidirectional`).
+    contact_table: CsrTopology,
     /// Display label, e.g. `"sw(uniform,exact)"`.
     label: String,
 }
@@ -43,7 +53,7 @@ impl SmallWorldNetwork {
         placement: Placement,
         assumed: Arc<dyn KeyDistribution>,
         config: SmallWorldConfig,
-        long: Vec<Vec<NodeId>>,
+        long: CsrTopology,
         label: String,
     ) -> Self {
         let cdf = placement
@@ -51,28 +61,22 @@ impl SmallWorldNetwork {
             .iter()
             .map(|k| assumed.cdf(k.get()))
             .collect();
-        let mut net = SmallWorldNetwork {
+        let contact_table = build_contact_table(&placement, &long, config.bidirectional);
+        SmallWorldNetwork {
             placement,
             assumed,
             cdf,
             config,
             long,
-            incoming: Vec::new(),
+            contact_table,
             label,
-        };
-        net.rebuild_incoming();
-        net
+        }
     }
 
-    fn rebuild_incoming(&mut self) {
-        let n = self.placement.len();
-        let mut incoming = vec![Vec::new(); n];
-        for (u, links) in self.long.iter().enumerate() {
-            for &v in links {
-                incoming[v as usize].push(u as NodeId);
-            }
-        }
-        self.incoming = incoming;
+    /// Replaces the long-link topology and rebuilds the contact table.
+    fn set_long_topology(&mut self, long: CsrTopology) {
+        self.contact_table = build_contact_table(&self.placement, &long, self.config.bidirectional);
+        self.long = long;
     }
 
     /// Assembles a network from explicit parts: a placement, the density
@@ -99,7 +103,13 @@ impl SmallWorldNetwork {
             long.iter().flatten().all(|&v| v < n),
             "link id out of range"
         );
-        SmallWorldNetwork::assemble(placement, assumed, config, long, label.into())
+        SmallWorldNetwork::assemble(
+            placement,
+            assumed,
+            config,
+            CsrTopology::from_rows(&long),
+            label.into(),
+        )
     }
 
     /// Number of peers.
@@ -122,14 +132,19 @@ impl SmallWorldNetwork {
         &self.assumed
     }
 
+    /// The long-link topology (outgoing + incoming CSR).
+    pub fn long_topology(&self) -> &CsrTopology {
+        &self.long
+    }
+
     /// Outgoing long-range links of peer `u`.
     pub fn long_links(&self, u: NodeId) -> &[NodeId] {
-        &self.long[u as usize]
+        self.long.neighbors(u)
     }
 
     /// Incoming long-range links of peer `u`.
     pub fn incoming_links(&self, u: NodeId) -> &[NodeId] {
-        &self.incoming[u as usize]
+        self.long.incoming(u)
     }
 
     /// Normalized-space position `F̂(key_u)` of peer `u`.
@@ -151,39 +166,30 @@ impl SmallWorldNetwork {
 
     /// Replaces the long links of peer `u` (used by refresh/estimation).
     pub fn set_long_links(&mut self, u: NodeId, links: Vec<NodeId>) {
-        self.long[u as usize] = links;
-        self.rebuild_incoming();
+        self.set_long_topology(self.long.with_row(u, &links));
     }
 
     /// Replaces every peer's long links at once (bulk refresh; rebuilds
-    /// the incoming index a single time).
+    /// both CSR tables a single time).
     pub fn set_all_long_links(&mut self, links: Vec<Vec<NodeId>>) {
         assert_eq!(links.len(), self.placement.len());
-        self.long = links;
-        self.rebuild_incoming();
+        self.set_long_topology(CsrTopology::from_rows(&links));
     }
 
     /// Removes each long link independently with probability `fraction`
     /// (neighbour edges are structural and survive). Returns how many
     /// links were dropped. This is the §3.1 robustness experiment E7.
     pub fn drop_random_long_links(&mut self, fraction: f64, rng: &mut Rng) -> usize {
-        let mut dropped = 0;
-        for links in &mut self.long {
-            links.retain(|_| {
-                let keep = !rng.chance(fraction);
-                if !keep {
-                    dropped += 1;
-                }
-                keep
-            });
-        }
-        self.rebuild_incoming();
+        let before = self.long.edge_count();
+        let filtered = self.long.filter_edges(|_, _| !rng.chance(fraction));
+        let dropped = before - filtered.edge_count();
+        self.set_long_topology(filtered);
         dropped
     }
 
     /// Total number of long links in the network.
     pub fn total_long_links(&self) -> usize {
-        self.long.iter().map(Vec::len).sum()
+        self.long.edge_count()
     }
 
     /// Convenience survey: `queries` member-key lookups from random
@@ -191,6 +197,25 @@ impl SmallWorldNetwork {
     pub fn routing_survey(&self, queries: usize, rng: &mut Rng) -> RoutingSurvey {
         RoutingSurvey::run(self, queries, TargetModel::MemberKeys, rng)
     }
+}
+
+/// Builds the full routing table: topology neighbours first, then long
+/// links, then (optionally) incoming long links, deduplicated per row.
+fn build_contact_table(
+    placement: &Placement,
+    long: &CsrTopology,
+    bidirectional: bool,
+) -> CsrTopology {
+    let n = placement.len();
+    let mut lt = LinkTable::new(n);
+    for u in 0..n as NodeId {
+        lt.add_all(u, placement.topology_neighbors(u));
+        lt.add_all(u, long.neighbors(u).iter().copied());
+        if bidirectional {
+            lt.add_all(u, long.incoming(u).iter().copied());
+        }
+    }
+    lt.build()
 }
 
 impl Overlay for SmallWorldNetwork {
@@ -202,27 +227,8 @@ impl Overlay for SmallWorldNetwork {
         &self.placement
     }
 
-    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
-        let mut c: Vec<NodeId> = match self.placement.topology() {
-            Topology::Ring => vec![self.placement.prev(u), self.placement.next(u)],
-            Topology::Interval => {
-                let (l, r) = self.placement.interval_neighbors(u);
-                l.into_iter().chain(r).collect()
-            }
-        };
-        for &v in &self.long[u as usize] {
-            if !c.contains(&v) {
-                c.push(v);
-            }
-        }
-        if self.config.bidirectional {
-            for &v in &self.incoming[u as usize] {
-                if !c.contains(&v) {
-                    c.push(v);
-                }
-            }
-        }
-        c
+    fn topology(&self) -> &CsrTopology {
+        &self.contact_table
     }
 }
 
@@ -275,11 +281,12 @@ mod tests {
     }
 
     #[test]
-    fn set_long_links_updates_incoming() {
+    fn set_long_links_updates_incoming_and_contacts() {
         let mut net = small_net(64, 6);
         net.set_long_links(0, vec![42]);
         assert_eq!(net.long_links(0), &[42]);
         assert!(net.incoming_links(42).contains(&0));
+        assert!(net.contacts(0).contains(&42));
     }
 
     #[test]
@@ -288,5 +295,15 @@ mod tests {
         let p = net.placement();
         let d_key = (p.key(10).get() - p.key(90).get()).abs();
         assert!((net.mass_between(10, 90) - d_key).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contact_rows_are_deduplicated() {
+        let net = small_net(256, 8);
+        for u in 0..256u32 {
+            let c = net.contacts(u);
+            let set: std::collections::HashSet<_> = c.iter().collect();
+            assert_eq!(set.len(), c.len(), "duplicate contact in row {u}");
+        }
     }
 }

@@ -238,10 +238,7 @@ mod tests {
         let max = *interior.iter().max().unwrap() as f64;
         let min = *interior.iter().min().unwrap() as f64;
         assert!(min > 0.0);
-        assert!(
-            max / min < 2.0,
-            "interior occupancy spread too wide: {h:?}"
-        );
+        assert!(max / min < 2.0, "interior occupancy spread too wide: {h:?}");
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl SmallWorldNetwork {
                     }
                     let mut best = cur;
                     let mut best_d = self.mass_to_key(cur, target_pos);
-                    for v in self.contacts(cur) {
+                    for &v in self.contacts(cur) {
                         let d = self.mass_to_key(v, target_pos);
                         if d < best_d {
                             best_d = d;
@@ -115,8 +115,8 @@ mod tests {
     use super::*;
     use crate::builder::SmallWorldBuilder;
     use sw_keyspace::distribution::TruncatedPareto;
-    use sw_keyspace::Rng;
     use sw_keyspace::stats::OnlineStats;
+    use sw_keyspace::Rng;
 
     #[test]
     fn both_modes_succeed_on_uniform() {
@@ -127,8 +127,14 @@ mod tests {
             let from = rng.index(512) as NodeId;
             let to = rng.index(512) as NodeId;
             let t = net.placement().key(to);
-            assert!(net.route_with_mode(from, t, DistanceMode::KeySpace, &opts).success);
-            assert!(net.route_with_mode(from, t, DistanceMode::MassSpace, &opts).success);
+            assert!(
+                net.route_with_mode(from, t, DistanceMode::KeySpace, &opts)
+                    .success
+            );
+            assert!(
+                net.route_with_mode(from, t, DistanceMode::MassSpace, &opts)
+                    .success
+            );
         }
     }
 

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use sw_core::config::{LinkSampler, MassThreshold, OutDegree};
 use sw_core::partition::partition_index;
 use sw_core::{theory, SmallWorldBuilder};
-use sw_keyspace::distribution::{Kumaraswamy, TruncatedPareto, Uniform};
 use sw_keyspace::distribution::KeyDistribution;
+use sw_keyspace::distribution::{Kumaraswamy, TruncatedPareto, Uniform};
 use sw_keyspace::Rng;
 use sw_overlay::route::RouteOptions;
 use sw_overlay::Overlay;

@@ -177,12 +177,7 @@ impl<'a> Dht<'a> {
     /// previous value. Dead replicas are skipped (not an error); a dead
     /// *owner* still accepts the primary copy only if alive, otherwise
     /// the first alive replica holds the authoritative copy.
-    pub fn put(
-        &mut self,
-        origin: NodeId,
-        key: Key,
-        value: Vec<u8>,
-    ) -> Result<OpCost, DhtError> {
+    pub fn put(&mut self, origin: NodeId, key: Key, value: Vec<u8>) -> Result<OpCost, DhtError> {
         let (owner, mut cost) = self.route_to_owner(origin, key)?;
         let mut stored = false;
         if self.is_alive(owner) {
@@ -403,10 +398,7 @@ mod tests {
         let net = ring_net(64, 9);
         let mut dht = Dht::new(&net, 1);
         dht.kill(5);
-        assert_eq!(
-            dht.get(5, key(0.5)).unwrap_err(),
-            DhtError::OriginDead(5)
-        );
+        assert_eq!(dht.get(5, key(0.5)).unwrap_err(), DhtError::OriginDead(5));
     }
 
     #[test]
@@ -464,7 +456,11 @@ mod tests {
         }
         let narrow = dht.range(0, key(0.40), key(0.42)).unwrap();
         let wide = dht.range(0, key(0.10), key(0.60)).unwrap();
-        assert!(narrow.peers_visited < 16, "narrow: {}", narrow.peers_visited);
+        assert!(
+            narrow.peers_visited < 16,
+            "narrow: {}",
+            narrow.peers_visited
+        );
         assert!(
             wide.peers_visited > 4 * narrow.peers_visited,
             "wide sweep covers proportionally more peers"

@@ -127,8 +127,7 @@ pub fn strong_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
             } else {
                 call.pop();
                 if let Some(&(parent, _)) = call.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[u as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[u as usize]);
                 }
                 if lowlink[u as usize] == index[u as usize] {
                     let mut comp = Vec::new();

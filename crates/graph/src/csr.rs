@@ -1,0 +1,371 @@
+//! The flat CSR (compressed sparse row) topology every overlay stores its
+//! adjacency in.
+//!
+//! A [`Topology`] packs all outgoing edges into one `edges` array indexed
+//! by an `offsets` array (`n + 1` entries), plus a mirrored incoming-edge
+//! CSR built in a single counting-sort pass. Compared to the former
+//! `Vec<Vec<NodeId>>` representation this removes one heap allocation per
+//! peer (the "allocation storm" at 10⁵–10⁶ peers), makes neighbour access
+//! a contiguous slice read, and gives routing a cache-friendly layout.
+//!
+//! [`LinkTable`] is the shared construction-time builder: overlays append
+//! per-peer contact rows (with in-row deduplication and self-loop
+//! filtering) in any order and then freeze the table into a [`Topology`].
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Flat CSR adjacency: outgoing and incoming edges of a fixed peer set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Topology {
+    /// `offsets[u]..offsets[u + 1]` indexes `edges` — `n + 1` entries.
+    offsets: Vec<u32>,
+    /// All outgoing edges, grouped by source peer.
+    edges: Vec<NodeId>,
+    /// Incoming-edge offsets (`n + 1` entries).
+    in_offsets: Vec<u32>,
+    /// All incoming edges, grouped by destination peer, in source order.
+    in_edges: Vec<NodeId>,
+}
+
+impl Topology {
+    /// An edgeless topology over `n` peers.
+    pub fn empty(n: usize) -> Topology {
+        Topology {
+            offsets: vec![0; n + 1],
+            edges: Vec::new(),
+            in_offsets: vec![0; n + 1],
+            in_edges: Vec::new(),
+        }
+    }
+
+    /// Packs per-peer adjacency rows into CSR form (rows are borrowed, not
+    /// consumed — the transpose is built from the same pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge target is out of range or the total edge count
+    /// overflows `u32` (≈ 4·10⁹ edges — far past the workspace's scale).
+    pub fn from_rows(rows: &[Vec<NodeId>]) -> Topology {
+        Self::from_row_slices(rows.len(), |u| &rows[u])
+    }
+
+    /// Generalized CSR packing: `row(u)` yields peer `u`'s out-edges.
+    pub fn from_row_slices<'a, F>(n: usize, row: F) -> Topology
+    where
+        F: Fn(usize) -> &'a [NodeId],
+    {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
+        offsets.push(0u32);
+        for u in 0..n {
+            total += row(u).len();
+            offsets.push(u32::try_from(total).expect("edge count fits u32"));
+        }
+        let mut edges = Vec::with_capacity(total);
+        for u in 0..n {
+            edges.extend_from_slice(row(u));
+        }
+        debug_assert!(
+            edges.iter().all(|&v| (v as usize) < n),
+            "edge target in range"
+        );
+        let (in_offsets, in_edges) = transpose(n, &offsets, &edges);
+        Topology {
+            offsets,
+            edges,
+            in_offsets,
+            in_edges,
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the topology has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Outgoing neighbours of `u` — a contiguous slice, no allocation.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let (a, b) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+        &self.edges[a as usize..b as usize]
+    }
+
+    /// Incoming neighbours of `u` (sources of edges ending at `u`).
+    #[inline]
+    pub fn incoming(&self, u: NodeId) -> &[NodeId] {
+        let (a, b) = (self.in_offsets[u as usize], self.in_offsets[u as usize + 1]);
+        &self.in_edges[a as usize..b as usize]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        (self.in_offsets[u as usize + 1] - self.in_offsets[u as usize]) as usize
+    }
+
+    /// True if the edge `u → v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).contains(&v)
+    }
+
+    /// Mean out-degree.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.edges.len() as f64 / self.len() as f64
+        }
+    }
+
+    /// Largest out-degree.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.len() as NodeId)
+            .map(|u| self.out_degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over all edges as `(u, v)` pairs in row order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.len() as NodeId).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Unpacks back into per-peer rows (the inverse of [`from_rows`]).
+    ///
+    /// [`from_rows`]: Topology::from_rows
+    pub fn to_rows(&self) -> Vec<Vec<NodeId>> {
+        (0..self.len() as NodeId)
+            .map(|u| self.neighbors(u).to_vec())
+            .collect()
+    }
+
+    /// A copy with only the edges `keep(u, v)` accepts; offsets and the
+    /// incoming CSR are rebuilt in one pass.
+    pub fn filter_edges(&self, mut keep: impl FnMut(NodeId, NodeId) -> bool) -> Topology {
+        let n = self.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        offsets.push(0u32);
+        for u in 0..n as NodeId {
+            edges.extend(self.neighbors(u).iter().copied().filter(|&v| keep(u, v)));
+            offsets.push(edges.len() as u32);
+        }
+        let (in_offsets, in_edges) = transpose(n, &offsets, &edges);
+        Topology {
+            offsets,
+            edges,
+            in_offsets,
+            in_edges,
+        }
+    }
+
+    /// A copy with peer `u`'s row replaced (used by link refresh paths;
+    /// rebuilds both CSRs — `O(n + m)`, fine for maintenance operations).
+    pub fn with_row(&self, u: NodeId, new_row: &[NodeId]) -> Topology {
+        let n = self.len();
+        Topology::from_row_slices(n, |w| {
+            if w == u as usize {
+                new_row
+            } else {
+                self.neighbors(w as NodeId)
+            }
+        })
+    }
+
+    /// Materializes as a [`DiGraph`] (for the metrics toolkit).
+    pub fn to_digraph(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.len());
+        for (u, v) in self.iter_edges() {
+            g.add_edge_unique(u, v);
+        }
+        g
+    }
+}
+
+/// One counting-sort pass: out-CSR → in-CSR.
+fn transpose(n: usize, offsets: &[u32], edges: &[NodeId]) -> (Vec<u32>, Vec<NodeId>) {
+    let mut in_counts = vec![0u32; n + 1];
+    for &v in edges {
+        in_counts[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        in_counts[i + 1] += in_counts[i];
+    }
+    let in_offsets = in_counts.clone();
+    let mut cursor = in_counts;
+    let mut in_edges = vec![0 as NodeId; edges.len()];
+    for u in 0..n {
+        let (a, b) = (offsets[u] as usize, offsets[u + 1] as usize);
+        for &v in &edges[a..b] {
+            in_edges[cursor[v as usize] as usize] = u as NodeId;
+            cursor[v as usize] += 1;
+        }
+    }
+    (in_offsets, in_edges)
+}
+
+/// Construction-time contact-table builder shared by every overlay.
+///
+/// Rows accumulate per peer (in any order) with self-loop filtering and
+/// in-row deduplication, then [`LinkTable::build`] freezes them into a
+/// [`Topology`]. Rows are short (logarithmic in `n`), so the linear-scan
+/// dedup beats hashing.
+#[derive(Debug, Clone)]
+pub struct LinkTable {
+    rows: Vec<Vec<NodeId>>,
+}
+
+impl LinkTable {
+    /// An empty table over `n` peers.
+    pub fn new(n: usize) -> LinkTable {
+        LinkTable {
+            rows: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Adds `u → v` unless it is a self-loop or already present.
+    /// Returns `true` if the edge was added.
+    pub fn add(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || self.rows[u as usize].contains(&v) {
+            return false;
+        }
+        self.rows[u as usize].push(v);
+        true
+    }
+
+    /// Adds every target in `vs` (deduplicated, self-loops skipped).
+    pub fn add_all(&mut self, u: NodeId, vs: impl IntoIterator<Item = NodeId>) {
+        for v in vs {
+            self.add(u, v);
+        }
+    }
+
+    /// The current row of `u`.
+    pub fn row(&self, u: NodeId) -> &[NodeId] {
+        &self.rows[u as usize]
+    }
+
+    /// Freezes the table into a CSR [`Topology`].
+    pub fn build(self) -> Topology {
+        Topology::from_rows(&self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Topology {
+        Topology::from_rows(&[vec![1, 2], vec![2], vec![0], vec![]])
+    }
+
+    #[test]
+    fn neighbors_are_row_slices() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.neighbors(0), &[1, 2]);
+        assert_eq!(t.neighbors(1), &[2]);
+        assert_eq!(t.neighbors(3), &[] as &[NodeId]);
+        assert_eq!(t.out_degree(0), 2);
+    }
+
+    #[test]
+    fn incoming_is_the_transpose() {
+        let t = sample();
+        assert_eq!(t.incoming(2), &[0, 1]);
+        assert_eq!(t.incoming(0), &[2]);
+        assert_eq!(t.incoming(3), &[] as &[NodeId]);
+        assert_eq!(t.in_degree(2), 2);
+        // Transpose preserves edge count.
+        let total_in: usize = (0..4).map(|u| t.in_degree(u)).sum();
+        assert_eq!(total_in, t.edge_count());
+    }
+
+    #[test]
+    fn round_trip_through_rows() {
+        let rows = vec![vec![3, 1], vec![], vec![0, 1, 3], vec![2]];
+        let t = Topology::from_rows(&rows);
+        assert_eq!(t.to_rows(), rows);
+    }
+
+    #[test]
+    fn empty_topology() {
+        let t = Topology::empty(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.neighbors(1), &[] as &[NodeId]);
+        assert_eq!(t.incoming(1), &[] as &[NodeId]);
+        let zero = Topology::empty(0);
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn filter_edges_rebuilds_both_csrs() {
+        let t = sample();
+        let f = t.filter_edges(|_, v| v != 2);
+        assert_eq!(f.neighbors(0), &[1]);
+        assert_eq!(f.neighbors(1), &[] as &[NodeId]);
+        assert_eq!(f.edge_count(), 2);
+        assert_eq!(f.incoming(2), &[] as &[NodeId]);
+        assert_eq!(f.incoming(0), &[2]);
+    }
+
+    #[test]
+    fn with_row_replaces_one_peer() {
+        let t = sample();
+        let r = t.with_row(1, &[0, 3]);
+        assert_eq!(r.neighbors(1), &[0, 3]);
+        assert_eq!(r.neighbors(0), &[1, 2]);
+        assert!(r.incoming(3).contains(&1));
+        assert!(!r.incoming(2).contains(&1));
+    }
+
+    #[test]
+    fn link_table_dedups_and_skips_self_loops() {
+        let mut lt = LinkTable::new(3);
+        assert!(lt.add(0, 1));
+        assert!(!lt.add(0, 1), "duplicate rejected");
+        assert!(!lt.add(1, 1), "self loop rejected");
+        lt.add_all(2, [0, 0, 1, 2]);
+        assert_eq!(lt.row(2), &[0, 1]);
+        let t = lt.build();
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn to_digraph_matches_edges() {
+        let t = sample();
+        let g = t.to_digraph();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+    }
+}

@@ -41,7 +41,11 @@ impl KleinbergRing {
         let mut cum = Vec::with_capacity(half);
         let mut acc = 0.0;
         for d in 1..=half {
-            let count = if n.is_multiple_of(2) && d == half { 1.0 } else { 2.0 };
+            let count = if n.is_multiple_of(2) && d == half {
+                1.0
+            } else {
+                2.0
+            };
             acc += count * (d as f64).powf(-r);
             cum.push(acc);
         }

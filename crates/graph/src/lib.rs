@@ -3,8 +3,15 @@
 //! Directed-graph substrate and the two classic small-world constructions
 //! the paper builds on (systems S5–S7 of `DESIGN.md`):
 //!
-//! * [`digraph`] — a compact adjacency-list digraph used as the common
-//!   representation for every overlay topology in the workspace.
+//! * [`csr`] — the flat CSR [`Topology`] (offsets + edges, plus an
+//!   incoming-edge CSR built by one counting-sort pass) that every
+//!   overlay stores its adjacency in, and the shared [`LinkTable`]
+//!   construction builder.
+//! * [`par`] — deterministic fork/join helpers over scoped std threads
+//!   (the workspace builds offline, so no `rayon`): parallel per-peer
+//!   construction and batched routing build on these.
+//! * [`digraph`] — a mutable adjacency-list digraph used while *editing*
+//!   graphs; frozen overlays use [`Topology`] instead.
 //! * [`bfs`] — breadth-first distances, sampled average path length and
 //!   diameter estimation.
 //! * [`clustering`] — the Watts–Strogatz clustering coefficient.
@@ -19,10 +26,13 @@
 pub mod bfs;
 pub mod clustering;
 pub mod components;
+pub mod csr;
 pub mod digraph;
 pub mod kleinberg;
 pub mod metrics;
+pub mod par;
 pub mod watts_strogatz;
 
+pub use csr::{LinkTable, Topology};
 pub use digraph::{DiGraph, NodeId};
 pub use metrics::GraphMetrics;

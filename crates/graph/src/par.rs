@@ -1,0 +1,153 @@
+//! Deterministic data-parallel helpers over scoped std threads.
+//!
+//! The container this workspace builds in has no network access, so the
+//! usual `rayon` dependency is replaced by a minimal fork/join layer on
+//! `std::thread::scope`. The contract every caller relies on: **results
+//! are a pure function of the input, independent of the thread count** —
+//! each index is mapped by a closure that receives only the index, so
+//! chunking can never reorder observable effects. Randomized callers pass
+//! per-index RNG streams (`Rng::stream`) to keep that property.
+
+/// Number of worker threads to use when the caller asks for "auto" (`0`).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..n` into a `Vec`, splitting the index range into
+/// contiguous chunks across `threads` workers (`0` = auto). Falls back to
+/// a plain sequential loop for one thread or tiny inputs, so the parallel
+/// and sequential paths produce identical results by construction.
+///
+/// Tuned for cheap per-item work; when each item is itself expensive
+/// (e.g. a full greedy route), use [`par_map_grained`] with a smaller
+/// minimum chunk.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_grained(n, threads, DEFAULT_MIN_PER_THREAD, f)
+}
+
+/// [`par_map`] with an explicit minimum number of items per worker:
+/// threads are capped at `n / min_per_thread`, so small batches of
+/// expensive items still fan out while trivial maps stay inline.
+pub fn par_map_grained<T, F>(n: usize, threads: usize, min_per_thread: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(n, threads, min_per_thread);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("par_map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Runs `f(lo..hi)` over contiguous chunks of `0..n` for side-effect-free
+/// reductions: each worker returns an accumulator, and the accumulators
+/// are combined left-to-right (chunk order), keeping float reductions
+/// deterministic for a fixed thread count.
+pub fn par_chunks<A, F>(n: usize, threads: usize, f: F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(std::ops::Range<usize>) -> A + Sync,
+{
+    let threads = effective_threads(n, threads, DEFAULT_MIN_PER_THREAD);
+    if threads <= 1 {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<A> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || f(lo..hi))
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("par_chunks worker panicked"));
+        }
+    });
+    out
+}
+
+/// Spawn overhead dominates below ~1k cheap items per worker.
+const DEFAULT_MIN_PER_THREAD: usize = 1024;
+
+fn effective_threads(n: usize, threads: usize, min_per_thread: usize) -> usize {
+    let t = if threads == 0 {
+        default_parallelism()
+    } else {
+        threads
+    };
+    t.min(n / min_per_thread.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let n = 10_000;
+        let seq: Vec<u64> = (0..n)
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let par = par_map(n, threads, |i| (i as u64).wrapping_mul(2654435761));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let out = par_map(5, 8, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn zero_items() {
+        let out: Vec<usize> = par_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_chunks_covers_range_once() {
+        let n = 50_000;
+        for threads in [1, 2, 5, 8] {
+            let sums = par_chunks(n, threads, |r| r.map(|i| i as u64).sum::<u64>());
+            let total: u64 = sums.iter().sum();
+            assert_eq!(total, (n as u64 - 1) * n as u64 / 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn auto_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+    }
+}

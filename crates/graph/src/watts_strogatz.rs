@@ -102,7 +102,15 @@ mod tests {
             WsError::Degenerate
         );
         assert_eq!(
-            generate(WattsStrogatz { n: 10, k: 0, p: 0.0 }, &mut rng).unwrap_err(),
+            generate(
+                WattsStrogatz {
+                    n: 10,
+                    k: 0,
+                    p: 0.0
+                },
+                &mut rng
+            )
+            .unwrap_err(),
             WsError::Degenerate
         );
         assert_eq!(
@@ -114,7 +122,15 @@ mod tests {
     #[test]
     fn p_zero_is_the_exact_lattice() {
         let mut rng = Rng::new(2);
-        let g = generate(WattsStrogatz { n: 30, k: 2, p: 0.0 }, &mut rng).unwrap();
+        let g = generate(
+            WattsStrogatz {
+                n: 30,
+                k: 2,
+                p: 0.0,
+            },
+            &mut rng,
+        )
+        .unwrap();
         // Every node has degree exactly 2k, and the k=2 lattice clustering
         // coefficient is 0.5.
         for u in 0..30 {
@@ -126,8 +142,24 @@ mod tests {
     #[test]
     fn edge_count_is_preserved_by_rewiring() {
         let mut rng = Rng::new(3);
-        let g0 = generate(WattsStrogatz { n: 100, k: 3, p: 0.0 }, &mut rng).unwrap();
-        let g1 = generate(WattsStrogatz { n: 100, k: 3, p: 0.7 }, &mut rng).unwrap();
+        let g0 = generate(
+            WattsStrogatz {
+                n: 100,
+                k: 3,
+                p: 0.0,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let g1 = generate(
+            WattsStrogatz {
+                n: 100,
+                k: 3,
+                p: 0.7,
+            },
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(g0.edge_count(), g1.edge_count());
     }
 
@@ -167,8 +199,24 @@ mod tests {
     fn deterministic_under_seed() {
         let mut a = Rng::new(42);
         let mut b = Rng::new(42);
-        let ga = generate(WattsStrogatz { n: 50, k: 2, p: 0.3 }, &mut a).unwrap();
-        let gb = generate(WattsStrogatz { n: 50, k: 2, p: 0.3 }, &mut b).unwrap();
+        let ga = generate(
+            WattsStrogatz {
+                n: 50,
+                k: 2,
+                p: 0.3,
+            },
+            &mut a,
+        )
+        .unwrap();
+        let gb = generate(
+            WattsStrogatz {
+                n: 50,
+                k: 2,
+                p: 0.3,
+            },
+            &mut b,
+        )
+        .unwrap();
         let ea: Vec<_> = ga.edges().collect();
         let eb: Vec<_> = gb.edges().collect();
         assert_eq!(ea, eb);

@@ -3,9 +3,24 @@
 use proptest::prelude::*;
 use sw_graph::bfs::{distances_from, UNREACHABLE};
 use sw_graph::components::{strong_components, weak_components, UnionFind};
+use sw_graph::csr::Topology;
 use sw_graph::digraph::DiGraph;
 use sw_graph::watts_strogatz::{generate, WattsStrogatz};
+use sw_graph::NodeId;
 use sw_keyspace::Rng;
+
+/// Random per-peer adjacency rows (possibly with duplicate targets — the
+/// CSR layer must preserve rows verbatim, dedup is the builder's job).
+fn random_rows(n: usize, max_row: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            (0..rng.index(max_row + 1))
+                .map(|_| rng.index(n) as NodeId)
+                .collect()
+        })
+        .collect()
+}
 
 /// Random edge list over `n` nodes.
 fn random_graph(n: usize, m: usize, seed: u64) -> DiGraph {
@@ -19,6 +34,67 @@ fn random_graph(n: usize, m: usize, seed: u64) -> DiGraph {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CSR round trip: `Vec<Vec<NodeId>>` → [`Topology`] → back is the
+    /// identity, and every neighbour slice matches its source row.
+    #[test]
+    fn csr_round_trip(n in 1usize..64, max_row in 0usize..12, seed in any::<u64>()) {
+        let rows = random_rows(n, max_row, seed);
+        let topo = Topology::from_rows(&rows);
+        prop_assert_eq!(topo.len(), n);
+        prop_assert_eq!(topo.edge_count(), rows.iter().map(Vec::len).sum::<usize>());
+        for (u, row) in rows.iter().enumerate() {
+            prop_assert_eq!(topo.neighbors(u as NodeId), row.as_slice());
+            prop_assert_eq!(topo.out_degree(u as NodeId), row.len());
+        }
+        prop_assert_eq!(topo.to_rows(), rows);
+    }
+
+    /// The incoming CSR is exactly the transpose of the outgoing CSR:
+    /// `v ∈ out(u)` with multiplicity `k` iff `u ∈ in(v)` with
+    /// multiplicity `k`, and in-edge order follows source order.
+    #[test]
+    fn csr_incoming_consistency(n in 1usize..64, max_row in 0usize..12, seed in any::<u64>()) {
+        let rows = random_rows(n, max_row, seed);
+        let topo = Topology::from_rows(&rows);
+        let total_in: usize = (0..n as NodeId).map(|u| topo.in_degree(u)).sum();
+        prop_assert_eq!(total_in, topo.edge_count());
+        for v in 0..n as NodeId {
+            let inc = topo.incoming(v);
+            // Sources arrive in nondecreasing order (counting sort).
+            prop_assert!(inc.windows(2).all(|w| w[0] <= w[1]));
+            for &u in inc {
+                prop_assert!(topo.neighbors(u).contains(&v));
+            }
+        }
+        // Multiplicity check via brute-force transpose.
+        for u in 0..n as NodeId {
+            for &v in topo.neighbors(u) {
+                let out_mult = topo.neighbors(u).iter().filter(|&&w| w == v).count();
+                let in_mult = topo.incoming(v).iter().filter(|&&w| w == u).count();
+                prop_assert_eq!(out_mult, in_mult, "edge {}->{}", u, v);
+            }
+        }
+    }
+
+    /// `filter_edges` keeps exactly the accepted edges, in row order.
+    #[test]
+    fn csr_filter_edges_contract(n in 1usize..48, max_row in 0usize..10, seed in any::<u64>()) {
+        let rows = random_rows(n, max_row, seed);
+        let topo = Topology::from_rows(&rows);
+        let keep = |u: NodeId, v: NodeId| !(u as usize + v as usize).is_multiple_of(3);
+        let filtered = topo.filter_edges(keep);
+        let expected: Vec<Vec<NodeId>> = rows
+            .iter()
+            .enumerate()
+            .map(|(u, row)| {
+                row.iter().copied().filter(|&v| keep(u as NodeId, v)).collect()
+            })
+            .collect();
+        prop_assert_eq!(filtered.to_rows(), expected);
+        let total_in: usize = (0..n as NodeId).map(|u| filtered.in_degree(u)).sum();
+        prop_assert_eq!(total_in, filtered.edge_count());
+    }
 
     /// Edge count tracks insertions (minus ignored self-loops) and
     /// removals exactly.

@@ -26,10 +26,7 @@ impl Mixture {
                 "mixture needs at least one component".into(),
             ));
         }
-        if components
-            .iter()
-            .any(|(w, _)| !w.is_finite() || *w <= 0.0)
-        {
+        if components.iter().any(|(w, _)| !w.is_finite() || *w <= 0.0) {
             return Err(DistributionError::InvalidShape(
                 "mixture weights must be finite and positive".into(),
             ));
@@ -246,16 +243,19 @@ mod tests {
     #[test]
     fn mixture_sampling_matches_component_weights() {
         let m = Mixture::new(vec![
-            (0.75, Arc::new(TruncatedNormal::new(0.2, 0.02).unwrap()) as _),
-            (0.25, Arc::new(TruncatedNormal::new(0.8, 0.02).unwrap()) as _),
+            (
+                0.75,
+                Arc::new(TruncatedNormal::new(0.2, 0.02).unwrap()) as _,
+            ),
+            (
+                0.25,
+                Arc::new(TruncatedNormal::new(0.8, 0.02).unwrap()) as _,
+            ),
         ])
         .unwrap();
         let mut rng = Rng::new(17);
         let n = 50_000;
-        let below = (0..n)
-            .filter(|_| m.sample_value(&mut rng) < 0.5)
-            .count() as f64
-            / n as f64;
+        let below = (0..n).filter(|_| m.sample_value(&mut rng) < 0.5).count() as f64 / n as f64;
         assert!((below - 0.75).abs() < 0.01, "below = {below}");
     }
 

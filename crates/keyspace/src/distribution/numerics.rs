@@ -54,10 +54,7 @@ mod tests {
     fn erf_matches_reference_within_2e7() {
         for &(x, want) in ERF_REFS {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 2e-7,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 2e-7, "erf({x}) = {got}, want {want}");
             // Odd symmetry.
             assert!((erf(-x) + want).abs() < 2e-7);
         }

@@ -85,7 +85,12 @@ impl TruncatedNormal {
     /// `mu` finite. The untruncated mean may lie outside `[0, 1)`.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, DistributionError> {
         check_param("mu", mu, mu.is_finite(), "finite")?;
-        check_param("sigma", sigma, sigma.is_finite() && sigma > 0.0, "finite > 0")?;
+        check_param(
+            "sigma",
+            sigma,
+            sigma.is_finite() && sigma > 0.0,
+            "finite > 0",
+        )?;
         let phi_lo = norm_cdf((0.0 - mu) / sigma);
         let phi_hi = norm_cdf((1.0 - mu) / sigma);
         let mass = phi_hi - phi_lo;
@@ -207,7 +212,12 @@ impl TruncatedPareto {
     /// Creates the distribution; requires finite `alpha > 0` and
     /// `x0 > 0`.
     pub fn new(alpha: f64, x0: f64) -> Result<Self, DistributionError> {
-        check_param("alpha", alpha, alpha.is_finite() && alpha > 0.0, "finite > 0")?;
+        check_param(
+            "alpha",
+            alpha,
+            alpha.is_finite() && alpha > 0.0,
+            "finite > 0",
+        )?;
         check_param("x0", x0, x0.is_finite() && x0 > 0.0, "finite > 0")?;
         Ok(TruncatedPareto { alpha, x0 })
     }
@@ -419,11 +429,7 @@ mod tests {
                 let q = i as f64 / 10.0;
                 let x = d.quantile(q);
                 let emp = xs.partition_point(|&s| s <= x) as f64 / n as f64;
-                assert!(
-                    (emp - q).abs() < 0.02,
-                    "{}: q={q} emp={emp}",
-                    d.name()
-                );
+                assert!((emp - q).abs() < 0.02, "{}: q={q} emp={emp}", d.name());
             }
         }
     }

@@ -201,7 +201,10 @@ impl PiecewiseLinear {
                 ));
             }
         }
-        if points.iter().any(|(x, f)| !x.is_finite() || !f.is_finite() || *f < 0.0) {
+        if points
+            .iter()
+            .any(|(x, f)| !x.is_finite() || !f.is_finite() || *f < 0.0)
+        {
             return Err(DistributionError::InvalidShape(
                 "densities must be finite and nonnegative".into(),
             ));
@@ -226,12 +229,7 @@ impl PiecewiseLinear {
             cum.push(acc);
         }
         *cum.last_mut().expect("nonempty") = 1.0;
-        Ok(PiecewiseLinear {
-            xs,
-            fs,
-            cum,
-            label,
-        })
+        Ok(PiecewiseLinear { xs, fs, cum, label })
     }
 
     /// Symmetric tent: density rises linearly to a peak at `center`.
@@ -424,8 +422,10 @@ mod tests {
     fn linear_rejects_bad_knots() {
         assert!(PiecewiseLinear::from_points(&[(0.0, 1.0)]).is_err());
         assert!(PiecewiseLinear::from_points(&[(0.1, 1.0), (1.0, 1.0)]).is_err());
-        assert!(PiecewiseLinear::from_points(&[(0.0, 1.0), (0.5, 1.0), (0.5, 2.0), (1.0, 1.0)])
-            .is_err());
+        assert!(
+            PiecewiseLinear::from_points(&[(0.0, 1.0), (0.5, 1.0), (0.5, 2.0), (1.0, 1.0)])
+                .is_err()
+        );
         assert!(PiecewiseLinear::from_points(&[(0.0, 0.0), (1.0, 0.0)]).is_err());
         assert!(PiecewiseLinear::from_points(&[(0.0, -1.0), (1.0, 2.0)]).is_err());
     }

@@ -53,13 +53,26 @@ impl Rng {
         Rng::new(self.next_u64() ^ 0xA076_1D64_78BD_642F)
     }
 
+    /// An independent generator for stream `stream` of a common `seed`.
+    ///
+    /// Unlike [`Rng::fork`] this is a *pure function* of `(seed, stream)`:
+    /// parallel constructions hand stream `u` to peer `u`, so the drawn
+    /// values do not depend on how work is chunked across threads and a
+    /// parallel build is bit-identical to the sequential one.
+    pub fn stream(seed: u64, stream: u64) -> Rng {
+        // Spread streams across the splitmix sequence with two distinct
+        // odd multipliers so neighbouring streams decorrelate.
+        let base = seed
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .rotate_left(17)
+            .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03) ^ seed.rotate_left(31));
+        Rng::new(base)
+    }
+
     /// Next raw 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -161,9 +174,7 @@ impl Rng {
     /// (the total weight). Returns `i` with probability
     /// `(cumulative[i] − cumulative[i−1]) / total`.
     pub fn sample_cumulative(&mut self, cumulative: &[f64]) -> usize {
-        let total = *cumulative
-            .last()
-            .expect("sample_cumulative on empty table");
+        let total = *cumulative.last().expect("sample_cumulative on empty table");
         debug_assert!(total > 0.0, "total weight must be positive");
         let x = self.f64() * total;
         // partition_point: first index with cumulative[i] > x.

@@ -14,7 +14,11 @@ use sw_keyspace::Rng;
 fn fixed_zoo() -> Vec<Box<dyn KeyDistribution>> {
     let mut rng = Rng::new(0xC0FFEE);
     let samples: Vec<f64> = (0..400)
-        .map(|_| TruncatedNormal::new(0.4, 0.2).unwrap().sample_value(&mut rng))
+        .map(|_| {
+            TruncatedNormal::new(0.4, 0.2)
+                .unwrap()
+                .sample_value(&mut rng)
+        })
         .collect();
     vec![
         Box::new(Uniform),

@@ -10,14 +10,15 @@
 
 use crate::placement::Placement;
 use crate::route::{Overlay, RouteOptions, RouteResult};
-use sw_graph::NodeId;
+use sw_graph::csr::Topology as CsrTopology;
+use sw_graph::{LinkTable, NodeId};
 use sw_keyspace::{Key, Rng, Topology};
 
 /// Classic Chord: deterministic successor fingers.
 #[derive(Debug, Clone)]
 pub struct Chord {
     p: Placement,
-    tables: Vec<Vec<NodeId>>,
+    topo: CsrTopology,
 }
 
 impl Chord {
@@ -30,26 +31,25 @@ impl Chord {
         assert_eq!(p.topology(), Topology::Ring, "chord lives on the ring");
         let n = p.len();
         let m = p.log2_n();
-        let mut tables = Vec::with_capacity(n);
+        let mut lt = LinkTable::new(n);
         for u in 0..n as NodeId {
             let base = p.key(u).get();
-            let mut t: Vec<NodeId> = vec![p.next(u), p.prev(u)];
+            lt.add_all(u, p.topology_neighbors(u));
             for k in 1..=m {
                 let target = Key::clamped((base + (0.5f64).powi(k as i32)).rem_euclid(1.0));
-                let finger = p.successor(target);
-                if finger != u && !t.contains(&finger) {
-                    t.push(finger);
-                }
+                lt.add(u, p.successor(target));
             }
-            tables.push(t);
         }
-        Chord { p, tables }
+        Chord {
+            p,
+            topo: lt.build(),
+        }
     }
 
     /// Classic clockwise Chord routing (closest preceding finger):
     /// success means reaching the *successor* of the target key.
     pub fn route_clockwise(&self, from: NodeId, target: Key, opts: &RouteOptions) -> RouteResult {
-        crate::route::clockwise_route(&self.p, &|u| self.contacts(u), from, target, opts)
+        crate::route::clockwise_route(&self.p, &self.topo, from, target, opts)
     }
 }
 
@@ -62,8 +62,8 @@ impl Overlay for Chord {
         &self.p
     }
 
-    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
-        self.tables[u as usize].clone()
+    fn topology(&self) -> &CsrTopology {
+        &self.topo
     }
 
     /// Chord's fingers are unidirectional, so its native router is the
@@ -78,7 +78,7 @@ impl Overlay for Chord {
 #[derive(Debug, Clone)]
 pub struct RandomizedChord {
     p: Placement,
-    tables: Vec<Vec<NodeId>>,
+    topo: CsrTopology,
 }
 
 impl RandomizedChord {
@@ -94,23 +94,23 @@ impl RandomizedChord {
         assert_eq!(p.topology(), Topology::Ring, "chord lives on the ring");
         let n = p.len();
         let m = p.log2_n();
-        let mut tables = Vec::with_capacity(n);
+        let mut lt = LinkTable::new(n);
         for u in 0..n as NodeId {
             let base = p.key(u).get();
-            let mut t: Vec<NodeId> = vec![p.next(u), p.prev(u)];
+            lt.add_all(u, p.topology_neighbors(u));
             for k in 1..=m {
                 let lo = base + (0.5f64).powi(k as i32);
                 let hi = base + (0.5f64).powi(k as i32 - 1);
                 let finger = p
                     .random_in_arc(lo, hi, rng)
                     .unwrap_or_else(|| p.successor(Key::clamped(lo.rem_euclid(1.0))));
-                if finger != u && !t.contains(&finger) {
-                    t.push(finger);
-                }
+                lt.add(u, finger);
             }
-            tables.push(t);
         }
-        RandomizedChord { p, tables }
+        RandomizedChord {
+            p,
+            topo: lt.build(),
+        }
     }
 }
 
@@ -123,13 +123,13 @@ impl Overlay for RandomizedChord {
         &self.p
     }
 
-    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
-        self.tables[u as usize].clone()
+    fn topology(&self) -> &CsrTopology {
+        &self.topo
     }
 
     /// Same unidirectional geometry as Chord: route clockwise.
     fn route(&self, from: NodeId, target: Key, opts: &RouteOptions) -> RouteResult {
-        crate::route::clockwise_route(&self.p, &|u| self.contacts(u), from, target, opts)
+        crate::route::clockwise_route(&self.p, &self.topo, from, target, opts)
     }
 }
 

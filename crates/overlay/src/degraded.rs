@@ -9,15 +9,20 @@
 
 use crate::placement::Placement;
 use crate::route::Overlay;
-use std::collections::HashSet;
+use sw_graph::csr::Topology as CsrTopology;
 use sw_graph::NodeId;
 use sw_keyspace::{Rng, Topology};
 
 /// A view of an overlay with some peers dead and/or some links dropped.
+///
+/// The degraded contact table is materialized as its own CSR topology
+/// (rebuilt by one `filter_edges` pass per degradation call), so routing
+/// over a degraded overlay reads the same flat slices as an intact one.
 pub struct DegradedOverlay<'a> {
     inner: &'a dyn Overlay,
     dead: Vec<bool>,
-    dropped: HashSet<(NodeId, NodeId)>,
+    topo: CsrTopology,
+    dropped: usize,
 }
 
 impl<'a> DegradedOverlay<'a> {
@@ -25,7 +30,8 @@ impl<'a> DegradedOverlay<'a> {
     pub fn new(inner: &'a dyn Overlay) -> Self {
         DegradedOverlay {
             dead: vec![false; inner.placement().len()],
-            dropped: HashSet::new(),
+            topo: inner.topology().clone(),
+            dropped: 0,
             inner,
         }
     }
@@ -38,6 +44,10 @@ impl<'a> DegradedOverlay<'a> {
         for idx in rng.sample_distinct(n, kill.min(n)) {
             self.dead[idx] = true;
         }
+        let dead = &self.dead;
+        self.topo = self
+            .topo
+            .filter_edges(|u, v| !dead[u as usize] && !dead[v as usize]);
         self
     }
 
@@ -46,29 +56,12 @@ impl<'a> DegradedOverlay<'a> {
     /// stay intact, matching the §3.1 robustness scenario.
     pub fn drop_long_links(mut self, fraction: f64, rng: &mut Rng) -> Self {
         let p = self.inner.placement();
-        for u in 0..p.len() as NodeId {
-            for v in self.inner.contacts(u) {
-                if self.is_topology_neighbor(u, v) {
-                    continue;
-                }
-                if rng.chance(fraction) {
-                    self.dropped.insert((u, v));
-                }
-            }
-        }
+        let before = self.topo.edge_count();
+        self.topo = self
+            .topo
+            .filter_edges(|u, v| is_topology_neighbor(p, u, v) || !rng.chance(fraction));
+        self.dropped += before - self.topo.edge_count();
         self
-    }
-
-    /// True if `v` is `u`'s immediate ring/interval neighbour.
-    fn is_topology_neighbor(&self, u: NodeId, v: NodeId) -> bool {
-        let p = self.inner.placement();
-        match p.topology() {
-            Topology::Ring => v == p.next(u) || v == p.prev(u),
-            Topology::Interval => {
-                let (l, r) = p.interval_neighbors(u);
-                Some(v) == l || Some(v) == r
-            }
-        }
     }
 
     /// True if peer `u` is alive.
@@ -96,7 +89,18 @@ impl<'a> DegradedOverlay<'a> {
 
     /// Number of dropped long links.
     pub fn dropped_links(&self) -> usize {
-        self.dropped.len()
+        self.dropped
+    }
+}
+
+/// True if `v` is `u`'s immediate ring/interval neighbour.
+fn is_topology_neighbor(p: &Placement, u: NodeId, v: NodeId) -> bool {
+    match p.topology() {
+        Topology::Ring => v == p.next(u) || v == p.prev(u),
+        Topology::Interval => {
+            let (l, r) = p.interval_neighbors(u);
+            Some(v) == l || Some(v) == r
+        }
     }
 }
 
@@ -109,15 +113,8 @@ impl Overlay for DegradedOverlay<'_> {
         self.inner.placement()
     }
 
-    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
-        if self.dead[u as usize] {
-            return Vec::new();
-        }
-        self.inner
-            .contacts(u)
-            .into_iter()
-            .filter(|&v| !self.dead[v as usize] && !self.dropped.contains(&(u, v)))
-            .collect()
+    fn topology(&self) -> &CsrTopology {
+        &self.topo
     }
 }
 
@@ -162,8 +159,13 @@ mod tests {
             assert_eq!(d.contacts(u).len(), 2, "only ring neighbours remain");
         }
         // Routing still succeeds — linearly.
-        let s =
-            RoutingSurvey::run_with_opts(&d, 100, TargetModel::MemberKeys, &linear_opts(256), &mut rng);
+        let s = RoutingSurvey::run_with_opts(
+            &d,
+            100,
+            TargetModel::MemberKeys,
+            &linear_opts(256),
+            &mut rng,
+        );
         assert!((s.success_rate() - 1.0).abs() < 1e-12);
         assert!(s.hops.mean() > 20.0, "ring routing is linear");
     }
@@ -203,7 +205,7 @@ mod tests {
         let dead_count = (0..128u32).filter(|&u| !d.is_alive(u)).count();
         assert_eq!(dead_count, 32);
         for u in 0..128u32 {
-            for v in d.contacts(u) {
+            for &v in d.contacts(u) {
                 assert!(d.is_alive(v), "contact list contains dead peer");
             }
         }

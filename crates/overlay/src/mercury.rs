@@ -13,7 +13,8 @@
 
 use crate::placement::Placement;
 use crate::route::Overlay;
-use sw_graph::NodeId;
+use sw_graph::csr::Topology as CsrTopology;
+use sw_graph::{LinkTable, NodeId};
 use sw_keyspace::distribution::{Empirical, KeyDistribution};
 use sw_keyspace::{Key, Rng, Topology};
 
@@ -21,7 +22,7 @@ use sw_keyspace::{Key, Rng, Topology};
 #[derive(Debug, Clone)]
 pub struct Mercury {
     p: Placement,
-    out: Vec<Vec<NodeId>>,
+    topo: CsrTopology,
     k: usize,
     sample_size: usize,
 }
@@ -72,9 +73,15 @@ impl Mercury {
                 }
             }
         }
+        let mut lt = LinkTable::new(n);
+        for u in 0..n as NodeId {
+            lt.add_all(u, p.topology_neighbors(u));
+            // A long link can land on a ring neighbour; the table dedupes.
+            lt.add_all(u, out[u as usize].iter().copied());
+        }
         Mercury {
             p,
-            out,
+            topo: lt.build(),
             k,
             sample_size,
         }
@@ -95,15 +102,8 @@ impl Overlay for Mercury {
         &self.p
     }
 
-    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
-        let mut c = vec![self.p.prev(u), self.p.next(u)];
-        // A long link can land on a ring neighbour; dedupe.
-        for &v in &self.out[u as usize] {
-            if !c.contains(&v) {
-                c.push(v);
-            }
-        }
-        c
+    fn topology(&self) -> &CsrTopology {
+        &self.topo
     }
 }
 

@@ -15,14 +15,15 @@
 
 use crate::placement::Placement;
 use crate::route::Overlay;
-use sw_graph::NodeId;
+use sw_graph::csr::Topology as CsrTopology;
+use sw_graph::{LinkTable, NodeId};
 use sw_keyspace::{Rng, Topology};
 
 /// Pastry-like overlay instance.
 #[derive(Debug, Clone)]
 pub struct PastryLike {
     p: Placement,
-    tables: Vec<Vec<NodeId>>,
+    topo: CsrTopology,
     bits_per_digit: u32,
     rows: usize,
     leaf_each_side: usize,
@@ -56,23 +57,21 @@ impl PastryLike {
         // Enough rows that the finest partition is below the mean peer
         // spacing: ceil(log_base(n)) + 1.
         let rows = ((n as f64).log2() / bits_per_digit as f64).ceil() as usize + 1;
-        let mut tables = Vec::with_capacity(n);
+        let mut lt = LinkTable::new(n);
         let mut empty_cells = 0usize;
         for u in 0..n as NodeId {
             let key = p.key(u).get();
-            let mut t: Vec<NodeId> = Vec::new();
+            // The contact order mirrors routing priority: ring neighbours
+            // first, then the leaf set, then routing-table cells.
+            lt.add_all(u, p.topology_neighbors(u));
             // Leaf set.
             let mut fwd = u;
             let mut bwd = u;
             for _ in 0..leaf_each_side {
                 fwd = p.next(fwd);
                 bwd = p.prev(bwd);
-                if fwd != u && !t.contains(&fwd) {
-                    t.push(fwd);
-                }
-                if bwd != u && !t.contains(&bwd) {
-                    t.push(bwd);
-                }
+                lt.add(u, fwd);
+                lt.add(u, bwd);
             }
             // Routing table rows.
             for row in 0..rows {
@@ -88,19 +87,16 @@ impl PastryLike {
                     let hi = lo + cell_width;
                     match p.random_in_arc(lo, hi.min(1.0), rng) {
                         Some(v) if v != u => {
-                            if !t.contains(&v) {
-                                t.push(v);
-                            }
+                            lt.add(u, v);
                         }
                         _ => empty_cells += 1,
                     }
                 }
             }
-            tables.push(t);
         }
         PastryLike {
             p,
-            tables,
+            topo: lt.build(),
             bits_per_digit,
             rows,
             leaf_each_side,
@@ -139,14 +135,8 @@ impl Overlay for PastryLike {
         &self.p
     }
 
-    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
-        let mut c = vec![self.p.prev(u), self.p.next(u)];
-        for &v in &self.tables[u as usize] {
-            if !c.contains(&v) {
-                c.push(v);
-            }
-        }
-        c
+    fn topology(&self) -> &CsrTopology {
+        &self.topo
     }
 }
 

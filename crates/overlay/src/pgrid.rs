@@ -17,8 +17,9 @@
 
 use crate::placement::Placement;
 use crate::route::Overlay;
-use sw_graph::NodeId;
-use sw_keyspace::{Key, Rng, Topology};
+use sw_graph::csr::Topology as CsrTopology;
+use sw_graph::{LinkTable, NodeId};
+use sw_keyspace::{Key, Rng};
 
 /// How the trie splits an interval of peers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +35,7 @@ pub enum SplitPolicy {
 #[derive(Debug, Clone)]
 pub struct PGridLike {
     p: Placement,
-    tables: Vec<Vec<NodeId>>,
+    topo: CsrTopology,
     /// Trie depth (path length) of each peer's leaf.
     depths: Vec<usize>,
     policy: SplitPolicy,
@@ -104,9 +105,16 @@ impl PGridLike {
             stack.push((a, split_idx, lo, split_key, level + 1));
             stack.push((split_idx, b, split_key, hi, level + 1));
         }
+        // Freeze: ring/interval neighbours first, then the per-level
+        // sibling references (deduplicated by the table).
+        let mut lt = LinkTable::new(n);
+        for u in 0..n as NodeId {
+            lt.add_all(u, p.topology_neighbors(u));
+            lt.add_all(u, tables[u as usize].iter().copied());
+        }
         PGridLike {
             p,
-            tables,
+            topo: lt.build(),
             depths,
             policy,
             refs_per_level,
@@ -134,14 +142,7 @@ impl PGridLike {
 }
 
 /// Samples `want` distinct references for `u` from the id range `[a, b)`.
-fn push_refs(
-    table: &mut Vec<NodeId>,
-    a: usize,
-    b: usize,
-    want: usize,
-    u: usize,
-    rng: &mut Rng,
-) {
+fn push_refs(table: &mut Vec<NodeId>, a: usize, b: usize, want: usize, u: usize, rng: &mut Rng) {
     let span = b - a;
     let want = want.min(span);
     let mut tries = 0;
@@ -158,30 +159,15 @@ fn push_refs(
 
 impl Overlay for PGridLike {
     fn name(&self) -> String {
-        format!(
-            "pgrid({:?},refs={})",
-            self.policy, self.refs_per_level
-        )
+        format!("pgrid({:?},refs={})", self.policy, self.refs_per_level)
     }
 
     fn placement(&self) -> &Placement {
         &self.p
     }
 
-    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
-        let mut c: Vec<NodeId> = match self.p.topology() {
-            Topology::Ring => vec![self.p.prev(u), self.p.next(u)],
-            Topology::Interval => {
-                let (l, r) = self.p.interval_neighbors(u);
-                l.into_iter().chain(r).collect()
-            }
-        };
-        for &v in &self.tables[u as usize] {
-            if !c.contains(&v) {
-                c.push(v);
-            }
-        }
-        c
+    fn topology(&self) -> &CsrTopology {
+        &self.topo
     }
 }
 
@@ -196,6 +182,7 @@ mod tests {
     use super::*;
     use crate::route::{RoutingSurvey, TargetModel};
     use sw_keyspace::distribution::{TruncatedPareto, Uniform};
+    use sw_keyspace::Topology;
 
     fn uniform_placement(n: usize, seed: u64) -> Placement {
         let mut rng = Rng::new(seed);

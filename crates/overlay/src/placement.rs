@@ -112,9 +112,7 @@ impl Placement {
     /// Evenly spaced keys `i/n` — the idealized uniform grid.
     pub fn regular(n: usize, topology: Topology) -> Placement {
         assert!(n >= 2);
-        let keys = (0..n)
-            .map(|i| Key::clamped(i as f64 / n as f64))
-            .collect();
+        let keys = (0..n).map(|i| Key::clamped(i as f64 / n as f64)).collect();
         Placement {
             topology,
             keys,
@@ -219,6 +217,18 @@ impl Placement {
         ((id as usize + self.keys.len() - 1) % self.keys.len()) as NodeId
     }
 
+    /// The structural neighbour edges of `id` under this placement's
+    /// topology: `prev`/`next` on the ring (wrapping), the 1–2 adjacent
+    /// peers on the interval. Every overlay seeds its contact table from
+    /// this one definition.
+    pub fn topology_neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let (a, b) = match self.topology {
+            Topology::Ring => (Some(self.prev(id)), Some(self.next(id))),
+            Topology::Interval => self.interval_neighbors(id),
+        };
+        a.into_iter().chain(b)
+    }
+
     /// Interval neighbours: `(left, right)` without wrap; `None` at the
     /// boundary peers.
     pub fn interval_neighbors(&self, id: NodeId) -> (Option<NodeId>, Option<NodeId>) {
@@ -315,12 +325,8 @@ mod tests {
 
     #[test]
     fn nearest_interval() {
-        let p = Placement::from_keys(
-            vec![key(0.1), key(0.4), key(0.8)],
-            Topology::Interval,
-            "t",
-        )
-        .unwrap();
+        let p = Placement::from_keys(vec![key(0.1), key(0.4), key(0.8)], Topology::Interval, "t")
+            .unwrap();
         assert_eq!(p.nearest(key(0.0)), 0);
         assert_eq!(p.nearest(key(0.24)), 0);
         assert_eq!(p.nearest(key(0.26)), 1);
@@ -362,12 +368,8 @@ mod tests {
 
     #[test]
     fn interval_neighbors_have_boundaries() {
-        let p = Placement::from_keys(
-            vec![key(0.1), key(0.5), key(0.9)],
-            Topology::Interval,
-            "t",
-        )
-        .unwrap();
+        let p = Placement::from_keys(vec![key(0.1), key(0.5), key(0.9)], Topology::Interval, "t")
+            .unwrap();
         assert_eq!(p.interval_neighbors(0), (None, Some(1)));
         assert_eq!(p.interval_neighbors(1), (Some(0), Some(2)));
         assert_eq!(p.interval_neighbors(2), (Some(1), None));

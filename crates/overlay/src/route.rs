@@ -5,9 +5,16 @@
 //! nodes reachable through an edge from u.” (§3). Every overlay in the
 //! workspace routes through this one engine so that hop counts are
 //! comparable across systems.
+//!
+//! Overlays store their contact tables in one flat CSR
+//! [`Topology`](sw_graph::Topology): routing reads neighbour *slices*
+//! (no per-hop allocation), and [`route_batch`] evaluates thousands of
+//! independent lookups across threads — the batched path that feeds
+//! [`RoutingSurvey`] and the experiment harness.
 
 use crate::placement::Placement;
-use sw_graph::{DiGraph, NodeId};
+use sw_graph::csr::Topology as CsrTopology;
+use sw_graph::{par, DiGraph, NodeId};
 use sw_keyspace::stats::OnlineStats;
 use sw_keyspace::{Key, Rng};
 
@@ -33,7 +40,7 @@ impl RouteOptions {
 }
 
 /// Outcome of one greedy route.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteResult {
     /// True if the route reached the peer responsible for the target.
     pub success: bool,
@@ -44,59 +51,51 @@ pub struct RouteResult {
     pub path: Vec<NodeId>,
 }
 
-/// A key-based overlay network: a placement plus per-peer routing tables.
-pub trait Overlay {
+/// A key-based overlay network: a placement plus per-peer routing tables
+/// stored as one flat CSR topology.
+///
+/// `Sync` is a supertrait so any overlay can be shared across the worker
+/// threads of [`route_batch`] without wrappers.
+pub trait Overlay: Sync {
     /// Display name with parameters, e.g. `"chord"`.
     fn name(&self) -> String;
 
     /// The peer placement this overlay is built over.
     fn placement(&self) -> &Placement;
 
-    /// The routing table of peer `u`: every peer reachable in one hop
-    /// (neighbour links *and* long-range links).
-    fn contacts(&self, u: NodeId) -> Vec<NodeId>;
+    /// The full contact table (neighbour links *and* long-range links) as
+    /// a CSR topology — one row per peer.
+    fn topology(&self) -> &CsrTopology;
+
+    /// The routing table of peer `u`: every peer reachable in one hop,
+    /// as a slice into the CSR edge array (no allocation).
+    #[inline]
+    fn contacts(&self, u: NodeId) -> &[NodeId] {
+        self.topology().neighbors(u)
+    }
 
     /// Greedy distance-minimizing route from `from` toward `target`.
     fn route(&self, from: NodeId, target: Key, opts: &RouteOptions) -> RouteResult {
-        greedy_route(
-            self.placement(),
-            &|u| self.contacts(u),
-            from,
-            target,
-            opts,
-        )
+        greedy_route(self.placement(), self.topology(), from, target, opts)
     }
 
     /// Mean routing-table size (out-degree).
     fn avg_table_size(&self) -> f64 {
-        let n = self.placement().len();
-        let total: usize = (0..n as NodeId).map(|u| self.contacts(u).len()).sum();
-        total as f64 / n as f64
+        self.topology().avg_out_degree()
     }
 
     /// Largest routing table in the overlay.
     fn max_table_size(&self) -> usize {
-        let n = self.placement().len();
-        (0..n as NodeId)
-            .map(|u| self.contacts(u).len())
-            .max()
-            .unwrap_or(0)
+        self.topology().max_out_degree()
     }
 
     /// Materializes the overlay as a digraph (for `sw-graph` metrics).
     fn to_graph(&self) -> DiGraph {
-        let n = self.placement().len();
-        let mut g = DiGraph::new(n);
-        for u in 0..n as NodeId {
-            for v in self.contacts(u) {
-                g.add_edge_unique(u, v);
-            }
-        }
-        g
+        self.topology().to_digraph()
     }
 }
 
-/// The greedy engine itself, usable with a closure routing table.
+/// The greedy engine itself, reading neighbour slices from the CSR.
 ///
 /// The goal peer is the placement-wide nearest peer to `target`; success
 /// means reaching exactly that peer. A hop is taken only if it *strictly*
@@ -105,7 +104,7 @@ pub trait Overlay {
 /// in degraded overlays — intact neighbour links always offer progress).
 pub fn greedy_route(
     placement: &Placement,
-    contacts: &dyn Fn(NodeId) -> Vec<NodeId>,
+    topo: &CsrTopology,
     from: NodeId,
     target: Key,
     opts: &RouteOptions,
@@ -123,7 +122,7 @@ pub fn greedy_route(
         }
         let mut best = cur;
         let mut best_d = placement.distance_to(cur, target);
-        for v in contacts(cur) {
+        for &v in topo.neighbors(cur) {
             let d = placement.distance_to(v, target);
             if d < best_d {
                 best_d = d;
@@ -174,7 +173,7 @@ fn finish(
 /// would otherwise be approached by `O(n)` single predecessor steps.
 pub fn clockwise_route(
     placement: &Placement,
-    contacts: &dyn Fn(NodeId) -> Vec<NodeId>,
+    topo: &CsrTopology,
     from: NodeId,
     target: Key,
     opts: &RouteOptions,
@@ -194,7 +193,7 @@ pub fn clockwise_route(
         let arc_to_target = Topology::Ring.clockwise(placement.key(cur), target);
         let mut best = cur;
         let mut best_remaining = f64::INFINITY;
-        for v in contacts(cur) {
+        for &v in topo.neighbors(cur) {
             let adv = Topology::Ring.clockwise(placement.key(cur), placement.key(v));
             if adv > 0.0 && adv <= arc_to_target {
                 let remaining = arc_to_target - adv;
@@ -217,6 +216,28 @@ pub fn clockwise_route(
     finish(true, hops, path, from, cur, opts)
 }
 
+/// Evaluates a batch of independent greedy lookups, splitting the batch
+/// across `threads` workers (`0` = auto). Results come back in input
+/// order, and — because each lookup is deterministic given the overlay —
+/// are bit-identical to a sequential `overlay.route(..)` loop for every
+/// thread count.
+///
+/// Dispatches through [`Overlay::route`], so overlays with a native
+/// router (e.g. Chord's clockwise walk) batch their own algorithm.
+pub fn route_batch<O: Overlay + ?Sized>(
+    overlay: &O,
+    queries: &[(NodeId, Key)],
+    opts: &RouteOptions,
+    threads: usize,
+) -> Vec<RouteResult> {
+    // A single greedy route costs microseconds, so even modest batches
+    // are worth fanning out.
+    par::par_map_grained(queries.len(), threads, 64, |i| {
+        let (from, target) = queries[i];
+        overlay.route(from, target, opts)
+    })
+}
+
 /// How survey target keys are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TargetModel {
@@ -226,6 +247,27 @@ pub enum TargetModel {
     MemberKeys,
     /// Target is a uniformly random point of the key space.
     UniformKeys,
+}
+
+/// Draws the `(source, target)` pairs a survey would route — exposed so
+/// callers can share one workload between survey and batch APIs.
+pub fn survey_queries(
+    placement: &Placement,
+    queries: usize,
+    model: TargetModel,
+    rng: &mut Rng,
+) -> Vec<(NodeId, Key)> {
+    let n = placement.len();
+    (0..queries)
+        .map(|_| {
+            let from = rng.index(n) as NodeId;
+            let target = match model {
+                TargetModel::MemberKeys => placement.key(rng.index(n) as NodeId),
+                TargetModel::UniformKeys => Key::clamped(rng.f64()),
+            };
+            (from, target)
+        })
+        .collect()
 }
 
 /// Aggregated routing statistics over many random lookups.
@@ -279,6 +321,10 @@ impl RoutingSurvey {
     /// Runs `queries` random lookups with explicit [`RouteOptions`] —
     /// needed when linear-walk hop counts are legitimate (e.g. a ring
     /// stripped of long links).
+    ///
+    /// The lookups are evaluated through [`route_batch`]; the workload is
+    /// drawn up front, so the survey is deterministic in `rng` regardless
+    /// of worker-thread count.
     pub fn run_with_opts(
         overlay: &dyn Overlay,
         queries: usize,
@@ -286,18 +332,18 @@ impl RoutingSurvey {
         opts: &RouteOptions,
         rng: &mut Rng,
     ) -> RoutingSurvey {
-        let p = overlay.placement();
-        let n = p.len();
+        let workload = survey_queries(overlay.placement(), queries, model, rng);
+        let results = route_batch(overlay, &workload, opts, 0);
+        Self::from_results(&results)
+    }
+
+    /// Aggregates pre-computed route results (in input order, so float
+    /// accumulation is reproducible).
+    pub fn from_results(results: &[RouteResult]) -> RoutingSurvey {
         let mut hops = OnlineStats::new();
-        let mut hop_samples = Vec::with_capacity(queries);
+        let mut hop_samples = Vec::with_capacity(results.len());
         let mut successes = 0usize;
-        for _ in 0..queries {
-            let from = rng.index(n) as NodeId;
-            let target = match model {
-                TargetModel::MemberKeys => p.key(rng.index(n) as NodeId),
-                TargetModel::UniformKeys => Key::clamped(rng.f64()),
-            };
-            let r = overlay.route(from, target, opts);
+        for r in results {
             if r.success {
                 successes += 1;
                 hops.push(r.hops as f64);
@@ -307,7 +353,7 @@ impl RoutingSurvey {
         RoutingSurvey {
             hops,
             hop_samples,
-            attempts: queries,
+            attempts: results.len(),
             successes,
         }
     }
@@ -316,11 +362,13 @@ impl RoutingSurvey {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sw_graph::LinkTable;
     use sw_keyspace::Topology;
 
     /// Minimal overlay: ring successor/predecessor only.
     struct RingOnly {
         p: Placement,
+        topo: CsrTopology,
     }
 
     impl Overlay for RingOnly {
@@ -330,14 +378,20 @@ mod tests {
         fn placement(&self) -> &Placement {
             &self.p
         }
-        fn contacts(&self, u: NodeId) -> Vec<NodeId> {
-            vec![self.p.prev(u), self.p.next(u)]
+        fn topology(&self) -> &CsrTopology {
+            &self.topo
         }
     }
 
     fn ring(n: usize) -> RingOnly {
+        let p = Placement::regular(n, Topology::Ring);
+        let mut lt = LinkTable::new(n);
+        for u in 0..n as NodeId {
+            lt.add_all(u, p.topology_neighbors(u));
+        }
         RingOnly {
-            p: Placement::regular(n, Topology::Ring),
+            p,
+            topo: lt.build(),
         }
     }
 
@@ -393,9 +447,10 @@ mod tests {
 
     #[test]
     fn local_minimum_is_failure() {
-        // A broken overlay where peer 0 has no contacts at all.
+        // A broken overlay where no peer has any contacts at all.
         struct Broken {
             p: Placement,
+            topo: CsrTopology,
         }
         impl Overlay for Broken {
             fn name(&self) -> String {
@@ -404,12 +459,13 @@ mod tests {
             fn placement(&self) -> &Placement {
                 &self.p
             }
-            fn contacts(&self, _u: NodeId) -> Vec<NodeId> {
-                vec![]
+            fn topology(&self) -> &CsrTopology {
+                &self.topo
             }
         }
         let o = Broken {
             p: Placement::regular(8, Topology::Ring),
+            topo: CsrTopology::empty(8),
         };
         let r = o.route(0, o.p.key(4), &RouteOptions::for_n(8));
         assert!(!r.success);
@@ -426,6 +482,22 @@ mod tests {
         assert!((s.success_rate() - 1.0).abs() < 1e-12);
         // Mean ring-routing distance on n=32 is ~8.
         assert!(s.hops.mean() > 4.0 && s.hops.mean() < 12.0);
+    }
+
+    #[test]
+    fn route_batch_matches_looped_routes_for_any_thread_count() {
+        let o = ring(64);
+        let mut rng = Rng::new(11);
+        let workload = survey_queries(&o.p, 300, TargetModel::MemberKeys, &mut rng);
+        let opts = RouteOptions::for_n(64);
+        let looped: Vec<RouteResult> = workload
+            .iter()
+            .map(|&(from, t)| o.route(from, t, &opts))
+            .collect();
+        for threads in [1, 2, 4, 9] {
+            let batched = route_batch(&o, &workload, &opts, threads);
+            assert_eq!(batched, looped, "threads={threads}");
+        }
     }
 
     #[test]

@@ -10,17 +10,19 @@
 
 use crate::placement::Placement;
 use crate::route::Overlay;
-use sw_graph::NodeId;
+use sw_graph::csr::Topology as CsrTopology;
+use sw_graph::{LinkTable, NodeId};
 use sw_keyspace::{Key, Rng, Topology};
 
 /// Symphony overlay instance.
 #[derive(Debug, Clone)]
 pub struct Symphony {
     p: Placement,
-    /// Outgoing long links per peer.
-    out: Vec<Vec<NodeId>>,
-    /// Incoming long links (contacts are bidirectional, as in Symphony).
-    inc: Vec<Vec<NodeId>>,
+    /// Long links only (outgoing rows + incoming transpose).
+    links: CsrTopology,
+    /// Full contact table: ring neighbours + long links (+ reverses when
+    /// bidirectional).
+    topo: CsrTopology,
     k: usize,
     bidirectional: bool,
 }
@@ -52,7 +54,11 @@ impl Symphony {
                 // counter-clockwise shortcuts (Symphony itself always
                 // routes over the undirected link set).
                 let x = (rng.f64() * ln_n).exp() / n as f64;
-                let signed = if bidirectional || rng.chance(0.5) { x } else { -x };
+                let signed = if bidirectional || rng.chance(0.5) {
+                    x
+                } else {
+                    -x
+                };
                 let target = Key::clamped((base + signed).rem_euclid(1.0));
                 let v = p.nearest(target);
                 if v != u && !out[u as usize].contains(&v) {
@@ -60,16 +66,20 @@ impl Symphony {
                 }
             }
         }
-        let mut inc = vec![Vec::new(); n];
-        for (u, links) in out.iter().enumerate() {
-            for &v in links {
-                inc[v as usize].push(u as NodeId);
+        let links = CsrTopology::from_rows(&out);
+        let mut lt = LinkTable::new(n);
+        for u in 0..n as NodeId {
+            lt.add_all(u, p.topology_neighbors(u));
+            // A long link can land on a ring neighbour; the table dedupes.
+            lt.add_all(u, links.neighbors(u).iter().copied());
+            if bidirectional {
+                lt.add_all(u, links.incoming(u).iter().copied());
             }
         }
         Symphony {
             p,
-            out,
-            inc,
+            links,
+            topo: lt.build(),
             k,
             bidirectional,
         }
@@ -78,6 +88,11 @@ impl Symphony {
     /// The configured long-link budget `k`.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The long links only (outgoing + incoming CSR).
+    pub fn long_topology(&self) -> &CsrTopology {
+        &self.links
     }
 }
 
@@ -94,22 +109,8 @@ impl Overlay for Symphony {
         &self.p
     }
 
-    fn contacts(&self, u: NodeId) -> Vec<NodeId> {
-        let mut c = vec![self.p.prev(u), self.p.next(u)];
-        // A long link can land on a ring neighbour; dedupe.
-        for &v in &self.out[u as usize] {
-            if !c.contains(&v) {
-                c.push(v);
-            }
-        }
-        if self.bidirectional {
-            for &v in &self.inc[u as usize] {
-                if !c.contains(&v) {
-                    c.push(v);
-                }
-            }
-        }
-        c
+    fn topology(&self) -> &CsrTopology {
+        &self.topo
     }
 }
 
@@ -199,11 +200,8 @@ mod tests {
         let s = Symphony::build(p, 3, true, &mut rng);
         // Every out-link of u must appear in v's contact set.
         for u in 0..256u32 {
-            for &v in &s.out[u as usize] {
-                assert!(
-                    s.contacts(v).contains(&u),
-                    "reverse of {u}->{v} missing"
-                );
+            for &v in s.long_topology().neighbors(u) {
+                assert!(s.contacts(v).contains(&u), "reverse of {u}->{v} missing");
             }
         }
     }

@@ -1,0 +1,446 @@
+//! A minimal, dependency-free re-implementation of the subset of the
+//! `proptest` API this workspace's test suites use. The container builds
+//! fully offline, so the real crates-io `proptest` cannot be vendored;
+//! this shim keeps the test sources unchanged.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] ... }`
+//!   blocks whose tests bind `ident in strategy` arguments.
+//! * Strategies: numeric `Range`/`RangeInclusive`, `any::<T>()` for the
+//!   primitive types used in-tree, tuples of strategies, and
+//!   `proptest::collection::vec(strategy, size_range)`.
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Semantics differ from real proptest in two deliberate ways: case
+//! generation is derived from a fixed seed (every run explores the same
+//! inputs — the workspace treats reproducibility as a feature), and there
+//! is no shrinking; a failure reports the offending inputs verbatim.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// splitmix64 — the same generator family the workspace RNG seeds with.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The generator handed to strategies (not exposed to test bodies).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Deterministic per-test stream: seeded from the test name.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Anything that can produce values for a `x in strategy` binding.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        rng.next_u64() as u16
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Size specification for [`collection::vec`].
+pub trait SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        Strategy::generate(self, rng)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        Strategy::generate(self, rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is skipped, not failed.
+    Reject(String),
+    /// `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one `proptest!` test: generates `cases` inputs, skips rejected
+/// ones, panics with the formatted inputs on the first failure.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<Option<String>, TestCaseError>,
+{
+    let mut rng = TestRng::for_test(test_name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(8).max(64);
+    while accepted < config.cases && attempts < max_attempts {
+        attempts += 1;
+        match body(&mut rng) {
+            Ok(_) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case failed for {test_name}: {msg}")
+            }
+        }
+    }
+    assert!(
+        accepted > 0,
+        "proptest: every generated case for {test_name} was rejected"
+    );
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::{any, collection, Arbitrary, ProptestConfig, Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(stringify!($name), &config, |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                    $body
+                    Ok(None)
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(ops in collection::vec((0usize..4, any::<bool>()), 0..16)) {
+            prop_assert!(ops.len() < 16);
+            for (a, _) in ops {
+                prop_assert!(a < 4);
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -4,9 +4,10 @@ use crate::latency::LatencyModel;
 use crate::metrics::SimMetrics;
 use crate::time::SimTime;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 use std::sync::Arc;
 use sw_core::config::OutDegree;
+use sw_graph::{par, LinkTable, Topology};
 use sw_keyspace::distribution::KeyDistribution;
 use sw_keyspace::stats::OnlineStats;
 use sw_keyspace::{Key, Rng};
@@ -247,24 +248,58 @@ impl Simulator {
     /// Measurement probe: runs `queries` member lookups *without*
     /// advancing the clock or touching the workload metrics. Returns
     /// (success rate, hop stats).
+    ///
+    /// The probe pairs are drawn up front and the walks evaluated through
+    /// the batched parallel path — each walk gets its own RNG stream, so
+    /// the result is independent of worker-thread count.
     pub fn probe_lookups(&mut self, queries: usize) -> (f64, OnlineStats) {
+        let mut rng = self.rng.fork();
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(queries);
+        for _ in 0..queries {
+            match (self.random_alive(&mut rng), self.random_alive(&mut rng)) {
+                (Some(a), Some(b)) => pairs.push((a, b)),
+                _ => break,
+            }
+        }
+        let walk_seed = rng.next_u64();
+        let this = &*self;
+        let outcomes = par::par_map_grained(pairs.len(), 0, 64, |i| {
+            let (from, target_id) = pairs[i];
+            let mut walk_rng = Rng::stream(walk_seed, i as u64);
+            let target = this.nodes[target_id as usize].key;
+            let outcome = this.walk(from, target, &mut walk_rng);
+            (outcome.final_node == target_id, outcome.hops)
+        });
         let mut hops = OnlineStats::new();
         let mut ok = 0usize;
-        let mut rng = self.rng.fork();
-        for _ in 0..queries {
-            let (from, target_id) = match (self.random_alive(&mut rng), self.random_alive(&mut rng))
-            {
-                (Some(a), Some(b)) => (a, b),
-                _ => break,
-            };
-            let target = self.nodes[target_id as usize].key;
-            let outcome = self.walk(from, target, &mut rng);
-            if outcome.final_node == target_id {
+        for (success, h) in outcomes {
+            if success {
                 ok += 1;
-                hops.push(outcome.hops as f64);
+                hops.push(h as f64);
             }
         }
         (ok as f64 / queries.max(1) as f64, hops)
+    }
+
+    /// Freezes the current *live* routing state (successor lists, pred
+    /// and long links of alive peers, dead contacts filtered) into a CSR
+    /// [`Topology`] over stable node ids — the flat snapshot the graph
+    /// metrics toolkit reads.
+    pub fn topology_snapshot(&self) -> Topology {
+        let mut lt = LinkTable::new(self.nodes.len());
+        for (id, node) in self.nodes.iter().enumerate() {
+            if !node.alive {
+                continue;
+            }
+            let u = id as u32;
+            let alive = |v: &u32| self.nodes[*v as usize].alive;
+            if let Some(p) = node.pred.as_ref().filter(|v| alive(v)) {
+                lt.add(u, *p);
+            }
+            lt.add_all(u, node.succ.iter().filter(|v| alive(v)).copied());
+            lt.add_all(u, node.long.iter().filter(|v| alive(v)).copied());
+        }
+        lt.build()
     }
 
     // ----- internals ------------------------------------------------
@@ -430,8 +465,10 @@ impl Simulator {
     }
 
     /// One greedy walk using local (possibly stale) views; dead contacts
-    /// cost a timeout and are excluded for the rest of the walk.
-    fn walk(&mut self, from: u32, target: Key, rng: &mut Rng) -> WalkOutcome {
+    /// cost a timeout and are excluded for the rest of the walk. Reads
+    /// neighbour state through slices only, so concurrent probe walks can
+    /// share `&self`.
+    fn walk(&self, from: u32, target: Key, rng: &mut Rng) -> WalkOutcome {
         let mut cur = from;
         let mut hops = 0u32;
         let mut timeouts = 0u32;
@@ -513,7 +550,9 @@ impl Simulator {
         // Splice: the new peer's ring neighbours learn about it.
         if let Some(p) = self.nodes[id as usize].pred {
             self.nodes[p as usize].succ.insert(0, id);
-            self.nodes[p as usize].succ.truncate(self.cfg.successor_list.max(1));
+            self.nodes[p as usize]
+                .succ
+                .truncate(self.cfg.successor_list.max(1));
         }
         if let Some(&s) = self.nodes[id as usize].succ.first() {
             self.nodes[s as usize].pred = Some(id);
@@ -587,13 +626,10 @@ impl Simulator {
             + self.nodes[id as usize].long.len() as u64;
         self.metrics.stabilize_messages += pings;
         self.repair_ring_state(id);
-        let alive_ref: Vec<u32> = self.nodes[id as usize]
-            .long
-            .iter()
-            .copied()
-            .filter(|&v| self.nodes[v as usize].alive)
-            .collect();
-        self.nodes[id as usize].long = alive_ref;
+        // Prune dead long links in place (no replacement allocation).
+        let mut long = std::mem::take(&mut self.nodes[id as usize].long);
+        long.retain(|&v| self.nodes[v as usize].alive);
+        self.nodes[id as usize].long = long;
     }
 
     fn do_refresh(&mut self, id: u32) {
@@ -634,7 +670,11 @@ mod tests {
         sim.run_until(SimTime::from_secs(60));
         let m = sim.metrics();
         assert!(m.lookups > 1000, "lookups {}", m.lookups);
-        assert!((m.success_rate() - 1.0).abs() < 1e-12, "{}", m.success_rate());
+        assert!(
+            (m.success_rate() - 1.0).abs() < 1e-12,
+            "{}",
+            m.success_rate()
+        );
         assert!(m.hops.mean() < 12.0, "hops {}", m.hops.mean());
         assert_eq!(m.timeouts, 0);
     }
@@ -700,10 +740,7 @@ mod tests {
             sim.run_until(SimTime::from_secs(120));
             sim.metrics().success_rate()
         };
-        assert!(
-            with > without,
-            "maintenance must help: {without} -> {with}"
-        );
+        assert!(with > without, "maintenance must help: {without} -> {with}");
         assert!(with > 0.97, "maintained success {with}");
     }
 
@@ -727,10 +764,7 @@ mod tests {
     #[test]
     fn skewed_density_simulation_routes_well() {
         let cfg = quiet_config(5, 512);
-        let mut sim = Simulator::new(
-            cfg,
-            Arc::new(TruncatedPareto::new(1.5, 0.01).unwrap()),
-        );
+        let mut sim = Simulator::new(cfg, Arc::new(TruncatedPareto::new(1.5, 0.01).unwrap()));
         sim.run_until(SimTime::from_secs(60));
         let m = sim.metrics();
         assert!((m.success_rate() - 1.0).abs() < 1e-12);
@@ -746,6 +780,42 @@ mod tests {
         assert_eq!(sim.metrics().lookups, before);
         assert!(ok > 0.99);
         assert!(hops.mean() > 0.0);
+    }
+
+    #[test]
+    fn topology_snapshot_is_alive_only_and_wired() {
+        let cfg = SimConfig {
+            churn: ChurnConfig::symmetric(4.0),
+            ..quiet_config(11, 256)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(60));
+        let topo = sim.topology_snapshot();
+        assert_eq!(topo.len(), sim.nodes.len());
+        for (id, node) in sim.nodes.iter().enumerate() {
+            if node.alive {
+                assert!(
+                    topo.out_degree(id as u32) >= 1,
+                    "alive peer {id} has no live contacts"
+                );
+            } else {
+                assert_eq!(topo.out_degree(id as u32), 0, "dead peer {id} has edges");
+            }
+            for &v in topo.neighbors(id as u32) {
+                assert!(sim.nodes[v as usize].alive, "edge to dead peer");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_is_deterministic() {
+        let probe = |seed| {
+            let mut sim = Simulator::new(quiet_config(seed, 512), Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(10));
+            let (ok, hops) = sim.probe_lookups(300);
+            (ok.to_bits(), hops.mean().to_bits())
+        };
+        assert_eq!(probe(13), probe(13));
     }
 
     #[test]

@@ -60,8 +60,10 @@ mod tests {
         let m = LatencyModel::Exponential(SimTime::from_millis(50));
         let mut rng = Rng::new(3);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| m.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 0.05).abs() < 0.002, "mean {mean}");
     }
 }

@@ -33,15 +33,23 @@ fn main() {
         "{:<24} {:>6} {:>9} {:>7}",
         "peer placement", "gini", "max/mean", "empty"
     );
-    let report = |p: &smallworld::overlay::Placement| {
-        BalanceReport::from_loads(&storage_loads(p, &corpus))
-    };
+    let report =
+        |p: &smallworld::overlay::Placement| BalanceReport::from_loads(&storage_loads(p, &corpus));
 
-    let uniform = place_peers(n_peers, &corpus, PeerPlacement::UniformHash, Topology::Ring, &mut rng);
+    let uniform = place_peers(
+        n_peers,
+        &corpus,
+        PeerPlacement::UniformHash,
+        Topology::Ring,
+        &mut rng,
+    );
     let r = report(&uniform);
     println!(
         "{:<24} {:>6.3} {:>9.2} {:>6.1}%",
-        "uniform hashing", r.gini, r.max_over_mean, r.empty_fraction * 100.0
+        "uniform hashing",
+        r.gini,
+        r.max_over_mean,
+        r.empty_fraction * 100.0
     );
 
     let mut rebalanced = uniform.clone();
@@ -49,14 +57,26 @@ fn main() {
     let r = report(&rebalanced);
     println!(
         "{:<24} {:>6.3} {:>9.2} {:>6.1}%   ({rounds} local rounds)",
-        "… + online rebalance", r.gini, r.max_over_mean, r.empty_fraction * 100.0
+        "… + online rebalance",
+        r.gini,
+        r.max_over_mean,
+        r.empty_fraction * 100.0
     );
 
-    let sampled = place_peers(n_peers, &corpus, PeerPlacement::SampleData, Topology::Ring, &mut rng);
+    let sampled = place_peers(
+        n_peers,
+        &corpus,
+        PeerPlacement::SampleData,
+        Topology::Ring,
+        &mut rng,
+    );
     let r = report(&sampled);
     println!(
         "{:<24} {:>6.3} {:>9.2} {:>6.1}%",
-        "data-sampled", r.gini, r.max_over_mean, r.empty_fraction * 100.0
+        "data-sampled",
+        r.gini,
+        r.max_over_mean,
+        r.empty_fraction * 100.0
     );
 
     // The data-adapted placement is exactly the skewed peer density f of

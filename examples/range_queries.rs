@@ -30,7 +30,9 @@ fn main() {
     // Items and peers share the skewed density (peers placed for balance).
     let corpus = Corpus::generate(n_items, &dist, &mut rng);
     let net = SmallWorldBuilder::new(n_peers)
-        .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid params")))
+        .distribution(Box::new(
+            TruncatedPareto::new(1.5, 0.01).expect("valid params"),
+        ))
         .build(&mut rng)
         .expect("n >= 4");
     let placement = net.placement();

@@ -53,7 +53,10 @@ fn main() {
         .build_on(placement, &mut rng)
         .expect("n >= 4");
 
-    println!("\n{:<28} {:>10} {:>9}", "construction", "mean hops", "success");
+    println!(
+        "\n{:<28} {:>10} {:>9}",
+        "construction", "mean hops", "success"
+    );
     for net in [&oracle, &naive, &approx] {
         let s = net.routing_survey(2000, &mut rng);
         println!(

@@ -42,7 +42,10 @@ fn theorem2_pipeline() {
         let net = SmallWorldBuilder::new(1024).build(&mut rng).unwrap();
         net.routing_survey(400, &mut rng).hops.mean()
     };
-    for dist in smallworld::keyspace::distribution::standard_suite().into_iter().skip(1) {
+    for dist in smallworld::keyspace::distribution::standard_suite()
+        .into_iter()
+        .skip(1)
+    {
         let name = dist.name();
         let net = SmallWorldBuilder::new(1024)
             .distribution(dist)
@@ -81,8 +84,12 @@ fn normalization_equivalence() {
     let normalized =
         smallworld::overlay::Placement::from_keys(mapped, Topology::Interval, "normalized")
             .unwrap();
-    let g_prime = SmallWorldBuilder::new(n).build_on(normalized, &mut rng).unwrap();
-    let links: Vec<Vec<u32>> = (0..n as u32).map(|u| g_prime.long_links(u).to_vec()).collect();
+    let g_prime = SmallWorldBuilder::new(n)
+        .build_on(normalized, &mut rng)
+        .unwrap();
+    let links: Vec<Vec<u32>> = (0..n as u32)
+        .map(|u| g_prime.long_links(u).to_vec())
+        .collect();
     let transported = SmallWorldNetwork::with_links(
         direct.placement().clone(),
         dist,
@@ -111,7 +118,10 @@ fn overlay_graph_structure() {
     assert!(is_strongly_connected(&g), "neighbour links close the chain");
     let m = summarize(&g, 32, &mut rng);
     assert!(m.avg_out_degree >= 10.0 && m.avg_out_degree <= 12.5);
-    assert!(m.avg_path_length < 7.0, "BFS paths even shorter than greedy");
+    assert!(
+        m.avg_path_length < 7.0,
+        "BFS paths even shorter than greedy"
+    );
     assert!((m.largest_wcc_fraction - 1.0).abs() < 1e-12);
 }
 
@@ -119,7 +129,9 @@ fn overlay_graph_structure() {
 #[test]
 fn join_then_route() {
     let dist = Arc::new(TruncatedPareto::new(1.5, 0.02).unwrap());
-    let seeds: Vec<Key> = (0..8).map(|i| Key::clamped((i as f64 + 0.5) / 8.0)).collect();
+    let seeds: Vec<Key> = (0..8)
+        .map(|i| Key::clamped((i as f64 + 0.5) / 8.0))
+        .collect();
     let mut grown = GrowingNetwork::bootstrap(
         &seeds,
         dist,
@@ -144,7 +156,13 @@ fn balanced_storage_with_logarithmic_routing() {
     let mut rng = Rng::new(6);
     let dist = TruncatedPareto::new(1.5, 0.005).unwrap();
     let corpus = Corpus::generate(20_000, &dist, &mut rng);
-    let placement = place_peers(256, &corpus, PeerPlacement::SampleData, Topology::Ring, &mut rng);
+    let placement = place_peers(
+        256,
+        &corpus,
+        PeerPlacement::SampleData,
+        Topology::Ring,
+        &mut rng,
+    );
     let balance = BalanceReport::from_loads(&storage_loads(&placement, &corpus));
     assert!(balance.gini < 0.65, "storage balanced: {}", balance.gini);
     let net = SmallWorldBuilder::new(256)
@@ -207,6 +225,64 @@ fn simulator_with_skew_and_churn() {
     assert!(m.joins > 100 && m.failures > 100);
 }
 
+/// The CSR + parallel refactor equivalence contract: with a fixed seed,
+/// a parallel build is bit-identical to a sequential build, and batched
+/// routing returns exactly the hop counts of looped single lookups —
+/// for every thread count.
+#[test]
+fn parallel_refactor_preserves_routing_exactly() {
+    use smallworld::overlay::route::{route_batch, survey_queries, RouteOptions, TargetModel};
+
+    // Worker count is capped at n / 1024, so 8192 peers makes
+    // `parallelism(4)` genuinely split the build across 4 chunks.
+    let n = 8192;
+    let build = |threads: usize| {
+        let mut rng = Rng::new(41);
+        SmallWorldBuilder::new(n)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).unwrap()))
+            .sampler(LinkSampler::Harmonic)
+            .parallelism(threads)
+            .build(&mut rng)
+            .unwrap()
+    };
+    let sequential = build(1);
+    let parallel = build(4);
+    for u in 0..n as u32 {
+        assert_eq!(
+            sequential.long_links(u),
+            parallel.long_links(u),
+            "peer {u} links differ between sequential and parallel builds"
+        );
+    }
+
+    let mut rng = Rng::new(42);
+    let workload = survey_queries(
+        sequential.placement(),
+        600,
+        TargetModel::MemberKeys,
+        &mut rng,
+    );
+    let opts = RouteOptions {
+        record_path: false,
+        ..RouteOptions::for_n(n)
+    };
+    let looped_hops: Vec<u32> = workload
+        .iter()
+        .map(|&(from, t)| {
+            let r = sequential.route(from, t, &opts);
+            assert!(r.success);
+            r.hops
+        })
+        .collect();
+    for threads in [1, 2, 8] {
+        let batched_hops: Vec<u32> = route_batch(&parallel, &workload, &opts, threads)
+            .into_iter()
+            .map(|r| r.hops)
+            .collect();
+        assert_eq!(looped_hops, batched_hops, "threads={threads}");
+    }
+}
+
 /// Determinism across the whole stack: same seed, same everything.
 #[test]
 fn cross_crate_determinism() {
@@ -230,7 +306,9 @@ fn facade_exposes_all_crates() {
     let _ = smallworld::keyspace::distribution::Uniform;
     let _ = smallworld::graph::DiGraph::new(4);
     let _ = smallworld::overlay::Placement::regular(8, Topology::Ring);
-    let _ = smallworld::core::SmallWorldBuilder::new(16).build(&mut rng).unwrap();
+    let _ = smallworld::core::SmallWorldBuilder::new(16)
+        .build(&mut rng)
+        .unwrap();
     let _ = smallworld::sim::SimTime::from_secs(1);
     let _ = smallworld::balance::corpus::Corpus::generate(10, &Uniform, &mut rng);
 }
