@@ -1,37 +1,151 @@
-//! Simulator throughput: virtual seconds of churn + workload per wall
-//! second, and the cost of one measurement probe (now batched across
-//! worker threads).
+//! Message-plane simulator benchmarks: event throughput and lookup
+//! latency under churn, with and without a storage workload, for
+//! uniform and Pareto key densities.
+//!
+//! Writes `BENCH_sim.json` (repo root) so the perf trajectory of the
+//! async engine is comparable across PRs. Two kinds of rows:
+//!
+//! * `sim/events/...` — wall-clock rows; `items_per_iter` is the number
+//!   of plane envelopes delivered per run, so throughput is events/s.
+//! * `sim/lookup-latency-p50|p99/...` — *virtual-time* rows:
+//!   `median_secs`/`mean_secs` carry the p50/p99 end-to-end lookup
+//!   latency in (virtual) seconds under churn, not a wall-clock timing.
+//!
+//! Pass `--quick` for the CI smoke profile.
 
 use std::hint::black_box;
 use std::sync::Arc;
-use sw_bench::microbench::Bencher;
-use sw_keyspace::distribution::Uniform;
-use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, WorkloadConfig};
+use sw_bench::microbench::{to_json, Bencher, Measurement};
+use sw_keyspace::distribution::{KeyDistribution, TruncatedPareto, Uniform};
+use sw_keyspace::stats::quantile_sorted;
+use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, StorageConfig, WorkloadConfig};
+
+fn churn_config(seed: u64, n: usize, storage: bool) -> SimConfig {
+    SimConfig {
+        seed,
+        initial_n: n,
+        churn: ChurnConfig::symmetric(4.0),
+        workload: WorkloadConfig { lookup_rate: 20.0 },
+        storage: if storage {
+            StorageConfig {
+                put_rate: 10.0,
+                get_rate: 10.0,
+                range_rate: 1.0,
+                replication: 3,
+                preload: 2000,
+                range_width: 0.02,
+            }
+        } else {
+            StorageConfig::NONE
+        },
+        stabilize_interval: Some(SimTime::from_secs(5)),
+        refresh_interval: Some(SimTime::from_secs(30)),
+        ..SimConfig::default()
+    }
+}
 
 fn main() {
-    let b = Bencher::from_args();
-    b.bench("simulator/60s-churn4-512peers", || {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let b = if quick {
+        Bencher::quick()
+    } else {
+        Bencher::default()
+    };
+    let mut all: Vec<Measurement> = Vec::new();
+    let n = if quick { 512 } else { 1024 };
+    let horizon = SimTime::from_secs(if quick { 30 } else { 60 });
+
+    let dists: Vec<(&str, Arc<dyn KeyDistribution>)> = vec![
+        ("uniform", Arc::new(Uniform)),
+        (
+            "pareto",
+            Arc::new(TruncatedPareto::new(1.5, 0.01).expect("valid")),
+        ),
+    ];
+
+    for (dname, dist) in &dists {
+        for &storage in &[false, true] {
+            let label = if storage { "churn4+storage" } else { "churn4" };
+            let run = || {
+                let mut sim = Simulator::new(churn_config(5, n, storage), dist.clone());
+                sim.run_until(horizon);
+                sim
+            };
+            // One calibration run pins the deterministic event count for
+            // the throughput denominator.
+            let events = run().metrics().events as f64;
+            let m = b.bench_with_items(&format!("sim/events/{label}/{dname}/{n}"), events, || {
+                black_box(run().metrics().lookups)
+            });
+            all.push(m);
+        }
+
+        // Lookup latency percentiles under churn: virtual-time rows from
+        // one recorded run (deterministic — no sampling noise to average).
         let cfg = SimConfig {
-            seed: 5,
-            initial_n: 512,
-            churn: ChurnConfig::symmetric(4.0),
-            workload: WorkloadConfig { lookup_rate: 20.0 },
+            record_lookups: true,
+            ..churn_config(7, n, true)
+        };
+        let mut sim = Simulator::new(cfg, dist.clone());
+        sim.run_until(horizon);
+        let mut lat: Vec<f64> = sim
+            .lookup_records()
+            .iter()
+            .filter(|r| r.success)
+            .map(|r| r.latency.as_secs_f64())
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        for (tag, q) in [("p50", 0.5), ("p99", 0.99)] {
+            let v = quantile_sorted(&lat, q);
+            println!("sim/lookup-latency-{tag}/churn4/{dname}/{n}          {v:.4} s (virtual)");
+            all.push(Measurement {
+                id: format!("sim/lookup-latency-{tag}/churn4/{dname}/{n}"),
+                median_secs: v,
+                mean_secs: v,
+                items_per_iter: None,
+                samples: lat.len(),
+            });
+        }
+        let m = sim.metrics();
+        println!(
+            "  -> {dname}: {} lookups ({:.1}% ok, {} stranded), {} puts ({:.1}% ok), {} gets ({:.1}% ok)",
+            m.lookups,
+            m.success_rate() * 100.0,
+            m.lookups_stranded,
+            m.puts,
+            m.put_success_rate() * 100.0,
+            m.gets,
+            m.get_success_rate() * 100.0,
+        );
+    }
+
+    // Storage bulk path: parallel preload of the sharded store.
+    let preload = if quick { 20_000 } else { 100_000 };
+    let m = b.bench_with_items(&format!("sim/preload/{preload}"), preload as f64, || {
+        let cfg = SimConfig {
+            initial_n: 1 << 12,
+            storage: StorageConfig {
+                preload,
+                replication: 3,
+                ..StorageConfig::NONE
+            },
             ..SimConfig::default()
         };
-        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
-        sim.run_until(SimTime::from_secs(60));
-        black_box(sim.metrics().lookups)
+        let sim = Simulator::new(cfg, Arc::new(Uniform));
+        black_box(sim.primary_store().len())
     });
+    all.push(m);
 
-    let cfg = SimConfig {
-        seed: 6,
-        initial_n: 1024,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+    // Measurement probe (unchanged shape from the pre-plane suite).
+    let mut sim = Simulator::new(churn_config(6, n, false), Arc::new(Uniform));
     sim.run_until(SimTime::from_secs(10));
-    b.bench_with_items("simulator/probe-200-lookups", 200.0, || {
+    let m = b.bench_with_items("simulator/probe-200-lookups", 200.0, || {
         let (ok, hops) = sim.probe_lookups(200);
         black_box((ok, hops.mean()))
     });
+    all.push(m);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, to_json(&all)).expect("write BENCH_sim.json");
+    println!("\nwrote {} measurements to BENCH_sim.json", all.len());
 }

@@ -8,5 +8,6 @@ pub mod balance;
 pub mod classics;
 pub mod dynamics;
 pub mod equivalence;
+pub mod inflight;
 pub mod skew;
 pub mod theory;

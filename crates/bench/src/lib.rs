@@ -112,5 +112,10 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "§2.1 remark: interval vs ring topology (Theorems 1-2 carry over)",
             experiments::theory::e16_ring_topology,
         ),
+        (
+            "e17",
+            "Async plane: in-flight lookup concurrency, stranding and storage under churn",
+            experiments::inflight::e17_inflight,
+        ),
     ]
 }

@@ -30,6 +30,8 @@
 //! assert_eq!(value, b"answer");
 //! ```
 
+pub mod shard;
 pub mod store;
 
+pub use shard::{Shard, ShardMap};
 pub use store::{Dht, DhtError, OpCost, RangeResult};

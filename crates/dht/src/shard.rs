@@ -1,0 +1,383 @@
+//! The sharded storage substrate: one shard per owner peer.
+//!
+//! A [`ShardMap`] holds the physical copies of a range-partitioned store.
+//! Each shard is the ordered map of one owner peer; the successor rule
+//! keeps a shard's keys contiguous on the ring, so ownership changes
+//! under churn move *shards* (or contiguous slices of them), not
+//! individual rows:
+//!
+//! * a **join** splits the successor's shard — the new peer takes the
+//!   arc between its predecessor and itself ([`ShardMap::split_to`]);
+//! * a **failure** merges the dead peer's shard into its successor
+//!   ([`ShardMap::merge_into`]).
+//!
+//! Bulk operations (initial loads, full-corpus range sweeps, integrity
+//! counts) fan out across shards with `sw_graph::par`, and are
+//! bit-identical for every worker-thread count: the parallel stages are
+//! pure per-item/per-shard maps, and all mutation happens in a
+//! deterministic sequential drain.
+
+use std::collections::BTreeMap;
+use sw_graph::par;
+use sw_keyspace::{Key, Topology};
+
+/// One owner peer's ordered slice of the key space.
+pub type Shard = BTreeMap<Key, Vec<u8>>;
+
+/// A store sharded by owner peer.
+///
+/// Shards are indexed by peer id and created lazily as the peer
+/// population grows; an id without inserted items costs one empty
+/// `BTreeMap`.
+#[derive(Debug, Clone, Default)]
+pub struct ShardMap {
+    shards: Vec<Shard>,
+    len: usize,
+}
+
+impl ShardMap {
+    /// An empty map with `n` pre-allocated shards.
+    pub fn new(n: usize) -> ShardMap {
+        ShardMap {
+            shards: vec![Shard::new(); n],
+            len: 0,
+        }
+    }
+
+    /// Number of shards (the highest owner id seen, plus one).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total items across all shards (O(1) — maintained on mutation).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no shard holds anything.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Items in `owner`'s shard.
+    pub fn shard_len(&self, owner: u32) -> usize {
+        self.shards.get(owner as usize).map_or(0, Shard::len)
+    }
+
+    /// Read-only view of one shard (empty slice of the key space if the
+    /// owner was never seen).
+    pub fn shard(&self, owner: u32) -> Option<&Shard> {
+        self.shards.get(owner as usize)
+    }
+
+    fn ensure(&mut self, owner: u32) -> &mut Shard {
+        let idx = owner as usize;
+        if idx >= self.shards.len() {
+            self.shards.resize_with(idx + 1, Shard::new);
+        }
+        &mut self.shards[idx]
+    }
+
+    /// Inserts into `owner`'s shard, returning any displaced value.
+    pub fn insert(&mut self, owner: u32, key: Key, value: Vec<u8>) -> Option<Vec<u8>> {
+        let old = self.ensure(owner).insert(key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Looks up `key` in `owner`'s shard only.
+    pub fn get(&self, owner: u32, key: Key) -> Option<&Vec<u8>> {
+        self.shards.get(owner as usize)?.get(&key)
+    }
+
+    /// True if `owner`'s shard holds `key`.
+    pub fn contains(&self, owner: u32, key: Key) -> bool {
+        self.get(owner, key).is_some()
+    }
+
+    /// Removes `key` from `owner`'s shard.
+    pub fn remove(&mut self, owner: u32, key: Key) -> Option<Vec<u8>> {
+        let old = self.shards.get_mut(owner as usize)?.remove(&key);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Drops `owner`'s shard contents (the peer left or lost its disk);
+    /// returns how many items were lost.
+    pub fn clear_shard(&mut self, owner: u32) -> usize {
+        let Some(s) = self.shards.get_mut(owner as usize) else {
+            return 0;
+        };
+        let dropped = s.len();
+        s.clear();
+        self.len -= dropped;
+        dropped
+    }
+
+    /// Items of `owner`'s shard in `[lo, hi)`, ascending.
+    pub fn shard_range(&self, owner: u32, lo: Key, hi: Key) -> Vec<(Key, Vec<u8>)> {
+        match self.shards.get(owner as usize) {
+            Some(s) if lo < hi => s.range(lo..hi).map(|(k, v)| (*k, v.clone())).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of items of `owner`'s shard in `[lo, hi)` — the count-only
+    /// sibling of [`ShardMap::shard_range`], allocation-free.
+    pub fn shard_range_count(&self, owner: u32, lo: Key, hi: Key) -> usize {
+        match self.shards.get(owner as usize) {
+            Some(s) if lo < hi => s.range(lo..hi).count(),
+            _ => 0,
+        }
+    }
+
+    /// Ownership split on join: moves every key of `from`'s shard lying
+    /// on the clockwise ring arc `(pred, upto]` into `to`'s shard.
+    /// Returns the number of rows moved.
+    ///
+    /// `upto` is the joining peer's own key and `pred` its predecessor's,
+    /// so the moved slice is exactly the arc the successor rule
+    /// re-assigns.
+    pub fn split_to(&mut self, from: u32, to: u32, pred: Key, upto: Key) -> usize {
+        if from == to || (from as usize) >= self.shards.len() {
+            return 0;
+        }
+        self.ensure(to); // may reallocate; do it before borrowing `from`
+        let moved: Vec<(Key, Vec<u8>)> = {
+            let src = &mut self.shards[from as usize];
+            let keys: Vec<Key> = src
+                .keys()
+                .copied()
+                .filter(|&k| Topology::Ring.in_arc(pred, k, upto))
+                .collect();
+            keys.into_iter()
+                .map(|k| (k, src.remove(&k).expect("key just listed")))
+                .collect()
+        };
+        let n = moved.len();
+        let dst = &mut self.shards[to as usize];
+        for (k, v) in moved {
+            if dst.insert(k, v).is_some() {
+                self.len -= 1; // displaced a copy `to` already held
+            }
+        }
+        n
+    }
+
+    /// Ownership merge on failure: drains `from`'s entire shard into
+    /// `to`'s (existing rows in `to` win — they are fresher). Returns the
+    /// number of rows drained.
+    pub fn merge_into(&mut self, from: u32, to: u32) -> usize {
+        if from == to || (from as usize) >= self.shards.len() {
+            return 0;
+        }
+        self.ensure(to);
+        let src = std::mem::take(&mut self.shards[from as usize]);
+        let n = src.len();
+        let dst = &mut self.shards[to as usize];
+        for (k, v) in src {
+            match dst.entry(k) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+                std::collections::btree_map::Entry::Occupied(_) => self.len -= 1,
+            }
+        }
+        n
+    }
+
+    /// Bulk-loads `items`, assigning each to `owner_of(key)`.
+    ///
+    /// The owner resolution (the `O(log n)` part) fans out across
+    /// `threads` workers (`0` = auto); the shard insertion drains
+    /// sequentially in input order, so later duplicates overwrite earlier
+    /// ones exactly as a sequential loop would and the result is
+    /// independent of the thread count.
+    pub fn bulk_load(
+        &mut self,
+        items: Vec<(Key, Vec<u8>)>,
+        threads: usize,
+        owner_of: impl Fn(Key) -> u32 + Sync,
+    ) {
+        let owners = par::par_map_grained(items.len(), threads, 256, |i| owner_of(items[i].0));
+        for ((k, v), owner) in items.into_iter().zip(owners) {
+            self.insert(owner, k, v);
+        }
+    }
+
+    /// Maps `f` over every shard in parallel (`0` = auto threads) and
+    /// returns the per-shard results in shard order. `f` must be pure in
+    /// the shard contents; results are then independent of the thread
+    /// count by construction.
+    pub fn par_map_shards<T: Send>(
+        &self,
+        threads: usize,
+        f: impl Fn(u32, &Shard) -> T + Sync,
+    ) -> Vec<T> {
+        par::par_map_grained(self.shards.len(), threads, 8, |i| {
+            f(i as u32, &self.shards[i])
+        })
+    }
+
+    /// Full-corpus range sweep `[lo, hi)` across *all* shards in
+    /// parallel, merged into ascending key order. This is the bulk
+    /// verification / analytics path; the simulator's routed range
+    /// queries sweep owner-by-owner instead.
+    pub fn par_scan_range(&self, lo: Key, hi: Key, threads: usize) -> Vec<(Key, Vec<u8>)> {
+        if hi <= lo {
+            return Vec::new();
+        }
+        let per_shard = self.par_map_shards(threads, |_, s| {
+            s.range(lo..hi)
+                .map(|(k, v)| (*k, v.clone()))
+                .collect::<Vec<_>>()
+        });
+        let mut out: Vec<(Key, Vec<u8>)> = per_shard.into_iter().flatten().collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Recount `len` from the shards (integrity check; parallel).
+    pub fn par_len(&self, threads: usize) -> usize {
+        self.par_map_shards(threads, |_, s| s.len()).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: f64) -> Key {
+        Key::clamped(v)
+    }
+
+    fn val(i: u32) -> Vec<u8> {
+        i.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_remove_track_len() {
+        let mut m = ShardMap::new(4);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, k(0.3), val(1)), None);
+        assert_eq!(m.insert(1, k(0.3), val(2)), Some(val(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(1, k(0.3)), Some(&val(2)));
+        assert_eq!(m.get(0, k(0.3)), None, "wrong shard misses");
+        assert_eq!(m.remove(1, k(0.3)), Some(val(2)));
+        assert!(m.is_empty());
+        assert_eq!(m.remove(1, k(0.3)), None);
+    }
+
+    #[test]
+    fn shards_grow_on_demand() {
+        let mut m = ShardMap::new(0);
+        m.insert(17, k(0.5), val(9));
+        assert_eq!(m.shard_count(), 18);
+        assert_eq!(m.shard_len(17), 1);
+        assert_eq!(m.shard_len(99), 0, "unseen owner reads as empty");
+    }
+
+    #[test]
+    fn split_moves_exactly_the_arc() {
+        let mut m = ShardMap::new(2);
+        for i in 0..10 {
+            m.insert(0, k(i as f64 / 10.0), val(i));
+        }
+        // New peer at 0.45, predecessor at 0.15: takes (0.15, 0.45].
+        let moved = m.split_to(0, 1, k(0.15), k(0.45));
+        assert_eq!(moved, 3, "0.2, 0.3, 0.4");
+        assert_eq!(m.shard_len(0), 7);
+        assert_eq!(m.shard_len(1), 3);
+        assert_eq!(m.len(), 10, "split moves rows, never loses them");
+        assert!(m.contains(1, k(0.2)) && m.contains(1, k(0.4)));
+        assert!(m.contains(0, k(0.1)) && m.contains(0, k(0.5)));
+    }
+
+    #[test]
+    fn split_handles_wraparound_arc() {
+        let mut m = ShardMap::new(2);
+        for i in 0..10 {
+            m.insert(0, k(i as f64 / 10.0), val(i));
+        }
+        // Arc (0.8, 0.1] wraps through zero: moves 0.9, 0.0, 0.1.
+        let moved = m.split_to(0, 1, k(0.8), k(0.1));
+        assert_eq!(moved, 3);
+        assert!(m.contains(1, k(0.9)) && m.contains(1, k(0.0)) && m.contains(1, k(0.1)));
+    }
+
+    #[test]
+    fn merge_drains_and_prefers_destination() {
+        let mut m = ShardMap::new(3);
+        m.insert(0, k(0.1), val(1));
+        m.insert(0, k(0.2), val(2));
+        m.insert(2, k(0.2), val(9)); // destination already has 0.2
+        let drained = m.merge_into(0, 2);
+        assert_eq!(drained, 2);
+        assert_eq!(m.shard_len(0), 0);
+        assert_eq!(m.get(2, k(0.2)), Some(&val(9)), "existing row wins");
+        assert_eq!(m.get(2, k(0.1)), Some(&val(1)));
+        assert_eq!(m.len(), 2, "duplicate collapsed");
+        assert_eq!(m.par_len(2), 2);
+    }
+
+    #[test]
+    fn bulk_load_is_thread_count_invariant() {
+        let items: Vec<(Key, Vec<u8>)> = (0..2000)
+            .map(|i| (k((i % 700) as f64 / 700.0), val(i)))
+            .collect();
+        let owner_of = |key: Key| (key.get() * 16.0) as u32;
+        let mut one = ShardMap::new(16);
+        one.bulk_load(items.clone(), 1, owner_of);
+        for threads in [2, 4, 7] {
+            let mut t = ShardMap::new(16);
+            t.bulk_load(items.clone(), threads, owner_of);
+            assert_eq!(t.len(), one.len(), "threads={threads}");
+            for s in 0..16 {
+                assert_eq!(
+                    t.shard(s).unwrap(),
+                    one.shard(s).unwrap(),
+                    "shard {s}, threads={threads}"
+                );
+            }
+        }
+        assert_eq!(one.len(), 700, "duplicates overwrote in input order");
+    }
+
+    #[test]
+    fn par_scan_matches_sequential_filter() {
+        let mut m = ShardMap::new(8);
+        let mut reference = Vec::new();
+        for i in 0..500u32 {
+            let key = k((i as f64 * 0.618_033_9) % 1.0);
+            m.insert(i % 8, key, val(i));
+            reference.retain(|(rk, _)| *rk != key);
+            reference.push((key, val(i)));
+        }
+        reference.sort_by_key(|(key, _)| *key);
+        let (lo, hi) = (k(0.2), k(0.7));
+        let want: Vec<_> = reference
+            .iter()
+            .filter(|(key, _)| *key >= lo && *key < hi)
+            .cloned()
+            .collect();
+        for threads in [1, 3, 8] {
+            assert_eq!(m.par_scan_range(lo, hi, threads), want, "threads={threads}");
+        }
+        assert!(m.par_scan_range(hi, lo, 2).is_empty(), "inverted range");
+    }
+
+    #[test]
+    fn clear_shard_loses_rows() {
+        let mut m = ShardMap::new(2);
+        m.insert(0, k(0.1), val(1));
+        m.insert(1, k(0.2), val(2));
+        assert_eq!(m.clear_shard(0), 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.clear_shard(0), 0);
+    }
+}

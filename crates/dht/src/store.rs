@@ -12,7 +12,7 @@
 //!   range query is one `O(log2 N)` greedy route plus a linear sweep of
 //!   exactly the peers owning the range.
 
-use std::collections::BTreeMap;
+use crate::shard::ShardMap;
 use sw_graph::NodeId;
 use sw_keyspace::Key;
 use sw_overlay::route::RouteOptions;
@@ -70,16 +70,17 @@ impl std::error::Error for DhtError {}
 
 /// An order-preserving key-value store over an overlay network.
 ///
-/// The store holds per-peer primary and replica maps; the overlay is
-/// only used for routing, so any [`Overlay`] implementation works —
-/// the paper's small-world networks, Chord, Mercury, …
+/// The store holds its primary and replica copies in two [`ShardMap`]s
+/// (one shard per owner peer); the overlay is only used for routing, so
+/// any [`Overlay`] implementation works — the paper's small-world
+/// networks, Chord, Mercury, …
 pub struct Dht<'a> {
     overlay: &'a dyn Overlay,
     replication: usize,
-    /// Primary copies, keyed by owner peer.
-    primary: Vec<BTreeMap<Key, Vec<u8>>>,
-    /// Replica copies (owner's successors).
-    replica: Vec<BTreeMap<Key, Vec<u8>>>,
+    /// Primary copies, sharded by owner peer.
+    primary: ShardMap,
+    /// Replica copies (owner's successors), sharded by holder peer.
+    replica: ShardMap,
     /// Failure injection: dead peers lose both maps' availability.
     dead: Vec<bool>,
     opts: RouteOptions,
@@ -92,8 +93,8 @@ impl<'a> Dht<'a> {
         let n = overlay.placement().len();
         Dht {
             replication: replication.clamp(1, n),
-            primary: vec![BTreeMap::new(); n],
-            replica: vec![BTreeMap::new(); n],
+            primary: ShardMap::new(n),
+            replica: ShardMap::new(n),
             dead: vec![false; n],
             opts: RouteOptions {
                 record_path: false,
@@ -110,7 +111,17 @@ impl<'a> Dht<'a> {
 
     /// Total number of primary items stored.
     pub fn len(&self) -> usize {
-        self.primary.iter().map(BTreeMap::len).sum()
+        self.primary.len()
+    }
+
+    /// The primary shards (read-only — for bulk analytics and tests).
+    pub fn primary_shards(&self) -> &ShardMap {
+        &self.primary
+    }
+
+    /// The replica shards (read-only).
+    pub fn replica_shards(&self) -> &ShardMap {
+        &self.replica
     }
 
     /// True if the store holds nothing.
@@ -181,13 +192,13 @@ impl<'a> Dht<'a> {
         let (owner, mut cost) = self.route_to_owner(origin, key)?;
         let mut stored = false;
         if self.is_alive(owner) {
-            self.primary[owner as usize].insert(key, value.clone());
+            self.primary.insert(owner, key, value.clone());
             stored = true;
         }
         for r in self.replica_chain(owner) {
             cost.extra_messages += 1;
             if self.is_alive(r) {
-                self.replica[r as usize].insert(key, value.clone());
+                self.replica.insert(r, key, value.clone());
                 stored = true;
             }
         }
@@ -203,14 +214,14 @@ impl<'a> Dht<'a> {
     pub fn get(&self, origin: NodeId, key: Key) -> Result<(Vec<u8>, OpCost), DhtError> {
         let (owner, mut cost) = self.route_to_owner(origin, key)?;
         if self.is_alive(owner) {
-            if let Some(v) = self.primary[owner as usize].get(&key) {
+            if let Some(v) = self.primary.get(owner, key) {
                 return Ok((v.clone(), cost));
             }
         }
         for r in self.replica_chain(owner) {
             cost.extra_messages += 1;
             if self.is_alive(r) {
-                if let Some(v) = self.replica[r as usize].get(&key) {
+                if let Some(v) = self.replica.get(r, key) {
                     return Ok((v.clone(), cost));
                 }
             }
@@ -220,12 +231,20 @@ impl<'a> Dht<'a> {
 
     /// Deletes `key` from the owner and every replica. Returns the cost;
     /// deleting an absent key is not an error.
+    ///
+    /// Dead peers are skipped exactly as [`Dht::get`] skips them: an
+    /// unreachable peer cannot process a delete, so its stale copy
+    /// survives (and stays unreachable until the peer does).
     pub fn remove(&mut self, origin: NodeId, key: Key) -> Result<OpCost, DhtError> {
         let (owner, mut cost) = self.route_to_owner(origin, key)?;
-        self.primary[owner as usize].remove(&key);
+        if self.is_alive(owner) {
+            self.primary.remove(owner, key);
+        }
         for r in self.replica_chain(owner) {
             cost.extra_messages += 1;
-            self.replica[r as usize].remove(&key);
+            if self.is_alive(r) {
+                self.replica.remove(r, key);
+            }
         }
         Ok(cost)
     }
@@ -256,9 +275,7 @@ impl<'a> Dht<'a> {
                 cost.extra_messages += 1;
             }
             if self.is_alive(peer) {
-                for (k, v) in self.primary[peer as usize].range(lo..hi) {
-                    items.push((*k, v.clone()));
-                }
+                items.extend(self.primary.shard_range(peer, lo, hi));
             }
             // The sweep ends once this peer's own key reaches past the
             // range: by the successor rule it owns everything below it,
@@ -348,9 +365,9 @@ mod tests {
         let k = key(0.61803);
         dht.put(0, k, b"phi".to_vec()).unwrap();
         let owner = dht.owner_of(k);
-        // Only the owner holds a primary copy.
+        // Only the owner's shard holds a primary copy.
         for u in 0..128 {
-            let has = dht.primary[u as usize].contains_key(&k);
+            let has = dht.primary_shards().contains(u, k);
             assert_eq!(has, u == owner, "peer {u}");
         }
         assert!(net.placement().key(owner) >= k || owner == 0);
@@ -363,9 +380,10 @@ mod tests {
         let k = key(0.111);
         dht.put(0, k, b"r".to_vec()).unwrap();
         let replicas: usize = (0..64)
-            .filter(|&u| dht.replica[u as usize].contains_key(&k))
+            .filter(|&u| dht.replica_shards().contains(u, k))
             .count();
         assert_eq!(replicas, 2, "owner + 2 replicas for r = 3");
+        assert_eq!(dht.replica_shards().len(), 2);
     }
 
     #[test]
@@ -465,6 +483,49 @@ mod tests {
             wide.peers_visited > 4 * narrow.peers_visited,
             "wide sweep covers proportionally more peers"
         );
+    }
+
+    #[test]
+    fn dead_peers_never_accept_writes() {
+        // Regression: `remove` used to mutate dead peers' shards (a dead
+        // owner accepted a primary delete). Dead peers must be skipped by
+        // every mutation exactly as `get` skips them on reads.
+        let net = ring_net(128, 20);
+        let mut dht = Dht::new(&net, 3);
+        let k = key(0.42);
+        dht.put(0, k, b"before".to_vec()).unwrap();
+        let owner = dht.owner_of(k);
+        let first_replica = net.placement().next(owner);
+        dht.kill(owner);
+        dht.kill(first_replica);
+
+        // A put routed while owner + first replica are dead must leave
+        // their shards untouched (stale "before" copies survive).
+        dht.put(5, k, b"after".to_vec()).unwrap();
+        assert_eq!(
+            dht.primary_shards().get(owner, k),
+            Some(&b"before".to_vec())
+        );
+        assert_eq!(
+            dht.replica_shards().get(first_replica, k),
+            Some(&b"before".to_vec())
+        );
+
+        // A remove must skip them too: the dead owner's stale primary
+        // copy survives, while every alive replica drops the key.
+        dht.remove(5, k).unwrap();
+        assert!(
+            dht.primary_shards().contains(owner, k),
+            "dead owner processed a delete"
+        );
+        assert!(dht.replica_shards().contains(first_replica, k));
+        for u in 0..128u32 {
+            if u != owner && u != first_replica {
+                assert!(!dht.replica_shards().contains(u, k), "alive peer {u}");
+            }
+        }
+        // The surviving copies are unreachable: reads agree it is gone.
+        assert_eq!(dht.get(5, k).unwrap_err(), DhtError::NotFound);
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod route;
 pub mod symphony;
 
 pub use placement::{Placement, PlacementError};
-pub use route::{greedy_route, Overlay, RouteOptions, RouteResult, RoutingSurvey};
+pub use route::{
+    greedy_route, greedy_step, Overlay, RingView, RouteOptions, RouteResult, RoutingSurvey,
+};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {

@@ -95,6 +95,83 @@ pub trait Overlay: Sync {
     }
 }
 
+/// One greedy contact-selection step — the single implementation every
+/// router in the workspace shares.
+///
+/// Among `candidates` (`(peer, key)` pairs), returns the first one whose
+/// key is *strictly* closer to `target` than `cur_d` under `metric`
+/// (later candidates must beat the running best strictly, so ties keep
+/// the earliest candidate in iteration order), together with its
+/// distance. `None` means `cur_d` is a local minimum over the candidate
+/// set.
+///
+/// Both the static [`greedy_route`] below and the simulator's per-hop
+/// message plane (`sw-sim`) call this, so a simulated hop decision is
+/// bit-identical to a static one given the same view.
+#[inline]
+pub fn greedy_step(
+    metric: sw_keyspace::Topology,
+    target: Key,
+    cur_d: f64,
+    candidates: impl IntoIterator<Item = (NodeId, Key)>,
+) -> Option<(NodeId, f64)> {
+    let mut best: Option<(NodeId, f64)> = None;
+    let mut best_d = cur_d;
+    for (v, k) in candidates {
+        let d = metric.distance(k, target);
+        if d < best_d {
+            best_d = d;
+            best = Some((v, d));
+        }
+    }
+    best
+}
+
+/// A peer's *local* ring view: predecessor, successor list and long-range
+/// links, borrowed from wherever the protocol keeps them. This is the
+/// contact set dynamic protocols (joins, stabilization, the simulator's
+/// message plane) route over; building one is free.
+#[derive(Debug, Clone, Copy)]
+pub struct RingView<'a> {
+    /// Counter-clockwise neighbour, if known.
+    pub pred: Option<NodeId>,
+    /// Clockwise successor list, nearest first.
+    pub succ: &'a [NodeId],
+    /// Long-range links.
+    pub long: &'a [NodeId],
+}
+
+impl RingView<'_> {
+    /// Every contact in view order: predecessor, successors, long links.
+    pub fn contacts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.pred
+            .into_iter()
+            .chain(self.succ.iter().copied())
+            .chain(self.long.iter().copied())
+    }
+
+    /// [`greedy_step`] over this view, skipping contacts rejected by
+    /// `skip` (self-loops, contacts already timed out this walk) and
+    /// resolving contact keys through `key_of`.
+    pub fn step(
+        &self,
+        metric: sw_keyspace::Topology,
+        target: Key,
+        cur_d: f64,
+        mut skip: impl FnMut(NodeId) -> bool,
+        mut key_of: impl FnMut(NodeId) -> Key,
+    ) -> Option<(NodeId, f64)> {
+        greedy_step(
+            metric,
+            target,
+            cur_d,
+            self.contacts()
+                .filter(|&v| !skip(v))
+                .map(|v| (v, key_of(v))),
+        )
+    }
+}
+
 /// The greedy engine itself, reading neighbour slices from the CSR.
 ///
 /// The goal peer is the placement-wide nearest peer to `target`; success
@@ -102,6 +179,7 @@ pub trait Overlay: Sync {
 /// decreases the distance to the target, so the walk cannot cycle; a local
 /// minimum that is not the goal is reported as failure (this happens only
 /// in degraded overlays — intact neighbour links always offer progress).
+/// Each hop's contact selection goes through [`greedy_step`].
 pub fn greedy_route(
     placement: &Placement,
     topo: &CsrTopology,
@@ -120,19 +198,17 @@ pub fn greedy_route(
         if hops >= opts.max_hops {
             return finish(false, hops, path, from, cur, opts);
         }
-        let mut best = cur;
-        let mut best_d = placement.distance_to(cur, target);
-        for &v in topo.neighbors(cur) {
-            let d = placement.distance_to(v, target);
-            if d < best_d {
-                best_d = d;
-                best = v;
-            }
-        }
-        if best == cur {
+        let cur_d = placement.distance_to(cur, target);
+        let step = greedy_step(
+            placement.topology(),
+            target,
+            cur_d,
+            topo.neighbors(cur).iter().map(|&v| (v, placement.key(v))),
+        );
+        let Some((best, _)) = step else {
             // Local minimum away from the goal: routing failure.
             return finish(false, hops, path, from, cur, opts);
-        }
+        };
         cur = best;
         hops += 1;
         if opts.record_path {

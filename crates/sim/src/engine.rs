@@ -1,16 +1,41 @@
-//! The discrete-event simulation engine.
+//! The simulator: configuration, ground-truth state, and the protocol
+//! handlers driving the async message plane.
+//!
+//! See the crate-level docs for the architecture (event ordering,
+//! determinism contract, state-machine lifecycle). In short: every
+//! routed operation is a [`Walk`] whose hops are individual messages on
+//! the [`MessagePlane`], so lookups, joins, refreshes and storage ops
+//! interleave with churn and with each other at per-hop granularity.
 
 use crate::latency::LatencyModel;
 use crate::metrics::SimMetrics;
+use crate::plane::MessagePlane;
+use crate::protocol::{LookupRecord, Msg, Purpose, QueryId, StorageOp, Walk, WalkEnd};
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use sw_core::config::OutDegree;
+use sw_dht::ShardMap;
 use sw_graph::{par, LinkTable, Topology};
 use sw_keyspace::distribution::KeyDistribution;
 use sw_keyspace::stats::OnlineStats;
+use sw_keyspace::Topology as Metric;
 use sw_keyspace::{Key, Rng};
+
+/// How churn failure victims are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimSampling {
+    /// Uniform over alive *peers* — every peer is equally likely to
+    /// fail, regardless of how much key space it owns. The physically
+    /// honest default: machines do not crash more often for owning a
+    /// longer arc.
+    #[default]
+    UniformPeers,
+    /// Uniform over the *key space* (successor lookup of a random key):
+    /// density-weighted by arc ownership, so peers owning large arcs
+    /// fail more often. Kept for modeling load-correlated failures.
+    DensityWeighted,
+}
 
 /// Churn intensity: Poisson arrival rates (events per virtual second).
 #[derive(Debug, Clone, Copy)]
@@ -19,6 +44,8 @@ pub struct ChurnConfig {
     pub join_rate: f64,
     /// Silent node failures per second (`0` disables).
     pub fail_rate: f64,
+    /// How failure victims are drawn.
+    pub victims: VictimSampling,
 }
 
 impl ChurnConfig {
@@ -26,6 +53,7 @@ impl ChurnConfig {
     pub const NONE: ChurnConfig = ChurnConfig {
         join_rate: 0.0,
         fail_rate: 0.0,
+        victims: VictimSampling::UniformPeers,
     };
 
     /// Symmetric churn: equal join and failure rates keep the population
@@ -34,6 +62,7 @@ impl ChurnConfig {
         ChurnConfig {
             join_rate: rate,
             fail_rate: rate,
+            ..ChurnConfig::NONE
         }
     }
 }
@@ -43,6 +72,49 @@ impl ChurnConfig {
 pub struct WorkloadConfig {
     /// Lookups per virtual second.
     pub lookup_rate: f64,
+}
+
+/// Storage workload: puts/gets/range queries routed as messages over the
+/// plane, with replica fan-out and replica-fallback probes — data-layer
+/// costs measured *under* churn, not on a frozen overlay.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageConfig {
+    /// Puts per virtual second.
+    pub put_rate: f64,
+    /// Gets per virtual second (targets previously stored keys).
+    pub get_rate: f64,
+    /// Range queries per virtual second.
+    pub range_rate: f64,
+    /// Total copies per item (primary + replicas), clamped to ≥ 1.
+    pub replication: usize,
+    /// Items bulk-loaded into the shards at time zero (no message cost,
+    /// like the initial converged overlay).
+    pub preload: usize,
+    /// Key-space width of generated range queries.
+    pub range_width: f64,
+}
+
+impl StorageConfig {
+    /// Storage workload disabled.
+    pub const NONE: StorageConfig = StorageConfig {
+        put_rate: 0.0,
+        get_rate: 0.0,
+        range_rate: 0.0,
+        replication: 2,
+        preload: 0,
+        range_width: 0.02,
+    };
+
+    /// True if any storage traffic or preload is configured.
+    pub fn enabled(&self) -> bool {
+        self.put_rate > 0.0 || self.get_rate > 0.0 || self.range_rate > 0.0 || self.preload > 0
+    }
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig::NONE
+    }
 }
 
 /// Full simulation configuration.
@@ -68,6 +140,14 @@ pub struct SimConfig {
     pub churn: ChurnConfig,
     /// Lookup workload.
     pub workload: WorkloadConfig,
+    /// Storage workload (disabled by default).
+    pub storage: StorageConfig,
+    /// Keep a per-lookup [`LookupRecord`] (off by default — unbounded
+    /// memory over long runs).
+    pub record_lookups: bool,
+    /// Worker threads for the parallel paths (probe batches, bulk
+    /// loads); `0` = auto. Results are bit-identical for every value.
+    pub parallelism: usize,
 }
 
 impl Default for SimConfig {
@@ -83,6 +163,9 @@ impl Default for SimConfig {
             refresh_interval: Some(SimTime::from_secs(60)),
             churn: ChurnConfig::NONE,
             workload: WorkloadConfig { lookup_rate: 1.0 },
+            storage: StorageConfig::NONE,
+            record_lookups: false,
+            parallelism: 0,
         }
     }
 }
@@ -100,56 +183,69 @@ struct SimNode {
     pred: Option<u32>,
     /// Long-range links.
     long: Vec<u32>,
+    /// True while a refresh chain is rebuilding this node's long links.
+    refreshing: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
-    Join,
-    Fail,
-    Lookup,
-    Stabilize(u32),
-    Refresh(u32),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct QueuedEvent {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Outcome of one simulated greedy walk.
+/// Outcome of one synchronous probe walk (measurement only).
 struct WalkOutcome {
     final_node: u32,
     hops: u32,
-    timeouts: u32,
-    latency: SimTime,
+}
+
+/// RNG stream indices for the generator processes.
+mod stream {
+    pub const JOIN: u64 = 0x101;
+    pub const FAIL: u64 = 0x102;
+    pub const LOOKUP: u64 = 0x103;
+    pub const PUT: u64 = 0x104;
+    pub const GET: u64 = 0x105;
+    pub const RANGE: u64 = 0x106;
+    pub const TIMER: u64 = 0x107;
+    pub const PRELOAD: u64 = 0x108;
+    pub const LINK: u64 = 0x109;
+    /// XOR'd into the seed to derive per-walk streams.
+    pub const WALK_SALT: u64 = 0x5157_4A4C_4B53_0D1E;
 }
 
 /// The simulator itself (ring topology).
 pub struct Simulator {
     cfg: SimConfig,
     dist: Arc<dyn KeyDistribution>,
+    /// Probe RNG (forked per measurement call, never by the plane).
     rng: Rng,
-    clock: SimTime,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
-    seq: u64,
+    plane: MessagePlane<Msg>,
     nodes: Vec<SimNode>,
     /// Ground-truth alive index: key → node id.
     alive: BTreeMap<Key, u32>,
+    /// Alive ids in O(1)-sample order (swap-remove on failure).
+    alive_ids: Vec<u32>,
+    /// Position of each node id in `alive_ids` (`usize::MAX` if dead).
+    alive_pos: Vec<usize>,
     metrics: SimMetrics,
+    /// In-flight walks by query id.
+    walks: HashMap<QueryId, Walk>,
+    /// Storage ops in their post-routing phase.
+    ops: HashMap<QueryId, StorageOp>,
+    next_qid: QueryId,
+    walk_seed: u64,
+    // Dedicated generator streams (event-order deterministic).
+    join_rng: Rng,
+    fail_rng: Rng,
+    lookup_rng: Rng,
+    put_rng: Rng,
+    get_rng: Rng,
+    range_rng: Rng,
+    timer_rng: Rng,
+    link_rng: Rng,
+    // Storage substrate: one shard per owner peer.
+    primary: ShardMap,
+    replica: ShardMap,
+    /// Keys known to be stored (get targets).
+    put_keys: Vec<Key>,
+    put_counter: u64,
+    inflight_lookups: u64,
+    lookup_records: Vec<LookupRecord>,
 }
 
 impl Simulator {
@@ -162,15 +258,34 @@ impl Simulator {
     pub fn new(cfg: SimConfig, dist: Arc<dyn KeyDistribution>) -> Simulator {
         assert!(cfg.initial_n >= 8, "simulator needs at least 8 peers");
         let mut rng = Rng::new(cfg.seed);
+        let seed = cfg.seed;
         let mut sim = Simulator {
             dist,
             rng: rng.fork(),
-            clock: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            plane: MessagePlane::new(),
             nodes: Vec::new(),
             alive: BTreeMap::new(),
+            alive_ids: Vec::new(),
+            alive_pos: Vec::new(),
             metrics: SimMetrics::default(),
+            walks: HashMap::new(),
+            ops: HashMap::new(),
+            next_qid: 0,
+            walk_seed: seed ^ stream::WALK_SALT,
+            join_rng: Rng::stream(seed, stream::JOIN),
+            fail_rng: Rng::stream(seed, stream::FAIL),
+            lookup_rng: Rng::stream(seed, stream::LOOKUP),
+            put_rng: Rng::stream(seed, stream::PUT),
+            get_rng: Rng::stream(seed, stream::GET),
+            range_rng: Rng::stream(seed, stream::RANGE),
+            timer_rng: Rng::stream(seed, stream::TIMER),
+            link_rng: Rng::stream(seed, stream::LINK),
+            primary: ShardMap::new(cfg.initial_n),
+            replica: ShardMap::new(cfg.initial_n),
+            put_keys: Vec::new(),
+            put_counter: 0,
+            inflight_lookups: 0,
+            lookup_records: Vec::new(),
             cfg,
         };
         // Initial population: distinct keys.
@@ -186,8 +301,11 @@ impl Simulator {
                 succ: Vec::new(),
                 pred: None,
                 long: Vec::new(),
+                refreshing: false,
             });
             sim.alive.insert(key, id);
+            sim.alive_pos.push(sim.alive_ids.len());
+            sim.alive_ids.push(id);
         }
         // Converged ring state + long links for everyone.
         for id in 0..sim.nodes.len() as u32 {
@@ -197,18 +315,31 @@ impl Simulator {
             let links = sim.draw_links_closed_form(id, &mut rng);
             sim.nodes[id as usize].long = links;
         }
+        sim.preload_storage();
         // Recurring processes.
         if sim.cfg.churn.join_rate > 0.0 {
-            let dt = sim.next_interval(sim.cfg.churn.join_rate);
-            sim.schedule(dt, EventKind::Join);
+            let dt = next_interval(&mut sim.join_rng, sim.cfg.churn.join_rate);
+            sim.plane.send(dt, Msg::NextJoin);
         }
         if sim.cfg.churn.fail_rate > 0.0 {
-            let dt = sim.next_interval(sim.cfg.churn.fail_rate);
-            sim.schedule(dt, EventKind::Fail);
+            let dt = next_interval(&mut sim.fail_rng, sim.cfg.churn.fail_rate);
+            sim.plane.send(dt, Msg::NextFail);
         }
         if sim.cfg.workload.lookup_rate > 0.0 {
-            let dt = sim.next_interval(sim.cfg.workload.lookup_rate);
-            sim.schedule(dt, EventKind::Lookup);
+            let dt = next_interval(&mut sim.lookup_rng, sim.cfg.workload.lookup_rate);
+            sim.plane.send(dt, Msg::NextLookup);
+        }
+        if sim.cfg.storage.put_rate > 0.0 {
+            let dt = next_interval(&mut sim.put_rng, sim.cfg.storage.put_rate);
+            sim.plane.send(dt, Msg::NextPut);
+        }
+        if sim.cfg.storage.get_rate > 0.0 {
+            let dt = next_interval(&mut sim.get_rng, sim.cfg.storage.get_rate);
+            sim.plane.send(dt, Msg::NextGet);
+        }
+        if sim.cfg.storage.range_rate > 0.0 {
+            let dt = next_interval(&mut sim.range_rng, sim.cfg.storage.range_rate);
+            sim.plane.send(dt, Msg::NextRange);
         }
         for id in 0..sim.nodes.len() as u32 {
             sim.schedule_timers(id);
@@ -218,7 +349,7 @@ impl Simulator {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.clock
+        self.plane.now()
     }
 
     /// Number of live peers.
@@ -231,27 +362,43 @@ impl Simulator {
         &self.metrics
     }
 
+    /// Walks currently in flight (all purposes).
+    pub fn in_flight_walks(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// Per-lookup records (empty unless `record_lookups` is set).
+    pub fn lookup_records(&self) -> &[LookupRecord] {
+        &self.lookup_records
+    }
+
+    /// The primary storage shards (one per owner peer).
+    pub fn primary_store(&self) -> &ShardMap {
+        &self.primary
+    }
+
+    /// The replica storage shards.
+    pub fn replica_store(&self) -> &ShardMap {
+        &self.replica
+    }
+
     /// Runs until the virtual clock passes `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(&Reverse(ev)) = self.queue.peek() {
-            if ev.at > until {
-                break;
-            }
-            self.queue.pop();
-            self.clock = ev.at;
-            self.handle(ev.kind);
+        while let Some(env) = self.plane.deliver_before(until) {
+            self.handle(env.msg);
         }
-        self.clock = until;
-        self.metrics.end_time = self.clock;
+        self.plane.advance_to(until);
+        self.metrics.events = self.plane.delivered();
+        self.metrics.end_time = self.plane.now();
     }
 
     /// Measurement probe: runs `queries` member lookups *without*
     /// advancing the clock or touching the workload metrics. Returns
     /// (success rate, hop stats).
     ///
-    /// The probe pairs are drawn up front and the walks evaluated through
-    /// the batched parallel path — each walk gets its own RNG stream, so
-    /// the result is independent of worker-thread count.
+    /// The probe pairs are drawn up front and the walks (deterministic
+    /// given the frozen views) evaluated through the batched parallel
+    /// path, so the result is independent of worker-thread count.
     pub fn probe_lookups(&mut self, queries: usize) -> (f64, OnlineStats) {
         let mut rng = self.rng.fork();
         let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(queries);
@@ -261,13 +408,12 @@ impl Simulator {
                 _ => break,
             }
         }
-        let walk_seed = rng.next_u64();
+        let threads = self.cfg.parallelism;
         let this = &*self;
-        let outcomes = par::par_map_grained(pairs.len(), 0, 64, |i| {
+        let outcomes = par::par_map_grained(pairs.len(), threads, 64, |i| {
             let (from, target_id) = pairs[i];
-            let mut walk_rng = Rng::stream(walk_seed, i as u64);
             let target = this.nodes[target_id as usize].key;
-            let outcome = this.walk(from, target, &mut walk_rng);
+            let outcome = this.probe_walk(from, target);
             (outcome.final_node == target_id, outcome.hops)
         });
         let mut hops = OnlineStats::new();
@@ -278,7 +424,10 @@ impl Simulator {
                 hops.push(h as f64);
             }
         }
-        (ok as f64 / queries.max(1) as f64, hops)
+        // Divide by the pairs actually drawn: when the alive set runs
+        // dry the early break used to leave `queries` in the
+        // denominator, biasing the rate downward.
+        (ok as f64 / pairs.len().max(1) as f64, hops)
     }
 
     /// Freezes the current *live* routing state (successor lists, pred
@@ -302,93 +451,1003 @@ impl Simulator {
         lt.build()
     }
 
-    // ----- internals ------------------------------------------------
+    // ----- event dispatch -------------------------------------------
 
-    fn schedule(&mut self, delay: SimTime, kind: EventKind) {
-        let ev = QueuedEvent {
-            at: self.clock + delay,
-            seq: self.seq,
-            kind,
-        };
-        self.seq += 1;
-        self.queue.push(Reverse(ev));
+    fn handle(&mut self, msg: Msg) {
+        match msg {
+            Msg::NextJoin => {
+                self.do_join_start();
+                let dt = next_interval(&mut self.join_rng, self.cfg.churn.join_rate);
+                self.plane.send(dt, Msg::NextJoin);
+            }
+            Msg::NextFail => {
+                self.do_fail();
+                let dt = next_interval(&mut self.fail_rng, self.cfg.churn.fail_rate);
+                self.plane.send(dt, Msg::NextFail);
+            }
+            Msg::NextLookup => {
+                self.do_lookup_start();
+                let dt = next_interval(&mut self.lookup_rng, self.cfg.workload.lookup_rate);
+                self.plane.send(dt, Msg::NextLookup);
+            }
+            Msg::NextPut => {
+                self.do_put_start();
+                let dt = next_interval(&mut self.put_rng, self.cfg.storage.put_rate);
+                self.plane.send(dt, Msg::NextPut);
+            }
+            Msg::NextGet => {
+                self.do_get_start();
+                let dt = next_interval(&mut self.get_rng, self.cfg.storage.get_rate);
+                self.plane.send(dt, Msg::NextGet);
+            }
+            Msg::NextRange => {
+                self.do_range_start();
+                let dt = next_interval(&mut self.range_rng, self.cfg.storage.range_rate);
+                self.plane.send(dt, Msg::NextRange);
+            }
+            Msg::StabilizeStart(id) => self.do_stabilize_start(id),
+            Msg::StabilizeApply(id) => self.do_stabilize_apply(id),
+            Msg::RefreshStart(id) => self.do_refresh_start(id),
+            Msg::Step { qid } => self.step_walk(qid),
+            Msg::Hop { qid, to, sent_at } => self.deliver_hop(qid, to, sent_at),
+            Msg::ReplicaPut { op, to, sent_at } => self.deliver_replica_put(op, to, sent_at),
+            Msg::ReplicaProbe { op, to, sent_at } => self.deliver_replica_probe(op, to, sent_at),
+            Msg::RangeFragment { op, to, sent_at } => self.deliver_range_fragment(op, to, sent_at),
+        }
     }
+
+    // ----- walk state machine ---------------------------------------
+
+    /// Spawns a walk and executes its first step at the origin.
+    fn spawn_walk(&mut self, purpose: Purpose, target: Key, from: u32) -> QueryId {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let rng = Rng::stream(self.walk_seed, qid);
+        let max_hops = 64 + 8 * (self.alive.len().max(2) as f64).log2().ceil() as u32;
+        if matches!(purpose, Purpose::Lookup { .. }) {
+            self.inflight_lookups += 1;
+            self.metrics.inflight_peak = self.metrics.inflight_peak.max(self.inflight_lookups);
+        }
+        self.walks.insert(
+            qid,
+            Walk {
+                id: qid,
+                purpose,
+                target,
+                cur: from,
+                hops: 0,
+                timeouts: 0,
+                latency: SimTime::ZERO,
+                issued_at: self.plane.now(),
+                excluded: Vec::new(),
+                max_hops,
+                rng,
+            },
+        );
+        self.step_walk(qid);
+        qid
+    }
+
+    /// One greedy step at the walk's current node (shared
+    /// `sw_overlay::greedy_step` via [`sw_overlay::RingView`]).
+    fn step_walk(&mut self, qid: QueryId) {
+        let Some(walk) = self.walks.get(&qid) else {
+            return;
+        };
+        let cur = walk.cur;
+        if !self.nodes[cur as usize].alive {
+            // The node holding the query failed: the walk is stranded.
+            self.finish_walk(qid, WalkEnd::Stranded);
+            return;
+        }
+        let cur_key = self.nodes[cur as usize].key;
+        let cur_d = Metric::Ring.distance(cur_key, walk.target);
+        if cur_d == 0.0 {
+            self.finish_walk(qid, WalkEnd::Arrived);
+            return;
+        }
+        if walk.hops >= walk.max_hops {
+            self.finish_walk(qid, WalkEnd::HopLimit);
+            return;
+        }
+        let node = &self.nodes[cur as usize];
+        let view = sw_overlay::RingView {
+            pred: node.pred,
+            succ: &node.succ,
+            long: &node.long,
+        };
+        let excluded = &walk.excluded;
+        let nodes = &self.nodes;
+        let step = view.step(
+            Metric::Ring,
+            walk.target,
+            cur_d,
+            |v| v == cur || excluded.contains(&v),
+            |v| nodes[v as usize].key,
+        );
+        match step {
+            None => self.finish_walk(qid, WalkEnd::LocalMinimum),
+            Some((next, _)) => {
+                let now = self.plane.now();
+                let latency = self.cfg.latency;
+                let walk = self.walks.get_mut(&qid).expect("walk present");
+                let dt = latency.sample(&mut walk.rng);
+                self.plane.send(
+                    dt,
+                    Msg::Hop {
+                        qid,
+                        to: next,
+                        sent_at: now,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A forwarded query arrives at `to` — or its sender times out, if
+    /// `to` died while the message was in flight.
+    fn deliver_hop(&mut self, qid: QueryId, to: u32, sent_at: SimTime) {
+        let now = self.plane.now();
+        let alive = self.nodes[to as usize].alive;
+        let penalty = self.cfg.timeout_penalty;
+        let Some(walk) = self.walks.get_mut(&qid) else {
+            return;
+        };
+        if alive {
+            walk.latency += now - sent_at;
+            walk.hops += 1;
+            walk.cur = to;
+            self.step_walk(qid);
+        } else {
+            // The sender's timeout clock started at send time; it may
+            // already have expired if the sampled flight time exceeded
+            // the penalty (the plane clamps past sends to `now`).
+            walk.timeouts += 1;
+            walk.latency += penalty;
+            walk.excluded.push(to);
+            self.plane.send_at(sent_at + penalty, Msg::Step { qid });
+        }
+    }
+
+    /// Terminal transition: remove the walk and dispatch on purpose.
+    fn finish_walk(&mut self, qid: QueryId, end: WalkEnd) {
+        let mut walk = self.walks.remove(&qid).expect("finishing a live walk");
+        let now = self.plane.now();
+        self.metrics.timeouts += walk.timeouts as u64;
+        // Detach the purpose so the walk's accounting fields can still
+        // move into the storage-phase handlers.
+        let purpose = std::mem::replace(
+            &mut walk.purpose,
+            Purpose::Lookup {
+                target_id: u32::MAX, // placeholder, never read
+            },
+        );
+        match purpose {
+            Purpose::Lookup { target_id } => {
+                self.inflight_lookups -= 1;
+                self.metrics.lookups += 1;
+                let success = end != WalkEnd::Stranded && walk.cur == target_id;
+                if end == WalkEnd::Stranded {
+                    self.metrics.lookups_stranded += 1;
+                }
+                if success {
+                    self.metrics.lookups_ok += 1;
+                    self.metrics.hops.push(walk.hops as f64);
+                    self.metrics.latency_secs.push(walk.latency.as_secs_f64());
+                }
+                if self.cfg.record_lookups {
+                    self.lookup_records.push(LookupRecord {
+                        issued_at: walk.issued_at,
+                        completed_at: now,
+                        hops: walk.hops,
+                        timeouts: walk.timeouts,
+                        latency: walk.latency,
+                        success,
+                        stranded: end == WalkEnd::Stranded,
+                    });
+                }
+            }
+            Purpose::JoinFind { key } => {
+                self.metrics.join_messages += (walk.hops + walk.timeouts) as u64;
+                if end == WalkEnd::Stranded || self.alive.contains_key(&key) {
+                    self.metrics.joins_aborted += 1;
+                } else {
+                    self.complete_join(key);
+                }
+            }
+            Purpose::LinkProbe {
+                node,
+                mut collected,
+                budget,
+                tries_left,
+                refresh,
+            } => {
+                let msgs = (walk.hops + walk.timeouts) as u64;
+                if refresh {
+                    self.metrics.refresh_messages += msgs;
+                } else {
+                    self.metrics.join_messages += msgs;
+                }
+                if !self.nodes[node as usize].alive {
+                    return; // the chain dies with its node
+                }
+                let v = walk.cur;
+                if end != WalkEnd::Stranded
+                    && v != node
+                    && self.nodes[v as usize].alive
+                    && !collected.contains(&v)
+                {
+                    collected.push(v);
+                }
+                if collected.len() < budget && tries_left > 0 {
+                    self.spawn_link_probe(node, collected, budget, tries_left, refresh);
+                } else {
+                    self.finish_links(node, collected, refresh);
+                }
+            }
+            Purpose::Put { key, value } => self.finish_put_route(qid, end, key, value, walk),
+            Purpose::Get { key } => self.finish_get_route(qid, end, key, walk),
+            Purpose::Range { lo, hi } => self.finish_range_route(qid, end, lo, hi, walk),
+        }
+    }
+
+    // ----- lookups ---------------------------------------------------
+
+    fn do_lookup_start(&mut self) {
+        let mut rng = std::mem::replace(&mut self.lookup_rng, Rng::new(0));
+        let pair = match (self.random_alive(&mut rng), self.random_alive(&mut rng)) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        };
+        self.lookup_rng = rng;
+        if let Some((from, target_id)) = pair {
+            let target = self.nodes[target_id as usize].key;
+            self.spawn_walk(Purpose::Lookup { target_id }, target, from);
+        }
+    }
+
+    // ----- churn -----------------------------------------------------
+
+    fn do_join_start(&mut self) {
+        let mut rng = std::mem::replace(&mut self.join_rng, Rng::new(0));
+        let mut key = self.dist.sample_key(&mut rng);
+        while self.alive.contains_key(&key) {
+            key = self.dist.sample_key(&mut rng);
+        }
+        let entry = self.random_alive(&mut rng);
+        self.join_rng = rng;
+        if let Some(entry) = entry {
+            // Route to the joining key to find the join point; the splice
+            // happens when (if) the walk completes.
+            self.spawn_walk(Purpose::JoinFind { key }, key, entry);
+        }
+    }
+
+    /// The join-point walk completed: create and splice the node, move
+    /// its shard slice over, and start its long-link probe chain.
+    fn complete_join(&mut self, key: Key) {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(SimNode {
+            key,
+            alive: true,
+            succ: Vec::new(),
+            pred: None,
+            long: Vec::new(),
+            refreshing: false,
+        });
+        self.alive.insert(key, id);
+        self.alive_pos.push(self.alive_ids.len());
+        self.alive_ids.push(id);
+        self.repair_ring_state(id);
+        // Splice: the new peer's ring neighbours learn about it.
+        if let Some(p) = self.nodes[id as usize].pred {
+            self.nodes[p as usize].succ.insert(0, id);
+            self.nodes[p as usize]
+                .succ
+                .truncate(self.cfg.successor_list.max(1));
+        }
+        if let Some(&s) = self.nodes[id as usize].succ.first() {
+            self.nodes[s as usize].pred = Some(id);
+        }
+        // Ownership split: the new peer takes the arc between its
+        // predecessor and itself from its successor's primary shard.
+        if self.cfg.storage.enabled() {
+            if let (Some(&succ0), Some(p)) = (
+                self.nodes[id as usize].succ.first(),
+                self.nodes[id as usize].pred,
+            ) {
+                let pred_key = self.nodes[p as usize].key;
+                self.primary.split_to(succ0, id, pred_key, key);
+            }
+        }
+        self.metrics.joins += 1;
+        self.schedule_timers(id);
+        // Long links via routed probes (message-accounted, in-flight).
+        let budget = self.cfg.out_degree.links_for(self.alive.len());
+        self.spawn_link_probe(id, Vec::new(), budget, 8 * budget as u32 + 16, false);
+    }
+
+    fn do_fail(&mut self) {
+        // Keep a minimal population so the ring never vanishes.
+        if self.alive.len() <= 8 {
+            return;
+        }
+        let mut rng = std::mem::replace(&mut self.fail_rng, Rng::new(0));
+        let victim = match self.cfg.churn.victims {
+            VictimSampling::UniformPeers => Some(self.alive_ids[rng.index(self.alive_ids.len())]),
+            VictimSampling::DensityWeighted => self.random_alive(&mut rng),
+        };
+        self.fail_rng = rng;
+        let Some(victim) = victim else {
+            return;
+        };
+        let key = self.nodes[victim as usize].key;
+        self.alive.remove(&key);
+        let pos = self.alive_pos[victim as usize];
+        self.alive_ids.swap_remove(pos);
+        if pos < self.alive_ids.len() {
+            self.alive_pos[self.alive_ids[pos] as usize] = pos;
+        }
+        self.alive_pos[victim as usize] = usize::MAX;
+        self.nodes[victim as usize].alive = false;
+        if self.cfg.storage.enabled() {
+            // Successor takeover: the heir recovers the dead peer's
+            // primary slice (modeling replica-driven re-ownership); the
+            // dead peer's replica copies are simply lost.
+            let heir = self.owner_of(key);
+            self.primary.merge_into(victim, heir);
+            self.replica.clear_shard(victim);
+        }
+        self.metrics.failures += 1;
+    }
+
+    // ----- maintenance -----------------------------------------------
 
     fn schedule_timers(&mut self, id: u32) {
         // Stagger timers so maintenance does not arrive in bursts.
         if let Some(interval) = self.cfg.stabilize_interval {
-            let stagger = SimTime(self.rng.bounded_u64(interval.0.max(1)));
-            self.schedule(stagger, EventKind::Stabilize(id));
+            let stagger = SimTime(self.timer_rng.bounded_u64(interval.0.max(1)));
+            self.plane.send(stagger, Msg::StabilizeStart(id));
         }
         if let Some(interval) = self.cfg.refresh_interval {
-            let stagger = SimTime(self.rng.bounded_u64(interval.0.max(1)));
-            self.schedule(stagger, EventKind::Refresh(id));
+            let stagger = SimTime(self.timer_rng.bounded_u64(interval.0.max(1)));
+            self.plane.send(stagger, Msg::RefreshStart(id));
         }
     }
 
-    fn next_interval(&mut self, rate: f64) -> SimTime {
-        SimTime::from_secs_f64(self.rng.exponential(rate))
+    /// Stabilization round: ping every contact now, apply the repair
+    /// when the slowest ping resolves (dead contacts take the timeout
+    /// penalty to be noticed). Lookups in flight during the round still
+    /// see the stale view — the repair is not instantaneous.
+    fn do_stabilize_start(&mut self, id: u32) {
+        if !self.nodes[id as usize].alive {
+            return; // timer dies with the node
+        }
+        let node = &self.nodes[id as usize];
+        let contacts: Vec<u32> = sw_overlay::RingView {
+            pred: node.pred,
+            succ: &node.succ,
+            long: &node.long,
+        }
+        .contacts()
+        .collect();
+        self.metrics.stabilize_messages += contacts.len() as u64;
+        let mut resolve = SimTime::ZERO;
+        for v in contacts {
+            let rtt = if self.nodes[v as usize].alive {
+                let s = self.cfg.latency.sample(&mut self.timer_rng);
+                SimTime(s.0 * 2)
+            } else {
+                self.cfg.timeout_penalty
+            };
+            resolve = resolve.max(rtt);
+        }
+        self.plane.send(resolve, Msg::StabilizeApply(id));
+        let interval = self.cfg.stabilize_interval.expect("timer scheduled");
+        self.plane.send(interval, Msg::StabilizeStart(id));
     }
 
-    fn handle(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::Join => {
-                self.do_join();
-                let dt = self.next_interval(self.cfg.churn.join_rate);
-                self.schedule(dt, EventKind::Join);
+    fn do_stabilize_apply(&mut self, id: u32) {
+        if !self.nodes[id as usize].alive {
+            return;
+        }
+        self.repair_ring_state(id);
+        // Prune dead long links in place (no replacement allocation).
+        let mut long = std::mem::take(&mut self.nodes[id as usize].long);
+        long.retain(|&v| self.nodes[v as usize].alive);
+        self.nodes[id as usize].long = long;
+    }
+
+    /// Long-link refresh: a chain of *routed* probes rebuilding the
+    /// node's long links against the current population. The old links
+    /// stay in service until the chain completes.
+    fn do_refresh_start(&mut self, id: u32) {
+        if !self.nodes[id as usize].alive {
+            return;
+        }
+        let interval = self.cfg.refresh_interval.expect("timer scheduled");
+        self.plane.send(interval, Msg::RefreshStart(id));
+        if self.nodes[id as usize].refreshing {
+            return; // previous chain still in flight
+        }
+        self.nodes[id as usize].refreshing = true;
+        let budget = self.cfg.out_degree.links_for(self.alive.len());
+        self.spawn_link_probe(id, Vec::new(), budget, 4 * budget as u32 + 8, true);
+    }
+
+    /// Spawns the next probe of a link chain: draw a harmonic-rule
+    /// target around `node`'s position and route toward it.
+    fn spawn_link_probe(
+        &mut self,
+        node: u32,
+        collected: Vec<u32>,
+        budget: usize,
+        tries_left: u32,
+        refresh: bool,
+    ) {
+        if budget == 0 || tries_left == 0 {
+            self.finish_links(node, collected, refresh);
+            return;
+        }
+        let n = self.alive.len();
+        let tau = 1.0 / n as f64;
+        let side_weight = (0.5f64 / tau).max(1.0).ln();
+        if side_weight <= 0.0 {
+            self.finish_links(node, collected, refresh);
+            return;
+        }
+        // Target draws come from the dedicated link stream — chains are
+        // spawned in event order, so the draws are deterministic.
+        let pos = self.dist.cdf(self.nodes[node as usize].key.get());
+        let sign = if self.link_rng.chance(0.5) { 1.0 } else { -1.0 };
+        let m = tau * (side_weight * self.link_rng.f64()).exp();
+        let target_pos = (pos + sign * m).rem_euclid(1.0);
+        let target = Key::clamped(self.dist.quantile(target_pos));
+        self.spawn_walk(
+            Purpose::LinkProbe {
+                node,
+                collected,
+                budget,
+                tries_left: tries_left - 1,
+                refresh,
+            },
+            target,
+            node,
+        );
+    }
+
+    fn finish_links(&mut self, node: u32, collected: Vec<u32>, refresh: bool) {
+        if self.nodes[node as usize].alive {
+            self.nodes[node as usize].long = collected;
+        }
+        if refresh {
+            self.nodes[node as usize].refreshing = false;
+        }
+    }
+
+    // ----- storage workload ------------------------------------------
+
+    fn preload_storage(&mut self) {
+        let preload = self.cfg.storage.preload;
+        if preload == 0 {
+            return;
+        }
+        let mut rng = Rng::stream(self.cfg.seed, stream::PRELOAD);
+        let items: Vec<(Key, Vec<u8>)> = (0..preload)
+            .map(|_| {
+                let key = self.dist.sample_key(&mut rng);
+                let value = self.next_value();
+                (key, value)
+            })
+            .collect();
+        // Owner resolution fans out across workers; insertion drains
+        // sequentially in input order (thread-count invariant).
+        let alive = &self.alive;
+        let owners = par::par_map_grained(items.len(), self.cfg.parallelism, 256, |i| {
+            owner_of_map(alive, items[i].0)
+        });
+        let replicas = self.cfg.storage.replication.max(1) - 1;
+        for ((key, value), owner) in items.into_iter().zip(owners) {
+            for r in self.ground_replica_chain(owner, replicas) {
+                self.replica.insert(r, key, value.clone());
             }
-            EventKind::Fail => {
-                self.do_fail();
-                let dt = self.next_interval(self.cfg.churn.fail_rate);
-                self.schedule(dt, EventKind::Fail);
-            }
-            EventKind::Lookup => {
-                self.do_lookup();
-                let dt = self.next_interval(self.cfg.workload.lookup_rate);
-                self.schedule(dt, EventKind::Lookup);
-            }
-            EventKind::Stabilize(id) => {
-                if self.nodes[id as usize].alive {
-                    self.do_stabilize(id);
-                    let interval = self.cfg.stabilize_interval.expect("timer scheduled");
-                    self.schedule(interval, EventKind::Stabilize(id));
+            self.primary.insert(owner, key, value);
+            self.put_keys.push(key);
+        }
+    }
+
+    fn next_value(&mut self) -> Vec<u8> {
+        self.put_counter += 1;
+        self.put_counter.to_le_bytes().to_vec()
+    }
+
+    /// Ground-truth replica chain: the first `count` alive peers
+    /// clockwise of `owner` (used only for the zero-cost preload; routed
+    /// puts fan out over the routed node's *local view* instead).
+    fn ground_replica_chain(&self, owner: u32, count: usize) -> Vec<u32> {
+        let key = self.nodes[owner as usize].key;
+        let mut chain = Vec::with_capacity(count);
+        for (_, &v) in self
+            .alive
+            .range((std::ops::Bound::Excluded(key), std::ops::Bound::Unbounded))
+            .chain(self.alive.range(..key))
+        {
+            if v != owner {
+                chain.push(v);
+                if chain.len() == count {
+                    break;
                 }
             }
-            EventKind::Refresh(id) => {
-                if self.nodes[id as usize].alive {
-                    self.do_refresh(id);
-                    let interval = self.cfg.refresh_interval.expect("timer scheduled");
-                    self.schedule(interval, EventKind::Refresh(id));
+        }
+        chain
+    }
+
+    fn do_put_start(&mut self) {
+        let mut rng = std::mem::replace(&mut self.put_rng, Rng::new(0));
+        let key = self.dist.sample_key(&mut rng);
+        let from = self.random_alive(&mut rng);
+        self.put_rng = rng;
+        let Some(from) = from else { return };
+        let value = self.next_value();
+        self.spawn_walk(Purpose::Put { key, value }, key, from);
+    }
+
+    fn do_get_start(&mut self) {
+        let mut rng = std::mem::replace(&mut self.get_rng, Rng::new(0));
+        let key = if self.put_keys.is_empty() {
+            self.dist.sample_key(&mut rng)
+        } else {
+            self.put_keys[rng.index(self.put_keys.len())]
+        };
+        let from = self.random_alive(&mut rng);
+        self.get_rng = rng;
+        let Some(from) = from else { return };
+        self.spawn_walk(Purpose::Get { key }, key, from);
+    }
+
+    fn do_range_start(&mut self) {
+        let mut rng = std::mem::replace(&mut self.range_rng, Rng::new(0));
+        let lo = self.dist.sample_key(&mut rng);
+        let hi = Key::clamped(lo.get() + self.cfg.storage.range_width);
+        let from = self.random_alive(&mut rng);
+        self.range_rng = rng;
+        let Some(from) = from else { return };
+        if hi <= lo {
+            return; // degenerate range at the top of the key space
+        }
+        self.spawn_walk(Purpose::Range { lo, hi }, lo, from);
+    }
+
+    /// Greedy routing terminates at the *nearest* peer; the owner under
+    /// successor semantics is that peer or its direct ring successor —
+    /// one extra forwarding message at most, charged to the op (exactly
+    /// the adjustment `sw_dht::Dht::route_to_owner` makes statically).
+    fn shift_to_owner(&mut self, at: u32, key: Key) -> u32 {
+        if self.nodes[at as usize].key >= key {
+            return at;
+        }
+        match self.nodes[at as usize].succ.first() {
+            Some(&s) if self.nodes[s as usize].alive => {
+                self.metrics.storage_messages += 1;
+                s
+            }
+            _ => at,
+        }
+    }
+
+    /// Put routing phase done: store the primary copy at the routed
+    /// owner and fan out replica writes over its local successor view.
+    fn finish_put_route(
+        &mut self,
+        qid: QueryId,
+        end: WalkEnd,
+        key: Key,
+        value: Vec<u8>,
+        mut walk: Walk,
+    ) {
+        self.metrics.storage_messages += (walk.hops + walk.timeouts) as u64;
+        if end == WalkEnd::Stranded || end == WalkEnd::HopLimit {
+            self.metrics.puts += 1;
+            return;
+        }
+        let at = self.shift_to_owner(walk.cur, key);
+        let now = self.plane.now();
+        self.primary.insert(at, key, value.clone());
+        let replicas = self.cfg.storage.replication.max(1) - 1;
+        let chain: Vec<u32> = self.nodes[at as usize]
+            .succ
+            .iter()
+            .copied()
+            .take(replicas)
+            .collect();
+        if chain.is_empty() {
+            self.metrics.puts += 1;
+            self.metrics.puts_ok += 1;
+            self.metrics
+                .put_latency_secs
+                .push(walk.latency.as_secs_f64());
+            self.put_keys.push(key);
+            return;
+        }
+        let mut pending = 0u32;
+        for to in chain {
+            let dt = self.cfg.latency.sample(&mut walk.rng);
+            self.metrics.storage_messages += 1;
+            self.plane.send(
+                dt,
+                Msg::ReplicaPut {
+                    op: qid,
+                    to,
+                    sent_at: now,
+                },
+            );
+            pending += 1;
+        }
+        self.put_keys.push(key);
+        self.ops.insert(
+            qid,
+            StorageOp::PutFanout {
+                key,
+                value,
+                pending,
+                stored: 1,
+                issued_at: walk.issued_at,
+            },
+        );
+    }
+
+    fn deliver_replica_put(&mut self, op: QueryId, to: u32, _sent_at: SimTime) {
+        let now = self.plane.now();
+        let alive = self.nodes[to as usize].alive;
+        let Some(StorageOp::PutFanout {
+            key,
+            value,
+            pending,
+            stored,
+            issued_at,
+        }) = self.ops.get_mut(&op)
+        else {
+            return;
+        };
+        if alive {
+            let (k, v) = (*key, value.clone());
+            *stored += 1;
+            *pending -= 1;
+            let done = *pending == 0;
+            let issued = *issued_at;
+            self.replica.insert(to, k, v);
+            if done {
+                self.ops.remove(&op);
+                self.metrics.puts += 1;
+                self.metrics.puts_ok += 1;
+                self.metrics
+                    .put_latency_secs
+                    .push((now - issued).as_secs_f64());
+            }
+        } else {
+            *pending -= 1;
+            let done = *pending == 0;
+            let issued = *issued_at;
+            let any_stored = *stored > 0;
+            if done {
+                self.ops.remove(&op);
+                self.metrics.puts += 1;
+                if any_stored {
+                    self.metrics.puts_ok += 1;
+                    self.metrics
+                        .put_latency_secs
+                        .push((now - issued).as_secs_f64());
                 }
             }
         }
     }
+
+    /// Get routing phase done: read the routed owner's primary shard,
+    /// falling back to replica probes along its successor view.
+    fn finish_get_route(&mut self, qid: QueryId, end: WalkEnd, key: Key, mut walk: Walk) {
+        self.metrics.storage_messages += (walk.hops + walk.timeouts) as u64;
+        if end == WalkEnd::Stranded || end == WalkEnd::HopLimit {
+            self.metrics.gets += 1;
+            return;
+        }
+        let at = self.shift_to_owner(walk.cur, key);
+        if self.primary.contains(at, key) {
+            self.metrics.gets += 1;
+            self.metrics.gets_ok += 1;
+            self.metrics
+                .get_latency_secs
+                .push(walk.latency.as_secs_f64());
+            return;
+        }
+        let replicas = self.cfg.storage.replication.max(1) - 1;
+        let mut chain: Vec<u32> = self.nodes[at as usize]
+            .succ
+            .iter()
+            .copied()
+            .take(replicas.max(1))
+            .collect();
+        if chain.is_empty() {
+            self.metrics.gets += 1;
+            return;
+        }
+        let first = chain.remove(0);
+        let now = self.plane.now();
+        let dt = self.cfg.latency.sample(&mut walk.rng);
+        self.metrics.storage_messages += 1;
+        self.metrics.gets_fallback += 1;
+        self.plane.send(
+            dt,
+            Msg::ReplicaProbe {
+                op: qid,
+                to: first,
+                sent_at: now,
+            },
+        );
+        self.ops.insert(
+            qid,
+            StorageOp::GetFallback {
+                key,
+                chain,
+                latency: walk.latency,
+                rng: walk.rng,
+            },
+        );
+    }
+
+    fn deliver_replica_probe(&mut self, op: QueryId, to: u32, sent_at: SimTime) {
+        let now = self.plane.now();
+        let alive = self.nodes[to as usize].alive;
+        let penalty = self.cfg.timeout_penalty;
+        let latency_model = self.cfg.latency;
+        let Some(StorageOp::GetFallback {
+            key,
+            chain,
+            latency,
+            rng,
+            ..
+        }) = self.ops.get_mut(&op)
+        else {
+            return;
+        };
+        let key = *key;
+        // A probed peer serves *any* copy it holds — replica copies from
+        // fan-outs, or primary rows inherited through a failure merge.
+        let hit = alive && (self.replica.contains(to, key) || self.primary.contains(to, key));
+        if hit {
+            // Request + reply both travel: double the one-way delay.
+            let one_way = now - sent_at;
+            *latency += one_way + one_way;
+            let total = *latency;
+            self.ops.remove(&op);
+            self.metrics.gets += 1;
+            self.metrics.gets_ok += 1;
+            self.metrics.get_latency_secs.push(total.as_secs_f64());
+            return;
+        }
+        // Miss (alive but no copy) or timeout (dead): try the next
+        // replica in the chain, from the routed owner.
+        let next_send = if alive {
+            let one_way = now - sent_at;
+            *latency += one_way + one_way;
+            now + (now - sent_at)
+        } else {
+            *latency += penalty;
+            sent_at + penalty
+        };
+        if chain.is_empty() {
+            self.ops.remove(&op);
+            self.metrics.gets += 1;
+            return;
+        }
+        let next = chain.remove(0);
+        let dt = latency_model.sample(rng);
+        self.metrics.storage_messages += 1;
+        self.metrics.gets_fallback += 1;
+        self.plane.send_at(
+            next_send + dt,
+            Msg::ReplicaProbe {
+                op,
+                to: next,
+                sent_at: next_send,
+            },
+        );
+    }
+
+    /// Range routing phase done: begin the clockwise owner sweep at the
+    /// routed node.
+    fn finish_range_route(&mut self, qid: QueryId, end: WalkEnd, lo: Key, hi: Key, walk: Walk) {
+        self.metrics.storage_messages += (walk.hops + walk.timeouts) as u64;
+        if end == WalkEnd::Stranded || end == WalkEnd::HopLimit {
+            self.metrics.ranges += 1;
+            return;
+        }
+        let budget = 64 + 8 * (self.alive.len().max(2) as f64).log2().ceil() as u32;
+        // Same owner adjustment as puts and gets: the sweep must start
+        // at `lo`'s successor-rule owner, not its nearest peer.
+        let at = self.shift_to_owner(walk.cur, lo);
+        self.ops.insert(
+            qid,
+            StorageOp::RangeSweep {
+                lo,
+                hi,
+                items: 0,
+                peers_visited: 0,
+                budget,
+                tried: Vec::new(),
+                from: at,
+                rng: walk.rng,
+            },
+        );
+        self.continue_sweep(qid, at);
+    }
+
+    /// Serve a fragment at sweep peer `at`, then forward to the next
+    /// owner clockwise (or complete).
+    fn continue_sweep(&mut self, op: QueryId, at: u32) {
+        let (lo, hi) = match self.ops.get(&op) {
+            Some(StorageOp::RangeSweep { lo, hi, .. }) => (*lo, *hi),
+            _ => return,
+        };
+        let served = self.primary.shard_range_count(at, lo, hi) as u64;
+        let at_key = self.nodes[at as usize].key;
+        let next_peer = self.nodes[at as usize].succ.first().copied();
+        let now = self.plane.now();
+        let latency_model = self.cfg.latency;
+        enum Sweep {
+            Done { ok: bool, items: u64, peers: u32 },
+            Forward { next: u32, dt: SimTime },
+        }
+        let decision = {
+            let Some(StorageOp::RangeSweep {
+                items,
+                peers_visited,
+                budget,
+                tried,
+                from,
+                rng,
+                ..
+            }) = self.ops.get_mut(&op)
+            else {
+                return;
+            };
+            *items += served;
+            *peers_visited += 1;
+            *budget = budget.saturating_sub(1);
+            tried.clear();
+            *from = at;
+            // By the successor rule this peer owns everything at or
+            // below its key: once its key reaches `hi` the range is
+            // fully served (`>=` because `hi` is exclusive).
+            if at_key >= hi {
+                Sweep::Done {
+                    ok: true,
+                    items: *items,
+                    peers: *peers_visited,
+                }
+            } else if *budget == 0 || next_peer.is_none() {
+                Sweep::Done {
+                    ok: false,
+                    items: *items,
+                    peers: *peers_visited,
+                }
+            } else {
+                Sweep::Forward {
+                    next: next_peer.expect("checked"),
+                    dt: latency_model.sample(rng),
+                }
+            }
+        };
+        match decision {
+            Sweep::Done { ok, items, peers } => {
+                self.ops.remove(&op);
+                self.metrics.ranges += 1;
+                if ok {
+                    self.metrics.ranges_ok += 1;
+                }
+                self.metrics.range_items += items;
+                self.metrics.range_peers += peers as u64;
+            }
+            Sweep::Forward { next, dt } => {
+                self.metrics.storage_messages += 1;
+                self.plane.send(
+                    dt,
+                    Msg::RangeFragment {
+                        op,
+                        to: next,
+                        sent_at: now,
+                    },
+                );
+            }
+        }
+    }
+
+    fn deliver_range_fragment(&mut self, op: QueryId, to: u32, sent_at: SimTime) {
+        if self.nodes[to as usize].alive {
+            self.continue_sweep(op, to);
+            return;
+        }
+        // Dead sweep peer: the previous fragment holder times out and
+        // tries its next known successor.
+        let penalty = self.cfg.timeout_penalty;
+        let latency_model = self.cfg.latency;
+        let from = {
+            let Some(StorageOp::RangeSweep { tried, from, .. }) = self.ops.get_mut(&op) else {
+                return;
+            };
+            tried.push(to);
+            *from
+        };
+        let next = {
+            let tried = match self.ops.get(&op) {
+                Some(StorageOp::RangeSweep { tried, .. }) => tried,
+                _ => return,
+            };
+            self.nodes[from as usize]
+                .succ
+                .iter()
+                .copied()
+                .find(|v| !tried.contains(v))
+        };
+        match next {
+            Some(next) => {
+                let Some(StorageOp::RangeSweep { rng, .. }) = self.ops.get_mut(&op) else {
+                    return;
+                };
+                let dt = latency_model.sample(rng);
+                let retry_at = sent_at + penalty;
+                self.metrics.storage_messages += 1;
+                self.plane.send_at(
+                    retry_at + dt,
+                    Msg::RangeFragment {
+                        op,
+                        to: next,
+                        sent_at: retry_at,
+                    },
+                );
+            }
+            None => {
+                // No live successor in view: the sweep dead-ends.
+                let (items, peers) = match self.ops.remove(&op) {
+                    Some(StorageOp::RangeSweep {
+                        items,
+                        peers_visited,
+                        ..
+                    }) => (items, peers_visited),
+                    _ => return,
+                };
+                self.metrics.ranges += 1;
+                self.metrics.range_items += items;
+                self.metrics.range_peers += peers as u64;
+            }
+        }
+    }
+
+    // ----- ground-truth helpers --------------------------------------
 
     fn random_alive(&self, rng: &mut Rng) -> Option<u32> {
         if self.alive.is_empty() {
             return None;
         }
-        // Key-space sampling + successor lookup: O(log n), uniform enough
-        // for workload generation (density-weighted by arc ownership).
+        // Key-space sampling + successor lookup: O(log n). Density-
+        // weighted by arc ownership — intended for *workload* draws
+        // (lookups, storage ops, join entry points), where traffic
+        // proportional to owned key space is the realistic model. Churn
+        // victims use `alive_ids` uniform sampling instead.
         let probe = Key::clamped(rng.f64());
         Some(self.owner_of(probe))
     }
 
     /// Ground-truth successor-owner of a key (first alive peer clockwise).
     fn owner_of(&self, key: Key) -> u32 {
-        if let Some((_, &id)) = self.alive.range(key..).next() {
-            id
-        } else {
-            *self.alive.values().next().expect("nonempty alive set")
-        }
+        owner_of_map(&self.alive, key)
     }
 
     /// Ground-truth nearest alive peer by ring distance.
     fn nearest_alive(&self, key: Key) -> u32 {
         let succ = self.owner_of(key);
         let pred = self.pred_alive_of(key);
-        let ds = ring_dist(self.nodes[succ as usize].key, key);
-        let dp = ring_dist(self.nodes[pred as usize].key, key);
+        let ds = Metric::Ring.distance(self.nodes[succ as usize].key, key);
+        let dp = Metric::Ring.distance(self.nodes[pred as usize].key, key);
         if dp < ds {
             pred
         } else {
@@ -438,7 +1497,7 @@ impl Simulator {
 
     /// Draws long links with the closed-form harmonic rule against the
     /// ground-truth population (no message cost — used for the initial
-    /// converged network and as the refresh target distribution).
+    /// converged network only; joins and refreshes route real probes).
     fn draw_links_closed_form(&self, id: u32, rng: &mut Rng) -> Vec<u32> {
         let n = self.alive.len();
         let budget = self.cfg.out_degree.links_for(n);
@@ -464,52 +1523,40 @@ impl Simulator {
         links
     }
 
-    /// One greedy walk using local (possibly stale) views; dead contacts
-    /// cost a timeout and are excluded for the rest of the walk. Reads
-    /// neighbour state through slices only, so concurrent probe walks can
-    /// share `&self`.
-    fn walk(&self, from: u32, target: Key, rng: &mut Rng) -> WalkOutcome {
+    /// One *synchronous* greedy walk over current local views — the
+    /// measurement probe path only (probes freeze time; workload walks
+    /// go through the message plane). Shares the per-hop contact
+    /// selection with the async walks via [`sw_overlay::RingView`].
+    fn probe_walk(&self, from: u32, target: Key) -> WalkOutcome {
         let mut cur = from;
         let mut hops = 0u32;
-        let mut timeouts = 0u32;
-        let mut latency = SimTime::ZERO;
         let mut excluded: HashSet<u32> = HashSet::new();
         let max_hops = 64 + 8 * (self.alive.len().max(2) as f64).log2().ceil() as u32;
         loop {
-            let cur_d = ring_dist(self.nodes[cur as usize].key, target);
+            let cur_d = Metric::Ring.distance(self.nodes[cur as usize].key, target);
             if cur_d == 0.0 {
                 break;
             }
-            // Candidate view: pred + successor list + long links.
             let node = &self.nodes[cur as usize];
-            let mut best: Option<u32> = None;
-            let mut best_d = cur_d;
-            for v in node
-                .pred
-                .iter()
-                .copied()
-                .chain(node.succ.iter().copied())
-                .chain(node.long.iter().copied())
-            {
-                if v == cur || excluded.contains(&v) {
-                    continue;
-                }
-                let d = ring_dist(self.nodes[v as usize].key, target);
-                if d < best_d {
-                    best_d = d;
-                    best = Some(v);
-                }
-            }
-            let Some(next) = best else {
+            let view = sw_overlay::RingView {
+                pred: node.pred,
+                succ: &node.succ,
+                long: &node.long,
+            };
+            let step = view.step(
+                Metric::Ring,
+                target,
+                cur_d,
+                |v| v == cur || excluded.contains(&v),
+                |v| self.nodes[v as usize].key,
+            );
+            let Some((next, _)) = step else {
                 break; // local minimum in the live view
             };
             if !self.nodes[next as usize].alive {
-                timeouts += 1;
-                latency += self.cfg.timeout_penalty;
                 excluded.insert(next);
                 continue;
             }
-            latency += self.cfg.latency.sample(rng);
             hops += 1;
             cur = next;
             if hops >= max_hops {
@@ -519,135 +1566,22 @@ impl Simulator {
         WalkOutcome {
             final_node: cur,
             hops,
-            timeouts,
-            latency,
         }
-    }
-
-    fn do_join(&mut self) {
-        let mut rng = self.rng.fork();
-        let mut key = self.dist.sample_key(&mut rng);
-        while self.alive.contains_key(&key) {
-            key = self.dist.sample_key(&mut rng);
-        }
-        let Some(entry) = self.random_alive(&mut rng) else {
-            return;
-        };
-        // Route to own key to find the join point.
-        let outcome = self.walk(entry, key, &mut rng);
-        self.metrics.join_messages += (outcome.hops + outcome.timeouts) as u64;
-        self.metrics.timeouts += outcome.timeouts as u64;
-        let id = self.nodes.len() as u32;
-        self.nodes.push(SimNode {
-            key,
-            alive: true,
-            succ: Vec::new(),
-            pred: None,
-            long: Vec::new(),
-        });
-        self.alive.insert(key, id);
-        self.repair_ring_state(id);
-        // Splice: the new peer's ring neighbours learn about it.
-        if let Some(p) = self.nodes[id as usize].pred {
-            self.nodes[p as usize].succ.insert(0, id);
-            self.nodes[p as usize]
-                .succ
-                .truncate(self.cfg.successor_list.max(1));
-        }
-        if let Some(&s) = self.nodes[id as usize].succ.first() {
-            self.nodes[s as usize].pred = Some(id);
-        }
-        // Long links via routed queries (message-accounted).
-        let n = self.alive.len();
-        let budget = self.cfg.out_degree.links_for(n);
-        let tau = 1.0 / n as f64;
-        let pos = self.dist.cdf(key.get());
-        let side_weight = (0.5f64 / tau).max(1.0).ln();
-        let mut links = Vec::with_capacity(budget);
-        let mut tries = 0;
-        while links.len() < budget && tries < 8 * budget + 16 {
-            tries += 1;
-            let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
-            let m = tau * (side_weight * rng.f64()).exp();
-            let target_pos = (pos + sign * m).rem_euclid(1.0);
-            let target = Key::clamped(self.dist.quantile(target_pos));
-            let o = self.walk(id, target, &mut rng);
-            self.metrics.join_messages += (o.hops + o.timeouts) as u64;
-            self.metrics.timeouts += o.timeouts as u64;
-            let v = o.final_node;
-            if v != id && self.nodes[v as usize].alive && !links.contains(&v) {
-                links.push(v);
-            }
-        }
-        self.nodes[id as usize].long = links;
-        self.metrics.joins += 1;
-        self.schedule_timers(id);
-    }
-
-    fn do_fail(&mut self) {
-        // Keep a minimal population so the ring never vanishes.
-        if self.alive.len() <= 8 {
-            return;
-        }
-        let mut rng = self.rng.fork();
-        let Some(victim) = self.random_alive(&mut rng) else {
-            return;
-        };
-        let key = self.nodes[victim as usize].key;
-        self.alive.remove(&key);
-        self.nodes[victim as usize].alive = false;
-        self.metrics.failures += 1;
-    }
-
-    fn do_lookup(&mut self) {
-        let mut rng = self.rng.fork();
-        let (Some(from), Some(target_id)) =
-            (self.random_alive(&mut rng), self.random_alive(&mut rng))
-        else {
-            return;
-        };
-        let target = self.nodes[target_id as usize].key;
-        let outcome = self.walk(from, target, &mut rng);
-        self.metrics.lookups += 1;
-        self.metrics.timeouts += outcome.timeouts as u64;
-        if outcome.final_node == target_id {
-            self.metrics.lookups_ok += 1;
-            self.metrics.hops.push(outcome.hops as f64);
-            self.metrics
-                .latency_secs
-                .push(outcome.latency.as_secs_f64());
-        }
-    }
-
-    fn do_stabilize(&mut self, id: u32) {
-        // Ping current ring state + prune dead long links.
-        let pings = self.nodes[id as usize].succ.len() as u64
-            + self.nodes[id as usize].pred.iter().len() as u64
-            + self.nodes[id as usize].long.len() as u64;
-        self.metrics.stabilize_messages += pings;
-        self.repair_ring_state(id);
-        // Prune dead long links in place (no replacement allocation).
-        let mut long = std::mem::take(&mut self.nodes[id as usize].long);
-        long.retain(|&v| self.nodes[v as usize].alive);
-        self.nodes[id as usize].long = long;
-    }
-
-    fn do_refresh(&mut self, id: u32) {
-        let mut rng = self.rng.fork();
-        let links = self.draw_links_closed_form(id, &mut rng);
-        // Message cost: one routed query per drawn link, approximated by
-        // the closed-form draw plus an accounted lookup cost of log2 n.
-        let approx_cost = (self.alive.len().max(2) as f64).log2().ceil() as u64;
-        self.metrics.refresh_messages += links.len() as u64 * approx_cost;
-        self.nodes[id as usize].long = links;
     }
 }
 
-/// Ring distance between two keys.
-#[inline]
-fn ring_dist(a: Key, b: Key) -> f64 {
-    let d = (a.get() - b.get()).abs();
-    d.min(1.0 - d)
+/// Successor-rule owner lookup against a ground-truth alive index.
+fn owner_of_map(alive: &BTreeMap<Key, u32>, key: Key) -> u32 {
+    if let Some((_, &id)) = alive.range(key..).next() {
+        id
+    } else {
+        *alive.values().next().expect("nonempty alive set")
+    }
+}
+
+/// Poisson inter-arrival draw.
+fn next_interval(rng: &mut Rng, rate: f64) -> SimTime {
+    SimTime::from_secs_f64(rng.exponential(rate))
 }
 
 #[cfg(test)]
@@ -677,6 +1611,7 @@ mod tests {
         );
         assert!(m.hops.mean() < 12.0, "hops {}", m.hops.mean());
         assert_eq!(m.timeouts, 0);
+        assert_eq!(m.lookups_stranded, 0);
     }
 
     #[test]
@@ -750,6 +1685,7 @@ mod tests {
             churn: ChurnConfig {
                 join_rate: 10.0,
                 fail_rate: 2.0,
+                ..ChurnConfig::NONE
             },
             ..quiet_config(4, 128)
         };
@@ -833,11 +1769,275 @@ mod tests {
             churn: ChurnConfig {
                 join_rate: 0.0,
                 fail_rate: 50.0,
+                ..ChurnConfig::NONE
             },
             ..quiet_config(8, 64)
         };
         let mut sim = Simulator::new(cfg, Arc::new(Uniform));
         sim.run_until(SimTime::from_secs(60));
         assert!(sim.alive_count() >= 8, "floor {}", sim.alive_count());
+    }
+
+    // ----- message-plane tests (impossible in the whole-walk engine) --
+
+    /// The acceptance scenario: lookups overlap in flight, and at least
+    /// one is stranded by a node failing mid-lookup.
+    #[test]
+    fn lookups_overlap_in_flight_and_strand_under_churn() {
+        let cfg = SimConfig {
+            stabilize_interval: None,
+            refresh_interval: None,
+            churn: ChurnConfig {
+                join_rate: 2.0,
+                fail_rate: 12.0,
+                ..ChurnConfig::NONE
+            },
+            workload: WorkloadConfig { lookup_rate: 50.0 },
+            record_lookups: true,
+            ..quiet_config(9, 256)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(120));
+        let m = sim.metrics();
+        assert!(
+            m.inflight_peak >= 2,
+            "expected concurrent lookups, peak {}",
+            m.inflight_peak
+        );
+        // Find a witness pair of overlapping delivery intervals.
+        let recs = sim.lookup_records();
+        let overlapping = recs
+            .iter()
+            .enumerate()
+            .any(|(i, a)| recs.iter().skip(i + 1).any(|b| a.overlaps(b)));
+        assert!(overlapping, "no overlapping lookup intervals recorded");
+        assert!(
+            m.lookups_stranded >= 1,
+            "expected at least one stranded lookup, got {}",
+            m.lookups_stranded
+        );
+        let stranded = recs.iter().find(|r| r.stranded).expect("stranded record");
+        assert!(!stranded.success);
+    }
+
+    /// Satellite: per-hop latency accounting. With a constant hop
+    /// latency, every lookup's latency is exactly
+    /// `hops * hop + timeouts * penalty`.
+    #[test]
+    fn latency_accumulates_per_hop_plus_timeout_penalty() {
+        let hop = SimTime::from_millis(50);
+        let penalty = SimTime::from_millis(500);
+        let cfg = SimConfig {
+            latency: LatencyModel::Constant(hop),
+            timeout_penalty: penalty,
+            stabilize_interval: None,
+            refresh_interval: None,
+            churn: ChurnConfig::symmetric(4.0),
+            record_lookups: true,
+            ..quiet_config(10, 256)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(90));
+        let recs = sim.lookup_records();
+        assert!(!recs.is_empty());
+        let mut saw_timeout = false;
+        for r in recs {
+            let expect = SimTime(hop.0 * r.hops as u64 + penalty.0 * r.timeouts as u64);
+            assert_eq!(
+                r.latency, expect,
+                "hops {} timeouts {}: {} != {}",
+                r.hops, r.timeouts, r.latency, expect
+            );
+            saw_timeout |= r.timeouts > 0;
+        }
+        assert!(saw_timeout, "churn without maintenance must hit timeouts");
+        // And the aggregate stat holds samples only for successes.
+        let m = sim.metrics();
+        assert!(m.lookups_ok < m.lookups, "some lookups must fail here");
+        assert_eq!(m.latency_secs.count(), m.lookups_ok);
+        assert_eq!(m.hops.count(), m.lookups_ok);
+    }
+
+    /// Satellite: `do_fail` victim sampling. Uniform-over-peers is the
+    /// default; the density-weighted draw preferentially kills peers
+    /// owning large arcs (high keys under a Pareto density).
+    #[test]
+    fn victim_sampling_modes_differ_as_designed() {
+        let dead_key_mean = |victims: VictimSampling| {
+            let cfg = SimConfig {
+                churn: ChurnConfig {
+                    join_rate: 0.0,
+                    fail_rate: 3.0,
+                    victims,
+                },
+                workload: WorkloadConfig { lookup_rate: 1.0 },
+                ..quiet_config(12, 512)
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(TruncatedPareto::new(1.5, 0.01).unwrap()));
+            sim.run_until(SimTime::from_secs(60));
+            let dead: Vec<f64> = sim
+                .nodes
+                .iter()
+                .filter(|n| !n.alive)
+                .map(|n| n.key.get())
+                .collect();
+            assert!(dead.len() > 100, "failures {}", dead.len());
+            dead.iter().sum::<f64>() / dead.len() as f64
+        };
+        assert_eq!(ChurnConfig::NONE.victims, VictimSampling::UniformPeers);
+        let uniform = dead_key_mean(VictimSampling::UniformPeers);
+        let weighted = dead_key_mean(VictimSampling::DensityWeighted);
+        // Pareto(1.5, 0.01) packs most peers near the low keys; peers
+        // with high keys own the big arcs. Density weighting must pull
+        // the victim distribution toward them.
+        assert!(
+            weighted > 1.5 * uniform,
+            "density-weighted {weighted} vs uniform {uniform}"
+        );
+    }
+
+    fn storage_config(seed: u64) -> SimConfig {
+        SimConfig {
+            churn: ChurnConfig::symmetric(4.0),
+            workload: WorkloadConfig { lookup_rate: 10.0 },
+            storage: StorageConfig {
+                put_rate: 8.0,
+                get_rate: 8.0,
+                range_rate: 1.0,
+                replication: 3,
+                preload: 400,
+                range_width: 0.02,
+            },
+            stabilize_interval: Some(SimTime::from_secs(5)),
+            refresh_interval: Some(SimTime::from_secs(30)),
+            ..quiet_config(seed, 256)
+        }
+    }
+
+    #[test]
+    fn storage_workload_flows_under_churn() {
+        let mut sim = Simulator::new(storage_config(14), Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(120));
+        let m = sim.metrics();
+        assert!(m.puts > 500, "puts {}", m.puts);
+        assert!(m.put_success_rate() > 0.95, "{}", m.put_success_rate());
+        assert!(m.gets > 500, "gets {}", m.gets);
+        assert!(m.get_success_rate() > 0.9, "{}", m.get_success_rate());
+        assert!(m.ranges > 50, "ranges {}", m.ranges);
+        assert!(m.ranges_ok > 0);
+        assert!(m.range_items > 0);
+        assert!(m.storage_messages > 1000);
+        assert_eq!(m.put_latency_secs.count(), m.puts_ok);
+        assert_eq!(m.get_latency_secs.count(), m.gets_ok);
+        assert!(sim.primary_store().len() > 400, "preload + puts stored");
+        assert!(!sim.replica_store().is_empty());
+    }
+
+    /// Shard conservation: joins split shards, failures merge them, and
+    /// (with no write traffic) not a single preloaded row is lost.
+    #[test]
+    fn churn_moves_shards_without_losing_rows() {
+        let cfg = SimConfig {
+            churn: ChurnConfig::symmetric(6.0),
+            workload: WorkloadConfig { lookup_rate: 1.0 },
+            storage: StorageConfig {
+                preload: 500,
+                replication: 2,
+                ..StorageConfig::NONE
+            },
+            ..quiet_config(15, 256)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        assert_eq!(sim.primary_store().len(), 500);
+        sim.run_until(SimTime::from_secs(120));
+        let m = sim.metrics();
+        assert!(m.joins > 200 && m.failures > 200);
+        assert_eq!(
+            sim.primary_store().par_len(4),
+            500,
+            "splits and merges must conserve rows"
+        );
+        // Rows must sit in *live* shards: dead peers' shards were merged
+        // away into their heirs.
+        for (id, node) in sim.nodes.iter().enumerate() {
+            if !node.alive {
+                assert_eq!(
+                    sim.primary_store().shard_len(id as u32),
+                    0,
+                    "dead peer {id} still owns rows"
+                );
+            }
+        }
+    }
+
+    /// The acceptance determinism contract: a full churn + lookups +
+    /// storage run digests bit-identically across runs and thread counts.
+    #[test]
+    fn full_run_bit_identical_across_runs_and_thread_counts() {
+        let digest = |parallelism: usize| {
+            let cfg = SimConfig {
+                parallelism,
+                record_lookups: true,
+                ..storage_config(16)
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(TruncatedPareto::new(1.5, 0.01).unwrap()));
+            sim.run_until(SimTime::from_secs(60));
+            let (probe_ok, probe_hops) = sim.probe_lookups(200);
+            let m = sim.metrics();
+            (
+                (
+                    m.lookups,
+                    m.lookups_ok,
+                    m.lookups_stranded,
+                    m.timeouts,
+                    m.hops.mean().to_bits(),
+                    m.latency_secs.mean().to_bits(),
+                ),
+                (
+                    m.puts,
+                    m.puts_ok,
+                    m.gets,
+                    m.gets_ok,
+                    m.gets_fallback,
+                    m.ranges,
+                    m.ranges_ok,
+                    m.range_items,
+                    m.storage_messages,
+                ),
+                (
+                    m.joins,
+                    m.failures,
+                    m.events,
+                    sim.alive_count(),
+                    sim.primary_store().len(),
+                    sim.replica_store().len(),
+                ),
+                (probe_ok.to_bits(), probe_hops.mean().to_bits()),
+                sim.lookup_records().len(),
+            )
+        };
+        let one = digest(1);
+        assert_eq!(one, digest(1), "identical runs must digest identically");
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                one,
+                digest(threads),
+                "thread count {threads} changed the run"
+            );
+        }
+    }
+
+    #[test]
+    fn in_flight_walks_are_visible() {
+        let cfg = SimConfig {
+            workload: WorkloadConfig { lookup_rate: 200.0 },
+            ..quiet_config(17, 256)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(5));
+        // At 200 lookups/s with multi-hop flight times, some walks are
+        // mid-flight at any instant.
+        assert!(sim.in_flight_walks() > 0);
+        assert!(sim.metrics().inflight_peak >= 2);
     }
 }

@@ -1,39 +1,90 @@
 //! # sw-sim
 //!
 //! Discrete-event simulator for dynamic small-world overlays (system S11
-//! of `DESIGN.md`): Poisson churn (joins and silent failures), periodic
-//! ring stabilization, periodic long-link refresh, and lookup workloads
-//! with per-hop latency and timeout/retry on stale routing entries.
+//! of `DESIGN.md`), built on an **async message plane**: every protocol
+//! action — each hop of a lookup, each replica write of a put, each
+//! stabilization ping round — is an individual message delivered at a
+//! latency-sampled virtual time, so any number of operations are in
+//! flight at once and every one of them observes the overlay *as it is
+//! when its messages arrive*, not as it was when the operation started.
 //!
 //! The paper defers dynamics to future work (§4.2/§5: “an iterative
 //! process of revising its routing table …”, “models that can take into
 //! account an unstable P2P environment (nodes are allowed to fail)”);
-//! this crate implements that setting so experiment E14 can measure
-//! lookup success and hop inflation as functions of churn rate, with and
-//! without maintenance.
+//! this crate implements that setting so experiments can measure lookup
+//! success, hop inflation and data-layer availability as functions of
+//! churn rate, with and without maintenance.
 //!
-//! ## Model
+//! ## Architecture
 //!
-//! * The event queue orders joins, failures, lookups and per-node
-//!   maintenance timers on a microsecond-resolution virtual clock.
-//! * A lookup fired at time `t` walks the overlay greedily using each
-//!   hop's *local* (possibly stale) routing table. A hop into a dead
-//!   contact costs a timeout penalty, excludes that contact, and retries;
-//!   a node with no live closer contact fails the lookup. Hop and timeout
-//!   latencies accumulate into the recorded lookup latency. (The walk
-//!   itself executes atomically at `t` — the standard simplification of
-//!   cycle-driven P2P simulators; topology changes are only visible
-//!   between events.)
-//! * Stabilization repairs a node's ring neighbours; refresh re-draws its
-//!   long links against the current population with the harmonic rule.
-//!   Both charge protocol messages.
+//! The crate splits into three layers:
+//!
+//! * [`plane`] — the deterministic in-memory queue. An
+//!   [`plane::Envelope`] is delivered in ascending `(time, seq)` order;
+//!   `seq` is the global send counter, so messages scheduled for the
+//!   same instant are delivered **FIFO in send order**. The plane draws
+//!   no randomness and never rewinds the clock.
+//! * [`protocol`] — the message vocabulary ([`protocol::Msg`]) and the
+//!   per-operation state machines: a [`protocol::Walk`] for every routed
+//!   query (lookup / join-point search / long-link probe / storage
+//!   routing phase) and a [`protocol::StorageOp`] for the post-routing
+//!   phase of puts (replica fan-out), gets (replica-fallback probes) and
+//!   range queries (clockwise fragment sweep).
+//! * [`engine`] — ground truth (`alive` index, per-node local views,
+//!   the sharded stores) plus the handlers that advance the state
+//!   machines on each delivery.
+//!
+//! ## State-machine lifecycle
+//!
+//! A walk is spawned with a fresh query id, takes its **first greedy
+//! step at the origin immediately**, and then lives entirely on the
+//! plane: a chosen contact becomes a `Hop` message delivered one
+//! latency sample later. On delivery the walk advances and steps again
+//! at the new node — *at that node's current local view*, which churn
+//! may have changed since the walk started. A contact that died while
+//! the message was in flight costs the sender a timeout (penalty
+//! latency, contact excluded, retry `Step` at `send time + penalty`);
+//! if the node *holding* the query fails before its retry fires, the
+//! walk is **stranded** — an outcome a whole-walk-at-one-instant engine
+//! cannot produce. Completion dispatches on the walk's
+//! [`protocol::Purpose`]: lookups record metrics, a join splices the
+//! new node (taking over its shard slice) and starts its link-probe
+//! chain, storage ops enter their fan-out / fallback / sweep phase.
+//! Contact selection everywhere is the one shared
+//! [`sw_overlay::greedy_step`] implementation, through
+//! [`sw_overlay::RingView`].
+//!
+//! ## Determinism contract
+//!
+//! Seeded runs are bit-identical on every platform and at every worker
+//! thread count:
+//!
+//! * the event loop is sequential; `(time, seq)` delivery order with the
+//!   FIFO tie-break is a pure function of the seed;
+//! * every walk samples from its own `Rng::stream(seed, query_id)`, and
+//!   every generator process (joins, failures, lookups, puts, gets,
+//!   ranges, timers, link targets) owns a dedicated stream, so one
+//!   process's draws never perturb another's;
+//! * the parallel paths (probe batches, storage preload) are pure
+//!   per-index maps over pre-drawn inputs — thread count only changes
+//!   how work is chunked, never what is computed.
+//!
+//! Measurement probes ([`Simulator::probe_lookups`],
+//! [`Simulator::topology_snapshot`]) read the *live* state at frozen
+//! time and never touch the plane or the workload metrics.
 
 pub mod engine;
 pub mod latency;
 pub mod metrics;
+pub mod plane;
+pub mod protocol;
 pub mod time;
 
-pub use engine::{ChurnConfig, SimConfig, Simulator, WorkloadConfig};
+pub use engine::{
+    ChurnConfig, SimConfig, Simulator, StorageConfig, VictimSampling, WorkloadConfig,
+};
 pub use latency::LatencyModel;
 pub use metrics::SimMetrics;
+pub use plane::{Envelope, MessagePlane};
+pub use protocol::{LookupRecord, Msg, Purpose, QueryId, StorageOp, Walk, WalkEnd};
 pub use time::SimTime;

@@ -15,6 +15,11 @@ pub struct SimMetrics {
     /// End-to-end latency (seconds) of successful lookups, including
     /// timeout penalties.
     pub latency_secs: OnlineStats,
+    /// Lookups stranded by a mid-flight failure of the node holding the
+    /// query (a failure mode only the per-hop message plane can express).
+    pub lookups_stranded: u64,
+    /// Peak number of lookups simultaneously in flight.
+    pub inflight_peak: u64,
     /// Timeouts encountered while routing (stale entries hit).
     pub timeouts: u64,
     /// Protocol messages spent on joins.
@@ -25,8 +30,37 @@ pub struct SimMetrics {
     pub refresh_messages: u64,
     /// Nodes that joined during the run.
     pub joins: u64,
+    /// Joins abandoned because the join-point query was stranded.
+    pub joins_aborted: u64,
     /// Nodes that failed during the run.
     pub failures: u64,
+    /// Envelopes delivered by the message plane.
+    pub events: u64,
+    /// Storage puts completed (routing + replica fan-out resolved).
+    pub puts: u64,
+    /// Puts that stored at least one durable copy.
+    pub puts_ok: u64,
+    /// Per-put end-to-end latency (seconds), successful puts only.
+    pub put_latency_secs: OnlineStats,
+    /// Storage gets completed.
+    pub gets: u64,
+    /// Gets that found a copy (primary or replica).
+    pub gets_ok: u64,
+    /// Replica fallback probes sent by gets whose routed owner missed.
+    pub gets_fallback: u64,
+    /// Per-get end-to-end latency (seconds), successful gets only.
+    pub get_latency_secs: OnlineStats,
+    /// Range queries completed.
+    pub ranges: u64,
+    /// Range queries whose sweep covered the whole range.
+    pub ranges_ok: u64,
+    /// Items served by range queries.
+    pub range_items: u64,
+    /// Peers visited by range sweeps.
+    pub range_peers: u64,
+    /// Messages spent by the storage workload (routing hops, replica
+    /// writes, fallback probes, range fragments).
+    pub storage_messages: u64,
     /// Virtual time at the end of the run.
     pub end_time: SimTime,
 }
@@ -44,6 +78,24 @@ impl SimMetrics {
     /// Total maintenance messages (stabilize + refresh).
     pub fn maintenance_messages(&self) -> u64 {
         self.stabilize_messages + self.refresh_messages
+    }
+
+    /// Fraction of puts that stored at least one copy.
+    pub fn put_success_rate(&self) -> f64 {
+        if self.puts == 0 {
+            0.0
+        } else {
+            self.puts_ok as f64 / self.puts as f64
+        }
+    }
+
+    /// Fraction of gets that found a copy.
+    pub fn get_success_rate(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.gets_ok as f64 / self.gets as f64
+        }
     }
 }
 

@@ -1,0 +1,192 @@
+//! The deterministic in-memory message plane.
+//!
+//! Every protocol action in the simulator — a lookup hop, a replica
+//! write, a stabilize ping round, a churn/workload generator tick — is
+//! an [`Envelope`] queued here and delivered at its latency-sampled
+//! time. The plane is the *only* source of event ordering, and its
+//! contract is the determinism backbone of the whole simulator:
+//!
+//! * envelopes are delivered in ascending `(at, seq)` order, where `seq`
+//!   is the global send counter — messages scheduled for the same
+//!   instant are delivered **FIFO in send order**, never in heap order;
+//! * the clock only moves forward (sends in the past are clamped to
+//!   `now`, e.g. a timeout that conceptually expired while a slower
+//!   message was in flight);
+//! * the plane itself draws no randomness — senders sample delays from
+//!   their own RNG streams, so the schedule is a pure function of the
+//!   seed.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A message queued for delivery at a virtual time.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Global send sequence number — the FIFO tie-break.
+    pub seq: u64,
+    /// Payload.
+    pub msg: M,
+}
+
+impl<M> PartialEq for Envelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl<M> Eq for Envelope<M> {}
+
+impl<M> Ord for Envelope<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<M> PartialOrd for Envelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The queue + clock. Generic in the message type so it can be tested
+/// (and reused) independently of the protocol.
+#[derive(Debug)]
+pub struct MessagePlane<M> {
+    queue: BinaryHeap<Reverse<Envelope<M>>>,
+    clock: SimTime,
+    seq: u64,
+    delivered: u64,
+}
+
+impl<M> Default for MessagePlane<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> MessagePlane<M> {
+    /// An empty plane at time zero.
+    pub fn new() -> MessagePlane<M> {
+        MessagePlane {
+            queue: BinaryHeap::new(),
+            clock: SimTime::ZERO,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time (the delivery time of the last envelope, or
+    /// wherever [`MessagePlane::advance_to`] left the clock).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Messages sent so far.
+    pub fn sent(&self) -> u64 {
+        self.seq
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sends `msg` for delivery `delay` after now.
+    pub fn send(&mut self, delay: SimTime, msg: M) {
+        self.send_at(self.clock + delay, msg);
+    }
+
+    /// Sends `msg` for delivery at absolute time `at` (clamped to `now`
+    /// — time never rewinds, even for timeouts that expired while a
+    /// slower message was in flight).
+    pub fn send_at(&mut self, at: SimTime, msg: M) {
+        let env = Envelope {
+            at: at.max(self.clock),
+            seq: self.seq,
+            msg,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(env));
+    }
+
+    /// Delivers the next envelope due at or before `until`, advancing
+    /// the clock to its delivery time. `None` once nothing is due.
+    pub fn deliver_before(&mut self, until: SimTime) -> Option<Envelope<M>> {
+        let due = self.queue.peek().is_some_and(|Reverse(e)| e.at <= until);
+        if !due {
+            return None;
+        }
+        let Reverse(env) = self.queue.pop().expect("peeked");
+        debug_assert!(env.at >= self.clock, "plane clock must be monotone");
+        self.clock = env.at;
+        self.delivered += 1;
+        Some(env)
+    }
+
+    /// Moves the clock to `until` (idle time at the end of a run slice).
+    pub fn advance_to(&mut self, until: SimTime) {
+        self.clock = self.clock.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut p: MessagePlane<&str> = MessagePlane::new();
+        p.send(SimTime::from_millis(30), "c");
+        p.send(SimTime::from_millis(10), "a");
+        p.send(SimTime::from_millis(20), "b");
+        let mut got = Vec::new();
+        while let Some(e) = p.deliver_before(SimTime::from_secs(1)) {
+            got.push(e.msg);
+        }
+        assert_eq!(got, vec!["a", "b", "c"]);
+        assert_eq!(p.now(), SimTime::from_millis(30));
+        assert_eq!(p.delivered(), 3);
+    }
+
+    #[test]
+    fn equal_times_deliver_fifo_in_send_order() {
+        let mut p: MessagePlane<u32> = MessagePlane::new();
+        for i in 0..100 {
+            p.send(SimTime::from_millis(5), i);
+        }
+        let mut got = Vec::new();
+        while let Some(e) = p.deliver_before(SimTime::from_secs(1)) {
+            got.push(e.msg);
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_sends_clamp_to_now() {
+        let mut p: MessagePlane<&str> = MessagePlane::new();
+        p.send(SimTime::from_millis(50), "later");
+        p.deliver_before(SimTime::from_secs(1)).unwrap();
+        p.send_at(SimTime::from_millis(10), "expired timeout");
+        let e = p.deliver_before(SimTime::from_secs(1)).unwrap();
+        assert_eq!(e.at, SimTime::from_millis(50), "clamped to now");
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let mut p: MessagePlane<&str> = MessagePlane::new();
+        p.send(SimTime::from_millis(100), "beyond");
+        assert!(p.deliver_before(SimTime::from_millis(99)).is_none());
+        assert_eq!(p.in_flight(), 1);
+        p.advance_to(SimTime::from_millis(99));
+        assert_eq!(p.now(), SimTime::from_millis(99));
+        assert!(p.deliver_before(SimTime::from_millis(100)).is_some());
+    }
+}

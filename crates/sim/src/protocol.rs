@@ -1,0 +1,283 @@
+//! Protocol messages and per-query state machines.
+//!
+//! A routed operation (lookup, join-point search, long-link probe,
+//! put/get/range) lives as a [`Walk`] — a greedy walk whose hops are
+//! individual [`Msg`]s on the message plane, so any number of walks can
+//! be in flight at once and every one of them sees the overlay *as it
+//! is at each hop's delivery time*, not as it was when the operation
+//! started.
+//!
+//! Lifecycle of a walk:
+//!
+//! 1. **Spawn** — the engine assigns a fresh [`QueryId`], derives the
+//!    walk's private RNG stream from `(seed, id)`, and executes the
+//!    first step at the origin immediately.
+//! 2. **Step** (at node `cur`) — if `cur` has failed, the walk is
+//!    *stranded* (the carrier of the in-flight query died — a failure
+//!    mode a whole-walk engine cannot express). Otherwise the node
+//!    picks the greedy next contact from its local view (shared
+//!    `sw_overlay::greedy_step`) and sends a `Hop` with a
+//!    latency-sampled delivery time.
+//! 3. **Hop delivery** (at node `to`) — if `to` is alive the walk
+//!    advances and the next step executes there at the same instant.
+//!    If `to` died while the message was in flight, the sender's
+//!    timeout fires instead: the contact is excluded, the timeout
+//!    penalty is charged, and a retry `Step` is scheduled back at the
+//!    sender.
+//! 4. **Completion** — arrival at the target's owner, a local minimum,
+//!    the hop budget, or stranding. What happens next depends on
+//!    [`Purpose`]: lookups record metrics, a join splices the new node
+//!    and starts its link-probe chain, storage ops enter their
+//!    replica-fan-out / fallback-probe / range-sweep phase.
+
+use crate::time::SimTime;
+use sw_keyspace::{Key, Rng};
+
+/// Identifier of one in-flight walk / storage operation.
+pub type QueryId = u64;
+
+/// Why a walk is routing — decides what its completion triggers.
+#[derive(Debug, Clone)]
+pub enum Purpose {
+    /// Workload lookup for the key of peer `target_id`.
+    Lookup {
+        /// The peer whose key is being looked up.
+        target_id: u32,
+    },
+    /// Join phase 1: find the join point for a joining key.
+    JoinFind {
+        /// The joining peer's key.
+        key: Key,
+    },
+    /// Join phase 2 or long-link refresh: a routed probe that collects
+    /// one long-link candidate for `node`; the chain continues until the
+    /// budget is met or the tries run out.
+    LinkProbe {
+        /// The peer whose long links are being (re)built.
+        node: u32,
+        /// Candidates collected so far.
+        collected: Vec<u32>,
+        /// Link budget still to fill.
+        budget: usize,
+        /// Probes left before the chain gives up.
+        tries_left: u32,
+        /// True when this chain is a periodic refresh (existing links
+        /// are replaced at the end), false for a join's initial wiring.
+        refresh: bool,
+    },
+    /// Storage: route to the key, then fan out replica writes.
+    Put {
+        /// Item key.
+        key: Key,
+        /// Item payload.
+        value: Vec<u8>,
+    },
+    /// Storage: route to the key, read primary, fall back to replicas.
+    Get {
+        /// Item key.
+        key: Key,
+    },
+    /// Storage: route to `lo`, then sweep owners clockwise to `hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: Key,
+        /// Exclusive upper bound.
+        hi: Key,
+    },
+}
+
+/// One in-flight greedy walk (the routing phase of every operation).
+#[derive(Debug)]
+pub struct Walk {
+    /// Query id (also the walk's RNG stream index).
+    pub id: QueryId,
+    /// What completion triggers.
+    pub purpose: Purpose,
+    /// Key being routed toward.
+    pub target: Key,
+    /// Node currently holding the query.
+    pub cur: u32,
+    /// Hops taken so far.
+    pub hops: u32,
+    /// Dead contacts hit so far.
+    pub timeouts: u32,
+    /// Accumulated network latency (hop delays + timeout penalties).
+    pub latency: SimTime,
+    /// Virtual time the operation was issued.
+    pub issued_at: SimTime,
+    /// Contacts excluded after timing out (small; linear scan).
+    pub excluded: Vec<u32>,
+    /// Hop budget.
+    pub max_hops: u32,
+    /// Private RNG stream (latency samples, link-probe targets).
+    pub rng: Rng,
+}
+
+/// Terminal states of a walk's routing phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkEnd {
+    /// Reached a node whose key distance to the target is zero.
+    Arrived,
+    /// No live contact improves on the current node (greedy terminus —
+    /// for non-member keys this *is* the owner region).
+    LocalMinimum,
+    /// Hop budget exhausted.
+    HopLimit,
+    /// The node holding the query failed while the query rested there
+    /// (mid-flight churn stranded the walk).
+    Stranded,
+}
+
+/// The second phase of a storage operation, entered when its routing
+/// walk completes.
+#[derive(Debug)]
+pub enum StorageOp {
+    /// Waiting for replica-write fan-out to resolve.
+    PutFanout {
+        /// Item key (replicas store it on delivery).
+        key: Key,
+        /// Item payload.
+        value: Vec<u8>,
+        /// Replica writes still in flight.
+        pending: u32,
+        /// Copies durably stored so far (primary + replicas).
+        stored: u32,
+        /// Issue time (for latency accounting at completion).
+        issued_at: SimTime,
+    },
+    /// Probing the owner's successor chain for a replica copy.
+    GetFallback {
+        /// Item key.
+        key: Key,
+        /// Replica holders still to probe, in chain order.
+        chain: Vec<u32>,
+        /// Latency accumulated so far (route + probe round trips +
+        /// timeout penalties).
+        latency: SimTime,
+        /// The operation's RNG stream (probe latency samples), inherited
+        /// from its routing walk.
+        rng: Rng,
+    },
+    /// Sweeping owners clockwise, accumulating range fragments.
+    RangeSweep {
+        /// Inclusive lower bound.
+        lo: Key,
+        /// Exclusive upper bound.
+        hi: Key,
+        /// Items collected so far.
+        items: u64,
+        /// Peers that served a fragment.
+        peers_visited: u32,
+        /// Sweep-peer budget left.
+        budget: u32,
+        /// Sweep peers that timed out since the last live fragment.
+        tried: Vec<u32>,
+        /// The peer that served the last fragment (retries re-consult
+        /// its successor list).
+        from: u32,
+        /// The operation's RNG stream, inherited from its routing walk.
+        rng: Rng,
+    },
+}
+
+/// Everything delivered on the message plane.
+#[derive(Debug)]
+pub enum Msg {
+    // -- Poisson process generators (self-rescheduling) ---------------
+    /// Next churn join arrival.
+    NextJoin,
+    /// Next churn failure arrival.
+    NextFail,
+    /// Next workload lookup arrival.
+    NextLookup,
+    /// Next storage put arrival.
+    NextPut,
+    /// Next storage get arrival.
+    NextGet,
+    /// Next storage range-query arrival.
+    NextRange,
+
+    // -- Per-node maintenance timers ----------------------------------
+    /// `node` starts a stabilization round (pings its view).
+    StabilizeStart(u32),
+    /// `node`'s stabilization round resolved; apply the repair.
+    StabilizeApply(u32),
+    /// `node` starts a long-link refresh chain.
+    RefreshStart(u32),
+
+    // -- The walk plane -----------------------------------------------
+    /// The walk executes its next greedy step at its current node.
+    Step {
+        /// Walk id.
+        qid: QueryId,
+    },
+    /// A forwarded query arriving at `to` (sent at `sent_at`).
+    Hop {
+        /// Walk id.
+        qid: QueryId,
+        /// Destination node.
+        to: u32,
+        /// Send time (for the sender's timeout clock).
+        sent_at: SimTime,
+    },
+
+    // -- Storage fan-out ----------------------------------------------
+    /// A replica write for put `op` arriving at `to`.
+    ReplicaPut {
+        /// Operation id.
+        op: QueryId,
+        /// Replica holder.
+        to: u32,
+        /// Send time.
+        sent_at: SimTime,
+    },
+    /// A replica read probe for get `op` arriving at `to`.
+    ReplicaProbe {
+        /// Operation id.
+        op: QueryId,
+        /// Probed replica holder.
+        to: u32,
+        /// Send time.
+        sent_at: SimTime,
+    },
+    /// A range fragment request for `op` arriving at sweep peer `to`.
+    RangeFragment {
+        /// Operation id.
+        op: QueryId,
+        /// Next sweep peer.
+        to: u32,
+        /// Send time.
+        sent_at: SimTime,
+    },
+}
+
+/// Per-lookup record, collected when `SimConfig::record_lookups` is on.
+///
+/// `latency` is exactly the per-hop accumulation: one sampled delay per
+/// successful hop plus one `timeout_penalty` per dead contact hit —
+/// tests assert this identity against `hops`/`timeouts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupRecord {
+    /// When the lookup was issued.
+    pub issued_at: SimTime,
+    /// When it completed (success or failure).
+    pub completed_at: SimTime,
+    /// Hops taken.
+    pub hops: u32,
+    /// Dead contacts hit.
+    pub timeouts: u32,
+    /// Accumulated network latency.
+    pub latency: SimTime,
+    /// True if the walk ended at the target peer.
+    pub success: bool,
+    /// True if the walk was stranded by a mid-flight failure.
+    pub stranded: bool,
+}
+
+impl LookupRecord {
+    /// True if this lookup's in-flight interval overlaps `other`'s —
+    /// the witness that two lookups were concurrently in flight.
+    pub fn overlaps(&self, other: &LookupRecord) -> bool {
+        self.issued_at < other.completed_at && other.issued_at < self.completed_at
+    }
+}

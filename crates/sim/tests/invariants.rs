@@ -28,7 +28,11 @@ proptest! {
         let cfg = SimConfig {
             seed,
             initial_n: initial,
-            churn: ChurnConfig { join_rate, fail_rate },
+            churn: ChurnConfig {
+                join_rate,
+                fail_rate,
+                ..ChurnConfig::NONE
+            },
             workload: WorkloadConfig { lookup_rate: 2.0 },
             ..SimConfig::default()
         };
