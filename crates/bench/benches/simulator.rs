@@ -34,6 +34,8 @@ fn churn_config(seed: u64, n: usize, storage: bool) -> SimConfig {
                 replication: 3,
                 preload: 2000,
                 range_width: 0.02,
+                repair_interval: Some(SimTime::from_secs(10)),
+                repair_byte_secs: 1e-6,
             }
         } else {
             StorageConfig::NONE

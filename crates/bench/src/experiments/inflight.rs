@@ -58,6 +58,8 @@ pub fn e17_inflight(ctx: &Ctx) {
                     replication: 3,
                     preload: 2000,
                     range_width: 0.02,
+                    repair_interval: Some(SimTime::from_secs(10)),
+                    repair_byte_secs: 1e-6,
                 },
                 stabilize_interval: Some(SimTime::from_secs(5)),
                 refresh_interval: Some(SimTime::from_secs(30)),

@@ -9,5 +9,6 @@ pub mod classics;
 pub mod dynamics;
 pub mod equivalence;
 pub mod inflight;
+pub mod repair;
 pub mod skew;
 pub mod theory;

@@ -1,0 +1,160 @@
+//! E18 — message-driven replica repair: the durability / bandwidth
+//! trade-off under churn, swept over `repair_interval × replication ×
+//! churn rate` for uniform and Pareto key densities. Writes
+//! `BENCH_repair.json` (repo root) alongside the table and CSV.
+
+use crate::ctx::Ctx;
+use crate::table::{f2, f3, Table};
+use std::sync::Arc;
+use sw_keyspace::distribution::{KeyDistribution, TruncatedPareto, Uniform};
+use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, StorageConfig, WorkloadConfig};
+
+struct RepairRow {
+    id: String,
+    keys_lost: u64,
+    under_peak: u64,
+    under_end: u64,
+    repair_mb: f64,
+    overhead: f64,
+    ttr_mean_secs: f64,
+    get_ok: f64,
+}
+
+/// E18 — anti-entropy repair: each cell churns a replicated store for
+/// the horizon, then stops churn and lets the repair plane quiesce.
+/// With repair on, mid-interval failures under-replicate keys and the
+/// protocol pays measurable transfer bytes to pull them back to target;
+/// with repair off, the same churn permanently loses keys. The sweep
+/// makes the durability/bandwidth trade-off a table.
+pub fn e18_repair(ctx: &Ctx) {
+    let n = ctx.n(512);
+    let (churn_secs, quiesce_secs) = if ctx.quick { (30, 45) } else { (120, 90) };
+    let mut table = Table::new(
+        format!(
+            "E18: replica repair under churn (initial N = {n}, {churn_secs}s churn + \
+             {quiesce_secs}s quiesce)"
+        ),
+        &[
+            "distribution",
+            "churn (ev/s)",
+            "repair",
+            "repl",
+            "keys lost",
+            "under peak",
+            "under @end",
+            "repair MB",
+            "bytes/stored",
+            "ttr mean (s)",
+            "get ok",
+        ],
+    );
+    let dists: Vec<(&str, Arc<dyn KeyDistribution>)> = vec![
+        ("uniform", Arc::new(Uniform)),
+        (
+            "pareto(1.5,0.01)",
+            Arc::new(TruncatedPareto::new(1.5, 0.01).expect("valid")),
+        ),
+    ];
+    let repair_modes: [(&str, Option<SimTime>); 3] = [
+        ("off", None),
+        ("2s", Some(SimTime::from_secs(2))),
+        ("10s", Some(SimTime::from_secs(10))),
+    ];
+    let mut rows: Vec<RepairRow> = Vec::new();
+    for (dname, dist) in &dists {
+        for &churn in &[2.0f64, 8.0] {
+            for (rname, repair) in &repair_modes {
+                for &replication in &[2usize, 3] {
+                    let cfg = SimConfig {
+                        seed: ctx.seed ^ 18 ^ churn.to_bits() ^ (replication as u64) << 32,
+                        initial_n: n,
+                        churn: ChurnConfig::symmetric(churn),
+                        workload: WorkloadConfig { lookup_rate: 5.0 },
+                        storage: StorageConfig {
+                            put_rate: 5.0,
+                            get_rate: 10.0,
+                            range_rate: 0.5,
+                            replication,
+                            preload: ctx.queries(2000),
+                            range_width: 0.02,
+                            repair_interval: *repair,
+                            repair_byte_secs: 1e-6,
+                        },
+                        stabilize_interval: Some(SimTime::from_secs(5)),
+                        refresh_interval: Some(SimTime::from_secs(30)),
+                        ..SimConfig::default()
+                    };
+                    let mut sim = Simulator::new(cfg, dist.clone());
+                    let mut under_peak = 0u64;
+                    for slice in 1..=(churn_secs / 5) {
+                        sim.run_until(SimTime::from_secs(slice * 5));
+                        under_peak = under_peak.max(sim.metrics().keys_under_replicated);
+                    }
+                    sim.set_churn(ChurnConfig::NONE);
+                    sim.run_until(SimTime::from_secs(churn_secs + quiesce_secs));
+                    let m = sim.metrics();
+                    let row = RepairRow {
+                        id: format!("repair/{dname}/churn{churn:.0}/{rname}/r{replication}"),
+                        keys_lost: m.keys_lost,
+                        under_peak,
+                        under_end: m.keys_under_replicated,
+                        repair_mb: m.repair_bytes as f64 / 1e6,
+                        overhead: m.repair_overhead(),
+                        ttr_mean_secs: m.repair_time_secs.mean(),
+                        get_ok: m.get_success_rate(),
+                    };
+                    table.row(vec![
+                        dname.to_string(),
+                        format!("{churn:.0}"),
+                        rname.to_string(),
+                        replication.to_string(),
+                        row.keys_lost.to_string(),
+                        row.under_peak.to_string(),
+                        row.under_end.to_string(),
+                        f2(row.repair_mb),
+                        f3(row.overhead),
+                        f2(row.ttr_mean_secs),
+                        f3(row.get_ok),
+                    ]);
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    table.print();
+    table.write_csv(&ctx.out_dir, "e18_repair.csv");
+    write_snapshot(&rows);
+    println!(
+        "  expected shape: with repair off, keys are permanently lost and losses grow \
+         with churn and shrink with replication; with repair on, losses collapse while \
+         repair bytes grow — shorter intervals buy lower time-to-repair and fewer \
+         losses for more bandwidth, and under-replication drains to ~0 once churn \
+         stops. The trade-off holds under both uniform and Pareto key densities"
+    );
+}
+
+/// Hand-rolled JSON snapshot (the workspace builds offline — no serde),
+/// mirroring the `BENCH_*.json` perf-trajectory convention.
+fn write_snapshot(rows: &[RepairRow]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"keys_lost\": {}, \"under_peak\": {}, \
+             \"under_end\": {}, \"repair_mb\": {:.4}, \"overhead\": {:.6}, \
+             \"ttr_mean_secs\": {:.4}, \"get_ok\": {:.4}}}{}\n",
+            r.id,
+            r.keys_lost,
+            r.under_peak,
+            r.under_end,
+            r.repair_mb,
+            r.overhead,
+            r.ttr_mean_secs,
+            r.get_ok,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repair.json");
+    std::fs::write(path, out).expect("write BENCH_repair.json");
+    println!("  wrote {} rows to BENCH_repair.json", rows.len());
+}

@@ -117,5 +117,10 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Async plane: in-flight lookup concurrency, stranding and storage under churn",
             experiments::inflight::e17_inflight,
         ),
+        (
+            "e18",
+            "Replica repair: anti-entropy durability vs bandwidth (writes BENCH_repair.json)",
+            experiments::repair::e18_repair,
+        ),
     ]
 }

@@ -33,5 +33,5 @@
 pub mod shard;
 pub mod store;
 
-pub use shard::{Shard, ShardMap};
+pub use shard::{item_bytes, RangeDigest, Shard, ShardMap, KEY_BYTES};
 pub use store::{Dht, DhtError, OpCost, RangeResult};

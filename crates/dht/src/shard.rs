@@ -16,10 +16,60 @@
 //! bit-identical for every worker-thread count: the parallel stages are
 //! pure per-item/per-shard maps, and all mutation happens in a
 //! deterministic sequential drain.
+//!
+//! ## Anti-entropy substrate
+//!
+//! The simulator's replica-repair protocol is built on the arc-scoped
+//! views below: [`ShardMap::arc_digest`] summarises one owner's slice of
+//! a ring arc as an order-independent [`RangeDigest`] (cheap to ship,
+//! cheap to compare), [`ShardMap::arc_diff`] returns the keys a peer is
+//! missing against another's key list, and
+//! [`ShardMap::export`] / [`ShardMap::transfer_out`] /
+//! [`ShardMap::absorb`] move bulk slices with **byte-size accounting**
+//! ([`item_bytes`]) so every repair transfer can be charged a per-byte
+//! bandwidth delay. [`ShardMap::par_arc_digests`] computes digest sets
+//! for many arcs at once on the `sw_graph::par` scan path.
 
 use std::collections::BTreeMap;
+use std::ops::Bound::{Excluded, Included, Unbounded};
 use sw_graph::par;
-use sw_keyspace::{Key, Topology};
+use sw_keyspace::{splitmix64_mix, Key, Topology};
+
+/// Wire size one stored item accounts for: an 8-byte key plus the value
+/// payload. Key-only messages (digests, diffs, pull requests) charge
+/// [`KEY_BYTES`] per key.
+pub fn item_bytes(value: &[u8]) -> u64 {
+    KEY_BYTES + value.len() as u64
+}
+
+/// Wire bytes of one key reference.
+pub const KEY_BYTES: u64 = 8;
+
+/// Order-independent summary of a key set over one ring arc: the key
+/// count and the XOR of per-key mixes. Two peers whose digests agree
+/// hold the same key set (up to a vanishing collision probability), so
+/// a matching digest ends an anti-entropy round after a single message.
+///
+/// The digest deliberately covers *keys only*: a stale value under an
+/// unchanged key is invisible to it (documented trade-off — the repair
+/// protocol targets durability of keys, not value freshness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RangeDigest {
+    /// Number of keys in the arc.
+    pub count: u64,
+    /// XOR of the keys' bit-mixes (order-independent).
+    pub hash: u64,
+}
+
+impl RangeDigest {
+    /// Folds one key into the digest (the workspace-shared splitmix64
+    /// finalizer decorrelates adjacent key bit patterns so the XOR fold
+    /// does not cancel structured key sets).
+    pub fn push(&mut self, key: Key) {
+        self.count += 1;
+        self.hash ^= splitmix64_mix(key.get().to_bits());
+    }
+}
 
 /// One owner peer's ordered slice of the key space.
 pub type Shard = BTreeMap<Key, Vec<u8>>;
@@ -245,6 +295,121 @@ impl ShardMap {
     pub fn par_len(&self, threads: usize) -> usize {
         self.par_map_shards(threads, |_, s| s.len()).iter().sum()
     }
+
+    // ----- anti-entropy substrate ------------------------------------
+
+    /// Visits `owner`'s items on the clockwise ring arc `(from, upto]`,
+    /// handling wrap-around (two ordered sub-ranges: above `from`, then
+    /// up to `upto`). `from == upto` reads as the full shard (the
+    /// degenerate single-owner arc, matching `Topology::Ring::in_arc`).
+    fn for_arc(&self, owner: u32, from: Key, upto: Key, mut f: impl FnMut(Key, &Vec<u8>)) {
+        let Some(s) = self.shards.get(owner as usize) else {
+            return;
+        };
+        if from == upto {
+            for (k, v) in s.iter() {
+                f(*k, v);
+            }
+        } else if from < upto {
+            for (k, v) in s.range((Excluded(from), Included(upto))) {
+                f(*k, v);
+            }
+        } else {
+            for (k, v) in s.range((Excluded(from), Unbounded)) {
+                f(*k, v);
+            }
+            for (k, v) in s.range((Unbounded, Included(upto))) {
+                f(*k, v);
+            }
+        }
+    }
+
+    /// Digest of `owner`'s keys on the arc `(from, upto]`.
+    pub fn arc_digest(&self, owner: u32, from: Key, upto: Key) -> RangeDigest {
+        let mut d = RangeDigest::default();
+        self.for_arc(owner, from, upto, |k, _| d.push(k));
+        d
+    }
+
+    /// `owner`'s keys on the arc `(from, upto]`. For a wrapped arc the
+    /// order is the two ordered sub-ranges concatenated (deterministic,
+    /// but not globally sorted) — sort before binary searching.
+    pub fn arc_keys(&self, owner: u32, from: Key, upto: Key) -> Vec<Key> {
+        let mut out = Vec::new();
+        self.for_arc(owner, from, upto, |k, _| out.push(k));
+        out
+    }
+
+    /// Keys of `owner`'s arc `(from, upto]` that are *not* in the sorted
+    /// list `have` — the transfer set one side of a digest mismatch must
+    /// stream to the other.
+    pub fn arc_diff(&self, owner: u32, from: Key, upto: Key, have: &[Key]) -> Vec<Key> {
+        debug_assert!(have.windows(2).all(|w| w[0] <= w[1]), "have must be sorted");
+        let mut out = Vec::new();
+        self.for_arc(owner, from, upto, |k, _| {
+            if have.binary_search(&k).is_err() {
+                out.push(k);
+            }
+        });
+        out
+    }
+
+    /// Clones the listed items out of `owner`'s shard (absent keys are
+    /// skipped), returning them with their total wire size — the
+    /// replication-transfer read path (the source *keeps* its copy).
+    pub fn export(&self, owner: u32, keys: &[Key]) -> (Vec<(Key, Vec<u8>)>, u64) {
+        let mut items = Vec::with_capacity(keys.len());
+        let mut bytes = 0u64;
+        for &k in keys {
+            if let Some(v) = self.get(owner, k) {
+                bytes += item_bytes(v);
+                items.push((k, v.clone()));
+            }
+        }
+        (items, bytes)
+    }
+
+    /// Removes `owner`'s whole arc slice `(from, upto]` and returns it
+    /// with its wire size — the hand-off path (ownership moved, the
+    /// source keeps nothing).
+    pub fn transfer_out(&mut self, owner: u32, from: Key, upto: Key) -> (Vec<(Key, Vec<u8>)>, u64) {
+        let keys = self.arc_keys(owner, from, upto);
+        let mut items = Vec::with_capacity(keys.len());
+        let mut bytes = 0u64;
+        for k in keys {
+            if let Some(v) = self.remove(owner, k) {
+                bytes += item_bytes(&v);
+                items.push((k, v));
+            }
+        }
+        (items, bytes)
+    }
+
+    /// Bulk-inserts transferred items into `owner`'s shard (incoming
+    /// values overwrite), returning how many keys were new and the total
+    /// wire size absorbed.
+    pub fn absorb(&mut self, owner: u32, items: Vec<(Key, Vec<u8>)>) -> (usize, u64) {
+        let mut new_keys = 0usize;
+        let mut bytes = 0u64;
+        for (k, v) in items {
+            bytes += item_bytes(&v);
+            if self.insert(owner, k, v).is_none() {
+                new_keys += 1;
+            }
+        }
+        (new_keys, bytes)
+    }
+
+    /// Digests many `(owner, from, upto)` arcs at once on the
+    /// `sw_graph::par` scan path — per-arc results in input order,
+    /// bit-identical at every worker-thread count (each digest is a pure
+    /// read of one shard).
+    pub fn par_arc_digests(&self, threads: usize, arcs: &[(u32, Key, Key)]) -> Vec<RangeDigest> {
+        par::par_map_grained(arcs.len(), threads, 32, |i| {
+            let (owner, from, upto) = arcs[i];
+            self.arc_digest(owner, from, upto)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -369,6 +534,106 @@ mod tests {
             assert_eq!(m.par_scan_range(lo, hi, threads), want, "threads={threads}");
         }
         assert!(m.par_scan_range(hi, lo, 2).is_empty(), "inverted range");
+    }
+
+    #[test]
+    fn arc_digest_matches_iff_key_sets_match() {
+        let mut a = ShardMap::new(2);
+        let mut b = ShardMap::new(2);
+        for i in 1..9 {
+            a.insert(0, k(i as f64 / 10.0), val(i));
+            b.insert(1, k(i as f64 / 10.0), val(100 + i)); // values differ
+        }
+        let (lo, hi) = (k(0.15), k(0.75));
+        assert_eq!(
+            a.arc_digest(0, lo, hi),
+            b.arc_digest(1, lo, hi),
+            "digest covers keys, not values"
+        );
+        b.remove(1, k(0.4));
+        assert_ne!(a.arc_digest(0, lo, hi), b.arc_digest(1, lo, hi));
+        // Same count, different key: the hash must still differ.
+        b.insert(1, k(0.45), val(1));
+        assert_eq!(a.arc_digest(0, lo, hi).count, b.arc_digest(1, lo, hi).count);
+        assert_ne!(a.arc_digest(0, lo, hi).hash, b.arc_digest(1, lo, hi).hash);
+    }
+
+    #[test]
+    fn arc_views_handle_wraparound_and_degenerate_arcs() {
+        let mut m = ShardMap::new(1);
+        for i in 0..10 {
+            m.insert(0, k(i as f64 / 10.0), val(i));
+        }
+        // Wrapped arc (0.75, 0.15]: 0.8, 0.9, then 0.0, 0.1.
+        let keys = m.arc_keys(0, k(0.75), k(0.15));
+        assert_eq!(keys, vec![k(0.8), k(0.9), k(0.0), k(0.1)]);
+        assert_eq!(m.arc_digest(0, k(0.75), k(0.15)).count, 4);
+        // Degenerate arc from == upto: the whole shard.
+        assert_eq!(m.arc_keys(0, k(0.3), k(0.3)).len(), 10);
+        // Open at `from`: 0.3 itself is excluded, 0.5 included.
+        let keys = m.arc_keys(0, k(0.3), k(0.5));
+        assert_eq!(keys, vec![k(0.4), k(0.5)]);
+    }
+
+    #[test]
+    fn arc_diff_finds_missing_keys() {
+        let mut m = ShardMap::new(1);
+        for i in 0..6 {
+            m.insert(0, k(i as f64 / 10.0), val(i));
+        }
+        let mut have = vec![k(0.1), k(0.3)];
+        have.sort();
+        let missing = m.arc_diff(0, k(0.05), k(0.55), &have);
+        assert_eq!(missing, vec![k(0.2), k(0.4), k(0.5)]);
+        assert!(m
+            .arc_diff(0, k(0.05), k(0.55), &m.arc_keys(0, k(0.05), k(0.55)))
+            .is_empty());
+    }
+
+    #[test]
+    fn export_transfer_absorb_account_bytes() {
+        let mut m = ShardMap::new(2);
+        m.insert(0, k(0.1), vec![1, 2, 3]); // 8 + 3 = 11 bytes
+        m.insert(0, k(0.2), vec![4]); // 8 + 1 = 9 bytes
+        m.insert(0, k(0.8), vec![5, 6]); // 8 + 2 = 10 bytes
+        let (items, bytes) = m.export(0, &[k(0.1), k(0.2), k(0.9)]);
+        assert_eq!(items.len(), 2, "absent keys skipped");
+        assert_eq!(bytes, 20);
+        assert_eq!(m.shard_len(0), 3, "export keeps the source copies");
+
+        let (moved, bytes) = m.transfer_out(0, k(0.05), k(0.25));
+        assert_eq!(moved.len(), 2);
+        assert_eq!(bytes, 20);
+        assert_eq!(m.shard_len(0), 1, "transfer_out removes the slice");
+        assert_eq!(m.len(), 1);
+
+        let (new_keys, bytes) = m.absorb(1, moved);
+        assert_eq!((new_keys, bytes), (2, 20));
+        assert_eq!(m.get(1, k(0.1)), Some(&vec![1, 2, 3]));
+        // Absorbing an overwrite is not a new key but still pays bytes.
+        let (new_keys, bytes) = m.absorb(1, vec![(k(0.1), vec![9; 4])]);
+        assert_eq!((new_keys, bytes), (0, 12));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn par_arc_digests_is_thread_count_invariant() {
+        let mut m = ShardMap::new(16);
+        for i in 0..800u32 {
+            let key = k((i as f64 * 0.618_033_9) % 1.0);
+            m.insert(i % 16, key, val(i));
+        }
+        let arcs: Vec<(u32, Key, Key)> = (0..16)
+            .map(|s| (s, k(s as f64 / 16.0), k(((s + 9) % 16) as f64 / 16.0)))
+            .collect();
+        let one = m.par_arc_digests(1, &arcs);
+        for threads in [2, 5, 8] {
+            assert_eq!(m.par_arc_digests(threads, &arcs), one, "threads={threads}");
+        }
+        // Spot-check against the sequential digest.
+        for (i, &(owner, lo, hi)) in arcs.iter().enumerate() {
+            assert_eq!(one[i], m.arc_digest(owner, lo, hi));
+        }
     }
 
     #[test]

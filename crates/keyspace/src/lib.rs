@@ -50,7 +50,7 @@ pub use distribution::KeyDistribution;
 pub use key::{Key, KeyError};
 pub use metric::Topology;
 pub use normalize::Normalizer;
-pub use rng::Rng;
+pub use rng::{splitmix64_mix, Rng};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {

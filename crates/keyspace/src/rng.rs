@@ -8,14 +8,24 @@
 //! depending on an external RNG crate whose stream could shift between
 //! versions.
 
-/// splitmix64 step — used for seeding and stream derivation.
+/// The pure splitmix64 finalizer: golden-ratio increment plus output
+/// mix. Exported so hash-style uses elsewhere in the workspace (e.g.
+/// the order-independent key digests in `sw-dht`) share this single
+/// copy of the constants instead of drifting duplicates.
 #[inline]
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
+pub fn splitmix64_mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// splitmix64 step — used for seeding and stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    let out = splitmix64_mix(*state);
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    out
 }
 
 /// A deterministic xoshiro256\*\* generator.

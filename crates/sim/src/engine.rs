@@ -15,7 +15,7 @@ use crate::time::SimTime;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use sw_core::config::OutDegree;
-use sw_dht::ShardMap;
+use sw_dht::{item_bytes, ShardMap, KEY_BYTES};
 use sw_graph::{par, LinkTable, Topology};
 use sw_keyspace::distribution::KeyDistribution;
 use sw_keyspace::stats::OnlineStats;
@@ -92,6 +92,15 @@ pub struct StorageConfig {
     pub preload: usize,
     /// Key-space width of generated range queries.
     pub range_width: f64,
+    /// Anti-entropy repair round period (`None` disables repair). There
+    /// is no oracle recovery path: a failed peer's shards die with it,
+    /// and with repair disabled any key whose last live copy was on that
+    /// peer is permanently lost.
+    pub repair_interval: Option<SimTime>,
+    /// Bandwidth model for repair transfers: seconds of extra delivery
+    /// delay per payload byte, added on top of the per-message latency
+    /// sample (default `1e-8` ≈ 100 MB/s).
+    pub repair_byte_secs: f64,
 }
 
 impl StorageConfig {
@@ -103,6 +112,8 @@ impl StorageConfig {
         replication: 2,
         preload: 0,
         range_width: 0.02,
+        repair_interval: None,
+        repair_byte_secs: 1e-8,
     };
 
     /// True if any storage traffic or preload is configured.
@@ -170,6 +181,18 @@ impl Default for SimConfig {
     }
 }
 
+/// A replica-retention lease: the holder keeps replica copies on the arc
+/// `(lo, hi]` until `expires`. Owners renew leases with every
+/// anti-entropy digest; a holder that stops hearing digests for an arc
+/// (it fell out of the replica chain) lets the lease lapse and garbage-
+/// collects the copies on its next round.
+#[derive(Debug, Clone, Copy)]
+struct RepairLease {
+    lo: Key,
+    hi: Key,
+    expires: SimTime,
+}
+
 /// A simulated peer. Routing state (`pred`, `succ`, `long`) is the node's
 /// *local view* and can go stale under churn; the simulator's `alive`
 /// index is ground truth.
@@ -185,6 +208,36 @@ struct SimNode {
     long: Vec<u32>,
     /// True while a refresh chain is rebuilding this node's long links.
     refreshing: bool,
+    /// Replica-retention leases (renewed by incoming repair digests).
+    leases: Vec<RepairLease>,
+}
+
+/// Per-key live-copy state, maintained incrementally by the storage
+/// accounting helpers (ground-truth durability bookkeeping — the
+/// protocol itself never reads it).
+#[derive(Debug, Clone, Copy)]
+struct CopyState {
+    /// Distinct live peers holding a copy (primary or replica).
+    copies: u32,
+    /// When a removal knocked the key below the replication target
+    /// (`None` while fully replicated or still building up).
+    under_since: Option<SimTime>,
+}
+
+/// Copy census of the stored corpus (see
+/// [`Simulator::durability_census`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityCensus {
+    /// Distinct keys present anywhere in the live shards.
+    pub keys: usize,
+    /// Keys at exactly the replication target.
+    pub fully_replicated: usize,
+    /// Keys below the target (but not lost).
+    pub under_replicated: usize,
+    /// Keys above the target (stale copies not yet retired).
+    pub over_replicated: usize,
+    /// The target: `min(replication, alive peers)`.
+    pub target: usize,
 }
 
 /// Outcome of one synchronous probe walk (measurement only).
@@ -204,9 +257,16 @@ mod stream {
     pub const TIMER: u64 = 0x107;
     pub const PRELOAD: u64 = 0x108;
     pub const LINK: u64 = 0x109;
+    pub const REPAIR: u64 = 0x10A;
     /// XOR'd into the seed to derive per-walk streams.
     pub const WALK_SALT: u64 = 0x5157_4A4C_4B53_0D1E;
 }
+
+/// Wire size of a repair digest message (arc bounds + count + hash).
+const DIGEST_BYTES: u64 = 32;
+/// Fixed header of a repair diff / push / pull message (arc bounds or
+/// operation framing) on top of its per-key payload.
+const REPAIR_HEADER_BYTES: u64 = 16;
 
 /// The simulator itself (ring topology).
 pub struct Simulator {
@@ -238,9 +298,20 @@ pub struct Simulator {
     range_rng: Rng,
     timer_rng: Rng,
     link_rng: Rng,
+    repair_rng: Rng,
     // Storage substrate: one shard per owner peer.
     primary: ShardMap,
     replica: ShardMap,
+    /// Ground-truth live-copy counts per stored key (durability
+    /// bookkeeping only — never read by the protocol).
+    copies: HashMap<Key, CopyState>,
+    /// Recovery keys an owner has already requested this repair round
+    /// (cleared when its next round starts): with several replicas
+    /// diffing concurrently, only the first mismatch requests a key, so
+    /// recovery payloads are not streamed — and byte-billed —
+    /// `replication - 1` times over. Membership-only (never iterated):
+    /// safe for determinism.
+    pending_wants: HashMap<u32, HashSet<Key>>,
     /// Keys known to be stored (get targets).
     put_keys: Vec<Key>,
     put_counter: u64,
@@ -280,8 +351,11 @@ impl Simulator {
             range_rng: Rng::stream(seed, stream::RANGE),
             timer_rng: Rng::stream(seed, stream::TIMER),
             link_rng: Rng::stream(seed, stream::LINK),
+            repair_rng: Rng::stream(seed, stream::REPAIR),
             primary: ShardMap::new(cfg.initial_n),
             replica: ShardMap::new(cfg.initial_n),
+            copies: HashMap::new(),
+            pending_wants: HashMap::new(),
             put_keys: Vec::new(),
             put_counter: 0,
             inflight_lookups: 0,
@@ -302,6 +376,7 @@ impl Simulator {
                 pred: None,
                 long: Vec::new(),
                 refreshing: false,
+                leases: Vec::new(),
             });
             sim.alive.insert(key, id);
             sim.alive_pos.push(sim.alive_ids.len());
@@ -316,6 +391,21 @@ impl Simulator {
             sim.nodes[id as usize].long = links;
         }
         sim.preload_storage();
+        // Preloaded replicas were placed by the t=0 oracle; grant every
+        // peer a grace lease over the full ring (the degenerate
+        // `lo == hi` arc) so the first GC rounds do not retire them
+        // before real digests establish per-arc leases.
+        if sim.cfg.storage.enabled() && sim.cfg.storage.repair_interval.is_some() {
+            let ttl = sim.lease_ttl();
+            for node in &mut sim.nodes {
+                let k = node.key;
+                node.leases.push(RepairLease {
+                    lo: k,
+                    hi: k,
+                    expires: ttl,
+                });
+            }
+        }
         // Recurring processes.
         if sim.cfg.churn.join_rate > 0.0 {
             let dt = next_interval(&mut sim.join_rng, sim.cfg.churn.join_rate);
@@ -455,15 +545,22 @@ impl Simulator {
 
     fn handle(&mut self, msg: Msg) {
         match msg {
+            // The churn generators re-check their rate before acting so
+            // `set_churn` can stop (or slow) churn mid-run; a rate set
+            // to zero ends the process at its next tick.
             Msg::NextJoin => {
-                self.do_join_start();
-                let dt = next_interval(&mut self.join_rng, self.cfg.churn.join_rate);
-                self.plane.send(dt, Msg::NextJoin);
+                if self.cfg.churn.join_rate > 0.0 {
+                    self.do_join_start();
+                    let dt = next_interval(&mut self.join_rng, self.cfg.churn.join_rate);
+                    self.plane.send(dt, Msg::NextJoin);
+                }
             }
             Msg::NextFail => {
-                self.do_fail();
-                let dt = next_interval(&mut self.fail_rng, self.cfg.churn.fail_rate);
-                self.plane.send(dt, Msg::NextFail);
+                if self.cfg.churn.fail_rate > 0.0 {
+                    self.do_fail();
+                    let dt = next_interval(&mut self.fail_rng, self.cfg.churn.fail_rate);
+                    self.plane.send(dt, Msg::NextFail);
+                }
             }
             Msg::NextLookup => {
                 self.do_lookup_start();
@@ -493,6 +590,29 @@ impl Simulator {
             Msg::ReplicaPut { op, to, sent_at } => self.deliver_replica_put(op, to, sent_at),
             Msg::ReplicaProbe { op, to, sent_at } => self.deliver_replica_probe(op, to, sent_at),
             Msg::RangeFragment { op, to, sent_at } => self.deliver_range_fragment(op, to, sent_at),
+            Msg::RepairRound(id) => self.do_repair_round(id),
+            Msg::RepairDigest {
+                owner,
+                to,
+                lo,
+                hi,
+                count,
+                hash,
+            } => self.on_repair_digest(owner, to, lo, hi, count, hash),
+            Msg::RepairDiff {
+                owner,
+                replica,
+                lo,
+                hi,
+                keys,
+            } => self.on_repair_diff(owner, replica, lo, hi, keys),
+            Msg::RepairPush {
+                owner,
+                replica,
+                items,
+                want,
+            } => self.on_repair_push(owner, replica, items, want),
+            Msg::RepairPull { owner, items } => self.on_repair_pull(owner, items),
         }
     }
 
@@ -734,6 +854,7 @@ impl Simulator {
             pred: None,
             long: Vec::new(),
             refreshing: false,
+            leases: Vec::new(),
         });
         self.alive.insert(key, id);
         self.alive_pos.push(self.alive_ids.len());
@@ -758,6 +879,17 @@ impl Simulator {
             ) {
                 let pred_key = self.nodes[p as usize].key;
                 self.primary.split_to(succ0, id, pred_key, key);
+            }
+            // Same grace lease the t=0 population gets: replica copies
+            // fanned to the joiner before its arc owners' first digests
+            // arrive must survive the joiner's own first GC rounds.
+            if self.cfg.storage.repair_interval.is_some() {
+                let expires = self.plane.now() + self.lease_ttl();
+                self.nodes[id as usize].leases.push(RepairLease {
+                    lo: key,
+                    hi: key,
+                    expires,
+                });
             }
         }
         self.metrics.joins += 1;
@@ -791,12 +923,14 @@ impl Simulator {
         self.alive_pos[victim as usize] = usize::MAX;
         self.nodes[victim as usize].alive = false;
         if self.cfg.storage.enabled() {
-            // Successor takeover: the heir recovers the dead peer's
-            // primary slice (modeling replica-driven re-ownership); the
-            // dead peer's replica copies are simply lost.
-            let heir = self.owner_of(key);
-            self.primary.merge_into(victim, heir);
-            self.replica.clear_shard(victim);
+            // The machine is gone: both its shards die with it. Its
+            // slice of the key space is durable again only once a
+            // surviving replica actually streams it to the new owner
+            // through the anti-entropy repair plane — there is no
+            // instant-merge oracle. With repair disabled, keys whose
+            // last live copy sat here are permanently lost (counted in
+            // `keys_lost`).
+            self.drop_peer_storage(victim);
         }
         self.metrics.failures += 1;
     }
@@ -812,6 +946,12 @@ impl Simulator {
         if let Some(interval) = self.cfg.refresh_interval {
             let stagger = SimTime(self.timer_rng.bounded_u64(interval.0.max(1)));
             self.plane.send(stagger, Msg::RefreshStart(id));
+        }
+        if self.cfg.storage.enabled() {
+            if let Some(interval) = self.cfg.storage.repair_interval {
+                let stagger = SimTime(self.timer_rng.bounded_u64(interval.0.max(1)));
+                self.plane.send(stagger, Msg::RepairRound(id));
+            }
         }
     }
 
@@ -949,9 +1089,9 @@ impl Simulator {
         let replicas = self.cfg.storage.replication.max(1) - 1;
         for ((key, value), owner) in items.into_iter().zip(owners) {
             for r in self.ground_replica_chain(owner, replicas) {
-                self.replica.insert(r, key, value.clone());
+                self.store_replica(r, key, value.clone());
             }
-            self.primary.insert(owner, key, value);
+            self.store_primary(owner, key, value);
             self.put_keys.push(key);
         }
     }
@@ -962,8 +1102,16 @@ impl Simulator {
     }
 
     /// Ground-truth replica chain: the first `count` alive peers
-    /// clockwise of `owner` (used only for the zero-cost preload; routed
-    /// puts fan out over the routed node's *local view* instead).
+    /// clockwise of `owner`.
+    ///
+    /// **Invariant: this oracle is reachable only from the t = 0
+    /// preload** (modeling a converged network handed a pre-placed
+    /// corpus, like the converged initial overlay). Every *routed*
+    /// operation path — put fan-out, get fallback, failure recovery —
+    /// works off local successor views and pays plane messages; failure
+    /// recovery in particular moves data only through the anti-entropy
+    /// repair plane. Do not call this from any handler that runs after
+    /// time zero.
     fn ground_replica_chain(&self, owner: u32, count: usize) -> Vec<u32> {
         let key = self.nodes[owner as usize].key;
         let mut chain = Vec::with_capacity(count);
@@ -1052,7 +1200,7 @@ impl Simulator {
         }
         let at = self.shift_to_owner(walk.cur, key);
         let now = self.plane.now();
-        self.primary.insert(at, key, value.clone());
+        self.store_primary(at, key, value.clone());
         let replicas = self.cfg.storage.replication.max(1) - 1;
         let chain: Vec<u32> = self.nodes[at as usize]
             .succ
@@ -1115,7 +1263,7 @@ impl Simulator {
             *pending -= 1;
             let done = *pending == 0;
             let issued = *issued_at;
-            self.replica.insert(to, k, v);
+            self.store_replica(to, k, v);
             if done {
                 self.ops.remove(&op);
                 self.metrics.puts += 1;
@@ -1151,7 +1299,10 @@ impl Simulator {
             return;
         }
         let at = self.shift_to_owner(walk.cur, key);
-        if self.primary.contains(at, key) {
+        // The routed owner serves any local copy — its primary row, or a
+        // replica copy it inherited but has not yet promoted (repair may
+        // still be mid-round after its predecessor died).
+        if self.primary.contains(at, key) || self.replica.contains(at, key) {
             self.metrics.gets += 1;
             self.metrics.gets_ok += 1;
             self.metrics
@@ -1420,6 +1571,428 @@ impl Simulator {
                 self.metrics.range_peers += peers as u64;
             }
         }
+    }
+
+    // ----- the repair plane (anti-entropy rounds) --------------------
+
+    /// How long a replica-retention lease lives without renewal: several
+    /// repair rounds plus stabilization slack, so a legitimate replica
+    /// whose owner just died keeps its copies until the new owner's
+    /// (post-stabilization) digests take over the renewals.
+    fn lease_ttl(&self) -> SimTime {
+        let interval = self.cfg.storage.repair_interval.unwrap_or(SimTime::ZERO);
+        let stab = self.cfg.stabilize_interval.unwrap_or(SimTime::ZERO);
+        SimTime(interval.0 * 4 + stab.0 * 2)
+    }
+
+    /// Sends one repair-plane message: counted, byte-accounted, and
+    /// delayed by a latency sample *plus* the bandwidth cost of its
+    /// payload.
+    fn send_repair(&mut self, bytes: u64, msg: Msg) {
+        self.metrics.repair_messages += 1;
+        self.metrics.repair_bytes += bytes;
+        let dt = self.cfg.latency.sample(&mut self.repair_rng)
+            + SimTime::from_secs_f64(bytes as f64 * self.cfg.storage.repair_byte_secs);
+        self.plane.send(dt, msg);
+    }
+
+    /// One anti-entropy round at `id`: local fixups (promote inherited
+    /// replica copies, garbage-collect lapsed leases, demote foreign
+    /// primaries), then a digest to each replica-chain peer in the
+    /// node's local successor view.
+    fn do_repair_round(&mut self, id: u32) {
+        let Some(interval) = self.cfg.storage.repair_interval else {
+            return;
+        };
+        if !self.nodes[id as usize].alive {
+            return; // timer dies with the node
+        }
+        self.plane.send(interval, Msg::RepairRound(id));
+        // A fresh round re-requests anything still missing; pulls lost
+        // to a dead replica stop blocking here.
+        self.pending_wants.remove(&id);
+        let key = self.nodes[id as usize].key;
+        let Some(pred) = self.nodes[id as usize].pred else {
+            return;
+        };
+        let pred_key = self.nodes[pred as usize].key;
+        let now = self.plane.now();
+        self.promote_owned(id, pred_key, key);
+        self.gc_replica_leases(id, now);
+        self.demote_foreign(id, pred_key, key);
+        let replicas = self.cfg.storage.replication.max(1) - 1;
+        if replicas == 0 {
+            return;
+        }
+        let chain: Vec<u32> = self.nodes[id as usize]
+            .succ
+            .iter()
+            .copied()
+            .take(replicas)
+            .collect();
+        let digest = self.primary.arc_digest(id, pred_key, key);
+        for to in chain {
+            self.send_repair(
+                DIGEST_BYTES,
+                Msg::RepairDigest {
+                    owner: id,
+                    to,
+                    lo: pred_key,
+                    hi: key,
+                    count: digest.count,
+                    hash: digest.hash,
+                },
+            );
+        }
+    }
+
+    /// Local promotion: replica copies lying inside this node's own arc
+    /// are data it now *owns* (inherited when its predecessor died) —
+    /// move them into the primary shard. A local disk operation: no
+    /// messages, no bytes.
+    fn promote_owned(&mut self, id: u32, from: Key, upto: Key) {
+        for k in self.replica.arc_keys(id, from, upto) {
+            let Some(v) = self.replica.remove(id, k) else {
+                continue;
+            };
+            if self.primary.contains(id, k) {
+                // Defensive: the store helpers keep at most one physical
+                // copy per peer, so this arm should not be reachable.
+                self.metrics.stored_bytes -= item_bytes(&v);
+            } else {
+                self.primary.insert(id, k, v);
+            }
+        }
+    }
+
+    /// Local demotion: primary rows *outside* this node's own arc are
+    /// not its to own (a stale view routed a put here, or its arc shrank)
+    /// — reclassify them as replica copies. If this node sits in the true
+    /// owner's replica chain they will be offered back through the next
+    /// diff; otherwise their lease lapses and they are retired.
+    fn demote_foreign(&mut self, id: u32, from: Key, upto: Key) {
+        // The complement of the clockwise arc `(from, upto]` is
+        // `(upto, from]`.
+        for k in self.primary.arc_keys(id, upto, from) {
+            let Some(v) = self.primary.remove(id, k) else {
+                continue;
+            };
+            if let Some(old) = self.replica.insert(id, k, v) {
+                self.metrics.stored_bytes -= item_bytes(&old);
+            }
+        }
+    }
+
+    /// Lease garbage collection: drop replica copies no arc lease covers
+    /// any more (the holder fell out of that arc's replica chain and the
+    /// owner's digests stopped renewing it). A retired last copy is a
+    /// permanent loss and is counted as such.
+    fn gc_replica_leases(&mut self, id: u32, now: SimTime) {
+        self.nodes[id as usize].leases.retain(|l| l.expires > now);
+        let leases = std::mem::take(&mut self.nodes[id as usize].leases);
+        let doomed: Vec<Key> = self
+            .replica
+            .shard(id)
+            .map(|s| {
+                s.keys()
+                    .copied()
+                    .filter(|&k| !leases.iter().any(|l| Metric::Ring.in_arc(l.lo, k, l.hi)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.nodes[id as usize].leases = leases;
+        for k in doomed {
+            if let Some(v) = self.replica.remove(id, k) {
+                self.metrics.stored_bytes -= item_bytes(&v);
+                self.note_remove(k);
+            }
+        }
+    }
+
+    /// A repair digest arrives at replica-chain peer `to`: renew the
+    /// arc lease, compare digests, and reply with this peer's key list
+    /// if they disagree.
+    fn on_repair_digest(&mut self, owner: u32, to: u32, lo: Key, hi: Key, count: u64, hash: u64) {
+        if !self.nodes[to as usize].alive {
+            return; // receiver died in flight: message lost
+        }
+        let now = self.plane.now();
+        let ttl = self.lease_ttl();
+        let node = &mut self.nodes[to as usize];
+        node.leases.retain(|l| l.expires > now);
+        if let Some(l) = node.leases.iter_mut().find(|l| l.lo == lo && l.hi == hi) {
+            l.expires = now + ttl;
+        } else {
+            node.leases.push(RepairLease {
+                lo,
+                hi,
+                expires: now + ttl,
+            });
+        }
+        let mine = self.replica.arc_digest(to, lo, hi);
+        if mine.count == count && mine.hash == hash {
+            return; // in sync: the round cost one digest message
+        }
+        let mut keys = self.replica.arc_keys(to, lo, hi);
+        keys.sort();
+        let bytes = REPAIR_HEADER_BYTES + KEY_BYTES * keys.len() as u64;
+        self.send_repair(
+            bytes,
+            Msg::RepairDiff {
+                owner,
+                replica: to,
+                lo,
+                hi,
+                keys,
+            },
+        );
+    }
+
+    /// A diff reply arrives back at the owner: compute both transfer
+    /// directions — items the replica lacks (push) and keys the owner
+    /// lacks (want, the recovery direction) — and ship them.
+    fn on_repair_diff(&mut self, owner: u32, replica: u32, lo: Key, hi: Key, keys: Vec<Key>) {
+        if !self.nodes[owner as usize].alive {
+            return;
+        }
+        let missing = self.primary.arc_diff(owner, lo, hi, &keys);
+        let mut mine = self.primary.arc_keys(owner, lo, hi);
+        mine.sort();
+        let outstanding = self.pending_wants.entry(owner).or_default();
+        let want: Vec<Key> = keys
+            .iter()
+            .copied()
+            .filter(|k| mine.binary_search(k).is_err() && !outstanding.contains(k))
+            .collect();
+        outstanding.extend(want.iter().copied());
+        if missing.is_empty() && want.is_empty() {
+            return;
+        }
+        let (items, item_cost) = self.primary.export(owner, &missing);
+        let bytes = REPAIR_HEADER_BYTES + item_cost + KEY_BYTES * want.len() as u64;
+        self.send_repair(
+            bytes,
+            Msg::RepairPush {
+                owner,
+                replica,
+                items,
+                want,
+            },
+        );
+    }
+
+    /// A push arrives at the replica: absorb the refill, then stream the
+    /// owner's wanted keys back (the transfer that makes a failed peer's
+    /// slice durable again).
+    fn on_repair_push(
+        &mut self,
+        owner: u32,
+        replica: u32,
+        items: Vec<(Key, Vec<u8>)>,
+        want: Vec<Key>,
+    ) {
+        if !self.nodes[replica as usize].alive {
+            return;
+        }
+        for (k, v) in items {
+            self.store_replica(replica, k, v);
+        }
+        if want.is_empty() {
+            return;
+        }
+        let mut back = Vec::with_capacity(want.len());
+        let mut bytes = REPAIR_HEADER_BYTES;
+        for &k in &want {
+            let v = self
+                .replica
+                .get(replica, k)
+                .or_else(|| self.primary.get(replica, k));
+            if let Some(v) = v {
+                bytes += item_bytes(v);
+                back.push((k, v.clone()));
+            }
+        }
+        if back.is_empty() {
+            return; // the copies vanished while the ladder was in flight
+        }
+        self.send_repair(bytes, Msg::RepairPull { owner, items: back });
+    }
+
+    /// The recovery transfer lands at the owner: the streamed items are
+    /// finally durable under their new primary.
+    fn on_repair_pull(&mut self, owner: u32, items: Vec<(Key, Vec<u8>)>) {
+        if !self.nodes[owner as usize].alive {
+            return;
+        }
+        for (k, v) in items {
+            if let Some(w) = self.pending_wants.get_mut(&owner) {
+                w.remove(&k);
+            }
+            self.store_primary(owner, k, v);
+        }
+    }
+
+    // ----- storage accounting ----------------------------------------
+    //
+    // Every physical copy moves through these helpers so the per-key
+    // live-copy counts, the under-replication gauge, `keys_lost`,
+    // time-to-repair and `stored_bytes` stay exact. Invariant: a peer
+    // holds at most one physical copy of a key (primary *or* replica).
+
+    fn replication_target(&self) -> u32 {
+        self.cfg.storage.replication.max(1) as u32
+    }
+
+    /// A distinct peer gained a copy of `key`.
+    fn note_add(&mut self, key: Key) {
+        let now = self.plane.now();
+        let target = self.replication_target();
+        let e = self.copies.entry(key).or_insert(CopyState {
+            copies: 0,
+            under_since: None,
+        });
+        e.copies += 1;
+        if e.copies >= target {
+            if let Some(since) = e.under_since.take() {
+                self.metrics.keys_under_replicated -= 1;
+                self.metrics
+                    .repair_time_secs
+                    .push((now - since).as_secs_f64());
+            }
+        }
+    }
+
+    /// A distinct peer lost its copy of `key`.
+    fn note_remove(&mut self, key: Key) {
+        let now = self.plane.now();
+        let target = self.replication_target();
+        let Some(e) = self.copies.get_mut(&key) else {
+            debug_assert!(false, "removing an untracked copy");
+            return;
+        };
+        e.copies -= 1;
+        if e.copies == 0 {
+            if e.under_since.is_some() {
+                self.metrics.keys_under_replicated -= 1;
+            }
+            self.copies.remove(&key);
+            self.metrics.keys_lost += 1;
+        } else if e.copies < target && e.under_since.is_none() {
+            e.under_since = Some(now);
+            self.metrics.keys_under_replicated += 1;
+        }
+    }
+
+    /// Stores a primary copy at `peer`, superseding any replica copy the
+    /// peer already held (one physical copy per peer).
+    fn store_primary(&mut self, peer: u32, key: Key, value: Vec<u8>) {
+        let mut had = false;
+        if let Some(old) = self.replica.remove(peer, key) {
+            self.metrics.stored_bytes -= item_bytes(&old);
+            had = true;
+        }
+        self.metrics.stored_bytes += item_bytes(&value);
+        if let Some(old) = self.primary.insert(peer, key, value) {
+            self.metrics.stored_bytes -= item_bytes(&old);
+            had = true;
+        }
+        if !had {
+            self.note_add(key);
+        }
+    }
+
+    /// Stores a replica copy at `peer` (a no-op if the peer already
+    /// holds the key as primary).
+    fn store_replica(&mut self, peer: u32, key: Key, value: Vec<u8>) {
+        if self.primary.contains(peer, key) {
+            return;
+        }
+        self.metrics.stored_bytes += item_bytes(&value);
+        if let Some(old) = self.replica.insert(peer, key, value) {
+            self.metrics.stored_bytes -= item_bytes(&old);
+        } else {
+            self.note_add(key);
+        }
+    }
+
+    /// A peer failed: both its shards die with the machine.
+    fn drop_peer_storage(&mut self, peer: u32) {
+        for primary in [true, false] {
+            let map = if primary {
+                &self.primary
+            } else {
+                &self.replica
+            };
+            let dropped: Vec<(Key, u64)> = map
+                .shard(peer)
+                .map(|s| s.iter().map(|(k, v)| (*k, item_bytes(v))).collect())
+                .unwrap_or_default();
+            if primary {
+                self.primary.clear_shard(peer);
+            } else {
+                self.replica.clear_shard(peer);
+            }
+            for (k, bytes) in dropped {
+                self.metrics.stored_bytes -= bytes;
+                self.note_remove(k);
+            }
+        }
+        self.nodes[peer as usize].leases.clear();
+        self.pending_wants.remove(&peer);
+    }
+
+    /// Copy census of the stored corpus, computed from the live shards on
+    /// the `sw_graph::par` scan path (per-peer key unions fan out across
+    /// workers; the merge is an order-independent count) — bit-identical
+    /// at every `threads` value.
+    pub fn durability_census(&self, threads: usize) -> DurabilityCensus {
+        let target = self.cfg.storage.replication.max(1).min(self.alive.len());
+        let n = self.primary.shard_count().max(self.replica.shard_count());
+        let per_peer: Vec<Vec<Key>> = par::par_map_grained(n, threads, 8, |i| {
+            let id = i as u32;
+            let mut keys: Vec<Key> = self
+                .primary
+                .shard(id)
+                .map(|s| s.keys().copied().collect())
+                .unwrap_or_default();
+            if let Some(s) = self.replica.shard(id) {
+                keys.extend(s.keys().copied().filter(|&k| !self.primary.contains(id, k)));
+            }
+            keys
+        });
+        let mut counts: HashMap<Key, usize> = HashMap::new();
+        for keys in per_peer {
+            for k in keys {
+                *counts.entry(k).or_insert(0) += 1;
+            }
+        }
+        let mut census = DurabilityCensus {
+            target,
+            ..DurabilityCensus::default()
+        };
+        for &c in counts.values() {
+            census.keys += 1;
+            match c.cmp(&target) {
+                std::cmp::Ordering::Less => census.under_replicated += 1,
+                std::cmp::Ordering::Equal => census.fully_replicated += 1,
+                std::cmp::Ordering::Greater => census.over_replicated += 1,
+            }
+        }
+        census
+    }
+
+    /// Live copies of `key` across all peers (ground-truth bookkeeping;
+    /// `0` for unknown or lost keys).
+    pub fn live_copies(&self, key: Key) -> u32 {
+        self.copies.get(&key).map_or(0, |c| c.copies)
+    }
+
+    /// Replaces the churn configuration mid-run. Lowering a rate takes
+    /// effect at that generator's next tick; **raising a rate from zero
+    /// has no effect** (the generator process was never scheduled). Used
+    /// to stop churn and let the repair plane quiesce.
+    pub fn set_churn(&mut self, churn: ChurnConfig) {
+        self.cfg.churn = churn;
     }
 
     // ----- ground-truth helpers --------------------------------------
@@ -1907,6 +2480,8 @@ mod tests {
                 replication: 3,
                 preload: 400,
                 range_width: 0.02,
+                repair_interval: Some(SimTime::from_secs(5)),
+                repair_byte_secs: 1e-6,
             },
             stabilize_interval: Some(SimTime::from_secs(5)),
             refresh_interval: Some(SimTime::from_secs(30)),
@@ -1933,10 +2508,12 @@ mod tests {
         assert!(!sim.replica_store().is_empty());
     }
 
-    /// Shard conservation: joins split shards, failures merge them, and
-    /// (with no write traffic) not a single preloaded row is lost.
+    /// Data dies with its peers now: under churn with repair *disabled*,
+    /// a failed peer's shards are dropped, so rows drain out of the
+    /// corpus and the losses are accounted — while dead peers' shards
+    /// are always empty.
     #[test]
-    fn churn_moves_shards_without_losing_rows() {
+    fn without_repair_churn_bleeds_rows_and_counts_losses() {
         let cfg = SimConfig {
             churn: ChurnConfig::symmetric(6.0),
             workload: WorkloadConfig { lookup_rate: 1.0 },
@@ -1948,26 +2525,167 @@ mod tests {
             ..quiet_config(15, 256)
         };
         let mut sim = Simulator::new(cfg, Arc::new(Uniform));
-        assert_eq!(sim.primary_store().len(), 500);
+        let initial_keys = sim.durability_census(2).keys;
+        assert!(initial_keys >= 499, "preload collisions should be rare");
         sim.run_until(SimTime::from_secs(120));
-        let m = sim.metrics();
+        let m = sim.metrics().clone();
         assert!(m.joins > 200 && m.failures > 200);
+        assert!(m.keys_lost > 0, "no repair: some keys must be lost");
+        assert_eq!(m.repair_messages, 0);
+        assert_eq!(m.repair_bytes, 0);
+        let census = sim.durability_census(2);
         assert_eq!(
-            sim.primary_store().par_len(4),
-            500,
-            "splits and merges must conserve rows"
+            census.keys + m.keys_lost as usize,
+            initial_keys,
+            "every missing key must be accounted as lost"
         );
-        // Rows must sit in *live* shards: dead peers' shards were merged
-        // away into their heirs.
+        assert!(census.keys < initial_keys, "rows must actually drain");
         for (id, node) in sim.nodes.iter().enumerate() {
             if !node.alive {
                 assert_eq!(
-                    sim.primary_store().shard_len(id as u32),
+                    sim.primary_store().shard_len(id as u32)
+                        + sim.replica_store().shard_len(id as u32),
                     0,
-                    "dead peer {id} still owns rows"
+                    "dead peer {id} still holds rows"
                 );
             }
         }
+    }
+
+    /// The acceptance scenario: peers fail mid-interval, the affected
+    /// keys show up as under-replicated, repair traffic flows, and after
+    /// churn stops the corpus quiesces back to full replication — while
+    /// the same seed with repair disabled permanently loses keys.
+    #[test]
+    fn repair_recovers_under_replication_and_its_absence_loses_keys() {
+        let base = |repair: Option<SimTime>| SimConfig {
+            churn: ChurnConfig {
+                join_rate: 1.0,
+                fail_rate: 3.0,
+                ..ChurnConfig::NONE
+            },
+            workload: WorkloadConfig { lookup_rate: 2.0 },
+            storage: StorageConfig {
+                preload: 300,
+                replication: 3,
+                repair_interval: repair,
+                repair_byte_secs: 1e-6,
+                ..StorageConfig::NONE
+            },
+            stabilize_interval: Some(SimTime::from_secs(3)),
+            refresh_interval: Some(SimTime::from_secs(30)),
+            ..quiet_config(21, 128)
+        };
+
+        // With repair: churn knocks keys under target, repair brings
+        // them back.
+        let mut sim = Simulator::new(base(Some(SimTime::from_secs(5))), Arc::new(Uniform));
+        let mut under_peak = 0u64;
+        for slice in 1..=12 {
+            sim.run_until(SimTime::from_secs(slice * 5));
+            under_peak = under_peak.max(sim.metrics().keys_under_replicated);
+        }
+        assert!(
+            under_peak > 0,
+            "mid-interval failures must under-replicate keys"
+        );
+        let m = sim.metrics().clone();
+        assert!(m.repair_messages > 0, "repair traffic must flow");
+        assert!(m.repair_bytes > 0);
+        assert!(
+            m.repair_time_secs.count() > 0,
+            "some keys must have completed repair"
+        );
+        assert!(m.repair_overhead() > 0.0);
+        // Stop churn, let the repair plane quiesce.
+        sim.set_churn(ChurnConfig::NONE);
+        sim.run_until(SimTime::from_secs(180));
+        assert_eq!(
+            sim.metrics().keys_under_replicated,
+            0,
+            "under-replication must drain after churn stops"
+        );
+        let census = sim.durability_census(2);
+        assert_eq!(census.under_replicated, 0, "census agrees: {census:?}");
+        let keys_lost_with = sim.metrics().keys_lost;
+
+        // Same seed, repair disabled: permanent losses.
+        let mut sim = Simulator::new(base(None), Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(60));
+        let lost_without = sim.metrics().keys_lost;
+        assert!(
+            lost_without > 0,
+            "without repair the same churn must lose keys"
+        );
+        assert!(
+            keys_lost_with < lost_without,
+            "repair must reduce losses: {keys_lost_with} vs {lost_without}"
+        );
+    }
+
+    /// Regression (no oracle resurrection): when a key's owner *and*
+    /// every replica fail between repair rounds, the key is counted in
+    /// `keys_lost`, no shard ever holds it again, and gets for it keep
+    /// failing.
+    #[test]
+    fn total_copy_loss_between_rounds_is_permanent() {
+        let cfg = SimConfig {
+            churn: ChurnConfig {
+                join_rate: 0.0,
+                fail_rate: 4.0,
+                ..ChurnConfig::NONE
+            },
+            workload: WorkloadConfig { lookup_rate: 2.0 },
+            storage: StorageConfig {
+                preload: 300,
+                get_rate: 10.0,
+                replication: 2,
+                // Rounds far apart: failure bursts outrun repair.
+                repair_interval: Some(SimTime::from_secs(60)),
+                repair_byte_secs: 1e-6,
+                ..StorageConfig::NONE
+            },
+            stabilize_interval: Some(SimTime::from_secs(5)),
+            ..quiet_config(22, 64)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(90));
+        assert!(
+            sim.metrics().keys_lost > 0,
+            "owner+replica failures between rounds must lose keys"
+        );
+        // Identify concrete lost keys from the preloaded get-target pool.
+        let lost: Vec<Key> = sim
+            .put_keys
+            .iter()
+            .copied()
+            .filter(|&k| sim.live_copies(k) == 0)
+            .collect();
+        assert!(!lost.is_empty(), "some preloaded keys must be lost");
+        let holds_anywhere = |sim: &Simulator, key: Key| {
+            (0..sim.nodes.len() as u32)
+                .any(|id| sim.primary.contains(id, key) || sim.replica.contains(id, key))
+        };
+        for &k in &lost {
+            assert!(!holds_anywhere(&sim, k), "lost key {k} still stored");
+        }
+        // Keep running (gets keep targeting the preloaded pool, repair
+        // rounds keep firing): lost keys must never resurrect.
+        let gets_ok_before = sim.metrics().gets_ok;
+        sim.run_until(SimTime::from_secs(300));
+        for &k in &lost {
+            assert_eq!(sim.live_copies(k), 0, "lost key {k} resurrected");
+            assert!(!holds_anywhere(&sim, k), "lost key {k} restored by oracle");
+        }
+        let m = sim.metrics();
+        assert!(
+            m.gets > 0 && m.gets_ok < m.gets,
+            "gets for lost keys must fail: {} ok of {}",
+            m.gets_ok,
+            m.gets
+        );
+        // Sanity: the run kept serving *some* gets for surviving keys.
+        assert!(m.gets_ok > gets_ok_before);
     }
 
     /// The acceptance determinism contract: a full churn + lookups +
@@ -2011,6 +2729,15 @@ mod tests {
                     sim.alive_count(),
                     sim.primary_store().len(),
                     sim.replica_store().len(),
+                ),
+                (
+                    m.repair_messages,
+                    m.repair_bytes,
+                    m.keys_lost,
+                    m.keys_under_replicated,
+                    m.stored_bytes,
+                    m.repair_time_secs.mean().to_bits(),
+                    sim.durability_census(4),
                 ),
                 (probe_ok.to_bits(), probe_hops.mean().to_bits()),
                 sim.lookup_records().len(),

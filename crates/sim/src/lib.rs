@@ -34,6 +34,38 @@
 //!   the sharded stores) plus the handlers that advance the state
 //!   machines on each delivery.
 //!
+//! ## The repair plane
+//!
+//! The data layer has **no oracle recovery path**: when a peer fails,
+//! its primary and replica shards die with the machine (the only oracle
+//! left is the t = 0 preload placement). Durability comes from
+//! message-driven anti-entropy: every `StorageConfig::repair_interval`,
+//! each peer runs a round over its owned arc `(pred, self]` —
+//!
+//! 1. **local fixups** (free disk operations): promote inherited replica
+//!    copies inside the arc to primary, garbage-collect replica copies
+//!    whose arc *lease* lapsed, demote foreign primary rows;
+//! 2. **digest fan-out**: an order-independent key digest of the arc
+//!    ([`sw_dht::RangeDigest`]) to each replica-chain peer in the local
+//!    successor view. A digest renews the receiver's lease on the arc;
+//!    a mismatch triggers the diff → push → pull ladder
+//!    ([`protocol::Msg::RepairDiff`] / [`protocol::Msg::RepairPush`] /
+//!    [`protocol::Msg::RepairPull`]) that streams missing items both
+//!    ways. Every repair message pays a latency sample **plus a
+//!    per-byte bandwidth delay** (`repair_byte_secs`), so the
+//!    durability/bandwidth trade-off is measurable
+//!    (`SimMetrics::{repair_messages, repair_bytes, repair_overhead}`).
+//!
+//! Durability bookkeeping is ground truth outside the protocol: per-key
+//! live-copy counts feed the `keys_under_replicated` gauge, `keys_lost`
+//! (a key whose last live copy dies is *permanently* lost — subsequent
+//! gets fail), and time-to-repair stats; [`Simulator::durability_census`]
+//! recounts them from the shards on the parallel scan path. Leases make
+//! repair *quiescent*: once churn stops, under-replicated keys refill,
+//! dead owners' slices are re-streamed from surviving replicas, stale
+//! copies are retired, and every surviving key converges to exactly
+//! `min(replication, alive)` copies.
+//!
 //! ## State-machine lifecycle
 //!
 //! A walk is spawned with a fresh query id, takes its **first greedy
@@ -63,8 +95,8 @@
 //!   FIFO tie-break is a pure function of the seed;
 //! * every walk samples from its own `Rng::stream(seed, query_id)`, and
 //!   every generator process (joins, failures, lookups, puts, gets,
-//!   ranges, timers, link targets) owns a dedicated stream, so one
-//!   process's draws never perturb another's;
+//!   ranges, timers, link targets, repair latencies) owns a dedicated
+//!   stream, so one process's draws never perturb another's;
 //! * the parallel paths (probe batches, storage preload) are pure
 //!   per-index maps over pre-drawn inputs — thread count only changes
 //!   how work is chunked, never what is computed.
@@ -81,7 +113,8 @@ pub mod protocol;
 pub mod time;
 
 pub use engine::{
-    ChurnConfig, SimConfig, Simulator, StorageConfig, VictimSampling, WorkloadConfig,
+    ChurnConfig, DurabilityCensus, SimConfig, Simulator, StorageConfig, VictimSampling,
+    WorkloadConfig,
 };
 pub use latency::LatencyModel;
 pub use metrics::SimMetrics;

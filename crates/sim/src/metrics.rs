@@ -61,6 +61,25 @@ pub struct SimMetrics {
     /// Messages spent by the storage workload (routing hops, replica
     /// writes, fallback probes, range fragments).
     pub storage_messages: u64,
+    /// Messages spent by the anti-entropy repair protocol (digests,
+    /// diffs, pushes, recovery pulls).
+    pub repair_messages: u64,
+    /// Payload bytes shipped by the repair protocol (keys + items).
+    pub repair_bytes: u64,
+    /// Gauge: keys knocked below the replication target by a failure and
+    /// not yet repaired back to full replication. Fresh puts still
+    /// mid-fan-out are *not* counted — the gauge tracks repair debt, not
+    /// write pipelines.
+    pub keys_under_replicated: u64,
+    /// Keys whose last live copy died (permanent loss — there is no
+    /// oracle resurrection path).
+    pub keys_lost: u64,
+    /// Time (virtual seconds) from a key dropping below the replication
+    /// target to its repair back to full replication.
+    pub repair_time_secs: OnlineStats,
+    /// Gauge: payload bytes currently stored across all live primary and
+    /// replica shards (the denominator of [`SimMetrics::repair_overhead`]).
+    pub stored_bytes: u64,
     /// Virtual time at the end of the run.
     pub end_time: SimTime,
 }
@@ -97,6 +116,25 @@ impl SimMetrics {
             self.gets_ok as f64 / self.gets as f64
         }
     }
+
+    /// Fraction of range queries whose sweep covered the whole range.
+    pub fn range_success_rate(&self) -> f64 {
+        if self.ranges == 0 {
+            0.0
+        } else {
+            self.ranges_ok as f64 / self.ranges as f64
+        }
+    }
+
+    /// Repair bytes paid per stored byte — the bandwidth price of the
+    /// durability the run achieved. `0` when nothing is stored.
+    pub fn repair_overhead(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            0.0
+        } else {
+            self.repair_bytes as f64 / self.stored_bytes as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +156,29 @@ mod tests {
         };
         assert!((m.success_rate() - 0.7).abs() < 1e-12);
         assert_eq!(m.maintenance_messages(), 0);
+    }
+
+    #[test]
+    fn range_success_rate_mirrors_put_get_accessors() {
+        let m = SimMetrics::default();
+        assert_eq!(m.range_success_rate(), 0.0, "no ranges yet");
+        let m = SimMetrics {
+            ranges: 8,
+            ranges_ok: 6,
+            ..Default::default()
+        };
+        assert!((m.range_success_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_overhead_is_bytes_per_stored_byte() {
+        let m = SimMetrics::default();
+        assert_eq!(m.repair_overhead(), 0.0, "empty store divides to zero");
+        let m = SimMetrics {
+            repair_bytes: 300,
+            stored_bytes: 1200,
+            ..Default::default()
+        };
+        assert!((m.repair_overhead() - 0.25).abs() < 1e-12);
     }
 }

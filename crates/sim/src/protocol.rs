@@ -29,6 +29,22 @@
 //!    [`Purpose`]: lookups record metrics, a join splices the new node
 //!    and starts its link-probe chain, storage ops enter their
 //!    replica-fan-out / fallback-probe / range-sweep phase.
+//!
+//! ## The repair plane
+//!
+//! Replica repair is its own message family, not a walk: every
+//! `repair_interval` a peer runs an **anti-entropy round** against its
+//! successor-list view of its replica chain. The round is a four-message
+//! ladder per `(owner, replica)` pair — [`Msg::RepairDigest`] (owner's
+//! arc summary), [`Msg::RepairDiff`] (replica's key list on mismatch),
+//! [`Msg::RepairPush`] (missing items + recovery wants),
+//! [`Msg::RepairPull`] (the wanted items streamed back) — and each rung
+//! pays plane latency *plus a per-byte bandwidth delay* sized by its
+//! payload. A message whose receiver died in flight is silently lost;
+//! the next round retries. There is no oracle shortcut: a failed peer's
+//! shards die with it, and its slice of the key space is durable again
+//! only once a surviving replica has actually streamed it to the new
+//! owner.
 
 use crate::time::SimTime;
 use sw_keyspace::{Key, Rng};
@@ -248,6 +264,63 @@ pub enum Msg {
         to: u32,
         /// Send time.
         sent_at: SimTime,
+    },
+
+    // -- The repair plane (anti-entropy rounds) -----------------------
+    /// `node` starts an anti-entropy round over its owned arc
+    /// (self-rescheduling every `repair_interval`).
+    RepairRound(u32),
+    /// Owner → replica: digest of the owner's primary slice on the arc
+    /// `(lo, hi]`. Receipt renews the replica's lease on that arc; a
+    /// digest mismatch triggers a [`Msg::RepairDiff`] reply.
+    RepairDigest {
+        /// The arc's owner (digest sender).
+        owner: u32,
+        /// The replica-chain peer being synced.
+        to: u32,
+        /// Arc lower bound (exclusive).
+        lo: Key,
+        /// Arc upper bound (inclusive).
+        hi: Key,
+        /// Key count of the owner's slice.
+        count: u64,
+        /// Order-independent key hash of the owner's slice.
+        hash: u64,
+    },
+    /// Replica → owner: the replica's key list on `(lo, hi]`, sent when
+    /// the digests disagreed.
+    RepairDiff {
+        /// The arc's owner (reply destination).
+        owner: u32,
+        /// The replying replica.
+        replica: u32,
+        /// Arc lower bound (exclusive).
+        lo: Key,
+        /// Arc upper bound (inclusive).
+        hi: Key,
+        /// The replica's keys on the arc (sorted).
+        keys: Vec<Key>,
+    },
+    /// Owner → replica: the items the replica was missing, plus the keys
+    /// the *owner* is missing and wants streamed back (the recovery
+    /// request after inheriting a dead predecessor's arc).
+    RepairPush {
+        /// The arc's owner (push sender).
+        owner: u32,
+        /// The replica being refilled.
+        replica: u32,
+        /// Items the replica lacked.
+        items: Vec<(Key, Vec<u8>)>,
+        /// Keys the owner lacks and requests back.
+        want: Vec<Key>,
+    },
+    /// Replica → owner: the requested items streamed back — the only way
+    /// a failed peer's slice becomes durable again.
+    RepairPull {
+        /// The recovering owner.
+        owner: u32,
+        /// Items recovered from the replica's copy.
+        items: Vec<(Key, Vec<u8>)>,
     },
 }
 

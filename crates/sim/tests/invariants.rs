@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use sw_keyspace::distribution::{KeyDistribution, TruncatedPareto, Uniform};
-use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, WorkloadConfig};
+use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, StorageConfig, WorkloadConfig};
 
 fn dist_for(choice: u8) -> Arc<dyn KeyDistribution> {
     match choice % 2 {
@@ -89,6 +89,68 @@ proptest! {
             )
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Anti-entropy quiescence: after churn stops and enough repair
+    /// rounds run, every *surviving* key has exactly
+    /// `min(replication, alive peers)` live copies — repair refills
+    /// under-replicated keys, recovery pulls rebuild dead owners'
+    /// slices, and lease GC retires every stale copy. The whole run
+    /// (census included) is bit-identical at any worker-thread count.
+    #[test]
+    fn repair_quiesces_to_exact_replication(
+        seed in any::<u64>(),
+        replication in 2usize..4,
+        dist_choice in 0u8..2,
+    ) {
+        let run = |parallelism: usize| {
+            let cfg = SimConfig {
+                seed,
+                initial_n: 64,
+                parallelism,
+                churn: ChurnConfig::symmetric(2.0),
+                workload: WorkloadConfig { lookup_rate: 2.0 },
+                storage: StorageConfig {
+                    preload: 150,
+                    replication,
+                    repair_interval: Some(SimTime::from_secs(4)),
+                    repair_byte_secs: 1e-6,
+                    ..StorageConfig::NONE
+                },
+                stabilize_interval: Some(SimTime::from_secs(3)),
+                refresh_interval: Some(SimTime::from_secs(20)),
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(cfg, dist_for(dist_choice));
+            sim.run_until(SimTime::from_secs(40));
+            sim.set_churn(ChurnConfig::NONE);
+            // Quiesce: leases lapse, stabilization converges, rounds
+            // refill and retire until digests all match.
+            sim.run_until(SimTime::from_secs(160));
+            let m = sim.metrics();
+            (
+                sim.durability_census(parallelism),
+                m.keys_lost,
+                m.keys_under_replicated,
+                m.repair_messages,
+                m.repair_bytes,
+                m.stored_bytes,
+                sim.primary_store().len(),
+                sim.replica_store().len(),
+            )
+        };
+        let one = run(1);
+        let census = one.0;
+        prop_assert_eq!(census.target, replication.min(64));
+        prop_assert_eq!(census.under_replicated, 0, "census {:?}", census);
+        prop_assert_eq!(census.over_replicated, 0, "census {:?}", census);
+        prop_assert_eq!(census.fully_replicated, census.keys);
+        prop_assert_eq!(one.2, 0, "under-replication gauge must drain");
+        prop_assert!(one.3 > 0, "repair rounds must have exchanged messages");
+        // Determinism at any worker-thread count.
+        for threads in [2usize, 4] {
+            prop_assert_eq!(run(threads), one, "threads={}", threads);
+        }
     }
 
     /// Without churn, lookups never fail and never time out, regardless

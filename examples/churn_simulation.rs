@@ -1,6 +1,7 @@
 //! Churn: run the message-plane simulator with joins, silent failures,
-//! stabilization, long-link refresh and a replicated storage workload,
-//! and print a timeline of lookup + data-layer health.
+//! stabilization, long-link refresh, a replicated storage workload and
+//! message-driven anti-entropy replica repair, and print a timeline of
+//! lookup + data-layer health.
 //!
 //! ```text
 //! cargo run --release --example churn_simulation
@@ -23,6 +24,8 @@ fn main() {
             replication: 3,
             preload: 5000,
             range_width: 0.02,
+            repair_interval: Some(SimTime::from_secs(10)),
+            repair_byte_secs: 1e-6, // ~1 MB/s repair bandwidth
         },
         stabilize_interval: Some(SimTime::from_secs(10)),
         refresh_interval: Some(SimTime::from_secs(30)),
@@ -30,28 +33,42 @@ fn main() {
     };
     println!(
         "simulating {} peers under symmetric churn of {} events/s, \
-         {} items preloaded ...\n",
-        cfg.initial_n, cfg.churn.join_rate, cfg.storage.preload
+         {} items preloaded, anti-entropy repair every {} ...\n",
+        cfg.initial_n,
+        cfg.churn.join_rate,
+        cfg.storage.preload,
+        cfg.storage.repair_interval.expect("repair on"),
     );
     let mut sim = Simulator::new(cfg, Arc::new(Uniform));
     println!(
-        "{:>6} {:>7} {:>9} {:>7} {:>9} {:>9} {:>8} {:>8}",
-        "t (s)", "peers", "success", "hops", "timeouts", "stranded", "get ok", "items"
+        "{:>6} {:>7} {:>9} {:>7} {:>9} {:>8} {:>8} {:>7} {:>7} {:>10}",
+        "t (s)",
+        "peers",
+        "success",
+        "hops",
+        "stranded",
+        "get ok",
+        "items",
+        "under",
+        "lost",
+        "repair MB"
     );
     for minute in 1..=10 {
         sim.run_until(SimTime::from_secs(minute * 60));
         let (ok, hops) = sim.probe_lookups(300);
         let m = sim.metrics();
         println!(
-            "{:>6} {:>7} {:>8.1}% {:>7.2} {:>9} {:>9} {:>7.1}% {:>8}",
+            "{:>6} {:>7} {:>8.1}% {:>7.2} {:>9} {:>7.1}% {:>8} {:>7} {:>7} {:>10.2}",
             minute * 60,
             sim.alive_count(),
             ok * 100.0,
             hops.mean(),
-            m.timeouts,
             m.lookups_stranded,
             m.get_success_rate() * 100.0,
-            sim.primary_store().len(),
+            sim.primary_store().len() + sim.replica_store().len(),
+            m.keys_under_replicated,
+            m.keys_lost,
+            m.repair_bytes as f64 / 1e6,
         );
     }
     let m = sim.metrics();
@@ -66,19 +83,40 @@ fn main() {
     );
     println!(
         "storage totals: {} puts ({:.1}% ok), {} gets ({:.1}% ok, {} replica \
-         fallback probes), {} range queries serving {} items",
+         fallback probes), {} range queries ({:.1}% complete) serving {} items",
         m.puts,
         m.put_success_rate() * 100.0,
         m.gets,
         m.get_success_rate() * 100.0,
         m.gets_fallback,
         m.ranges,
+        m.range_success_rate() * 100.0,
         m.range_items,
+    );
+    let census = sim.durability_census(0);
+    println!(
+        "durability: {} repair messages moved {:.2} MB ({:.2} repair bytes per \
+         stored byte); mean time-to-repair {:.1}s over {} repairs; {} keys \
+         under-replicated now, {} keys permanently lost; census: {} keys \
+         ({} full / {} under / {} over, target {})",
+        m.repair_messages,
+        m.repair_bytes as f64 / 1e6,
+        m.repair_overhead(),
+        m.repair_time_secs.mean(),
+        m.repair_time_secs.count(),
+        m.keys_under_replicated,
+        m.keys_lost,
+        census.keys,
+        census.fully_replicated,
+        census.under_replicated,
+        census.over_replicated,
+        census.target,
     );
     println!(
         "{} joins and {} failures were absorbed while {} events flowed through \
          the message plane — queries kept succeeding *while* the overlay churned \
-         beneath them, the §3.1 robustness story at per-hop granularity",
+         beneath them, and every recovered key was actually streamed from a \
+         surviving replica, not conjured by an oracle",
         m.joins, m.failures, m.events
     );
 }
