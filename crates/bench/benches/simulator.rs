@@ -36,6 +36,7 @@ fn churn_config(seed: u64, n: usize, storage: bool) -> SimConfig {
                 range_width: 0.02,
                 repair_interval: Some(SimTime::from_secs(10)),
                 repair_byte_secs: 1e-6,
+                routing_mode: None,
             }
         } else {
             StorageConfig::NONE

@@ -60,6 +60,7 @@ pub fn e17_inflight(ctx: &Ctx) {
                     range_width: 0.02,
                     repair_interval: Some(SimTime::from_secs(10)),
                     repair_byte_secs: 1e-6,
+                    routing_mode: None,
                 },
                 stabilize_interval: Some(SimTime::from_secs(5)),
                 refresh_interval: Some(SimTime::from_secs(30)),

@@ -1,5 +1,5 @@
 //! One module per experiment family; the registry in the crate root maps
-//! experiment ids (`e1`..`e16`) onto these functions. Each experiment
+//! experiment ids (`e1`..`e19`) onto these functions. Each experiment
 //! prints its table(s) and writes CSVs into the context's output
 //! directory. `EXPERIMENTS.md` documents expected shapes and records a
 //! reference run.
@@ -10,5 +10,6 @@ pub mod dynamics;
 pub mod equivalence;
 pub mod inflight;
 pub mod repair;
+pub mod routing_modes;
 pub mod skew;
 pub mod theory;

@@ -79,6 +79,7 @@ pub fn e18_repair(ctx: &Ctx) {
                             range_width: 0.02,
                             repair_interval: *repair,
                             repair_byte_secs: 1e-6,
+                            routing_mode: None,
                         },
                         stabilize_interval: Some(SimTime::from_secs(5)),
                         refresh_interval: Some(SimTime::from_secs(30)),

@@ -122,5 +122,10 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Replica repair: anti-entropy durability vs bandwidth (writes BENCH_repair.json)",
             experiments::repair::e18_repair,
         ),
+        (
+            "e19",
+            "Routing modes: recursive vs iterative vs semi-recursive under churn (writes BENCH_routing.json)",
+            experiments::routing_modes::e19_routing_modes,
+        ),
     ]
 }

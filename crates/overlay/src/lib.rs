@@ -37,7 +37,8 @@ pub mod symphony;
 
 pub use placement::{Placement, PlacementError};
 pub use route::{
-    greedy_route, greedy_step, Overlay, RingView, RouteOptions, RouteResult, RoutingSurvey,
+    greedy_candidates, greedy_route, greedy_step, Overlay, RingView, RouteOptions, RouteResult,
+    RoutingSurvey,
 };
 
 /// Convenient glob import for downstream crates and examples.

@@ -127,6 +127,34 @@ pub fn greedy_step(
     best
 }
 
+/// The ranked generalization of [`greedy_step`]: *every* candidate that
+/// strictly improves on `cur_d`, sorted closest-first.
+///
+/// The head of the list is exactly what [`greedy_step`] returns (the
+/// sort is stable, so distance ties keep iteration order — the same
+/// tie-break `greedy_step` applies), and the tail is the failover
+/// ladder: a requester driving an *iterative* lookup can fall back to
+/// the 2nd/3rd-best contact after a timeout without re-asking the node
+/// that produced the list. Duplicate node ids in the candidate stream
+/// (a contact appearing as both successor and long link) are kept once,
+/// at their first position.
+pub fn greedy_candidates(
+    metric: sw_keyspace::Topology,
+    target: Key,
+    cur_d: f64,
+    candidates: impl IntoIterator<Item = (NodeId, Key)>,
+) -> Vec<(NodeId, f64)> {
+    let mut out: Vec<(NodeId, f64)> = Vec::new();
+    for (v, k) in candidates {
+        let d = metric.distance(k, target);
+        if d < cur_d && !out.iter().any(|&(u, _)| u == v) {
+            out.push((v, d));
+        }
+    }
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out
+}
+
 /// A peer's *local* ring view: predecessor, successor list and long-range
 /// links, borrowed from wherever the protocol keeps them. This is the
 /// contact set dynamic protocols (joins, stabilization, the simulator's
@@ -162,6 +190,27 @@ impl RingView<'_> {
         mut key_of: impl FnMut(NodeId) -> Key,
     ) -> Option<(NodeId, f64)> {
         greedy_step(
+            metric,
+            target,
+            cur_d,
+            self.contacts()
+                .filter(|&v| !skip(v))
+                .map(|v| (v, key_of(v))),
+        )
+    }
+
+    /// [`greedy_candidates`] over this view: the full failover ladder a
+    /// node hands back to an iterative requester, closest-first. The
+    /// head agrees with [`RingView::step`] for the same arguments.
+    pub fn candidates(
+        &self,
+        metric: sw_keyspace::Topology,
+        target: Key,
+        cur_d: f64,
+        mut skip: impl FnMut(NodeId) -> bool,
+        mut key_of: impl FnMut(NodeId) -> Key,
+    ) -> Vec<(NodeId, f64)> {
+        greedy_candidates(
             metric,
             target,
             cur_d,
@@ -574,6 +623,62 @@ mod tests {
             let batched = route_batch(&o, &workload, &opts, threads);
             assert_eq!(batched, looped, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn candidates_head_agrees_with_greedy_step_and_is_sorted() {
+        let mut rng = Rng::new(23);
+        for _ in 0..200 {
+            let n = 3 + rng.index(40);
+            let cands: Vec<(NodeId, Key)> = (0..n)
+                .map(|i| (i as NodeId, Key::clamped(rng.f64())))
+                .collect();
+            let target = Key::clamped(rng.f64());
+            let cur_d = rng.f64();
+            let step = greedy_step(Topology::Ring, target, cur_d, cands.iter().copied());
+            let ranked = greedy_candidates(Topology::Ring, target, cur_d, cands.iter().copied());
+            assert_eq!(
+                step,
+                ranked.first().copied(),
+                "ranked head must be the greedy choice"
+            );
+            for w in ranked.windows(2) {
+                assert!(w[0].1 <= w[1].1, "candidates must be sorted closest-first");
+            }
+            for &(_, d) in &ranked {
+                assert!(d < cur_d, "every candidate must strictly improve");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_dedupe_repeated_contacts() {
+        let k = Key::new(0.25).unwrap();
+        let target = Key::new(0.3).unwrap();
+        // Node 1 appears twice (successor *and* long link); keep it once.
+        let ranked = greedy_candidates(Topology::Ring, target, 0.5, [(1, k), (1, k), (2, k)]);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, 1);
+        assert_eq!(ranked[1].0, 2);
+    }
+
+    #[test]
+    fn ring_view_candidates_match_step_head() {
+        let keys: Vec<Key> = (0..8).map(|i| Key::clamped(i as f64 / 8.0)).collect();
+        let succ = [1, 2];
+        let long = [5, 6];
+        let view = RingView {
+            pred: Some(7),
+            succ: &succ,
+            long: &long,
+        };
+        let target = keys[6];
+        let cur_d = Topology::Ring.distance(keys[0], target);
+        let key_of = |v: NodeId| keys[v as usize];
+        let step = view.step(Topology::Ring, target, cur_d, |v| v == 0, key_of);
+        let ranked = view.candidates(Topology::Ring, target, cur_d, |v| v == 0, key_of);
+        assert_eq!(step, ranked.first().copied());
+        assert_eq!(ranked[0].0, 6, "the long link straight to the target wins");
     }
 
     #[test]

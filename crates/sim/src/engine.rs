@@ -10,7 +10,7 @@
 use crate::latency::LatencyModel;
 use crate::metrics::SimMetrics;
 use crate::plane::MessagePlane;
-use crate::protocol::{LookupRecord, Msg, Purpose, QueryId, StorageOp, Walk, WalkEnd};
+use crate::protocol::{LookupRecord, Msg, Purpose, QueryId, RoutingMode, StorageOp, Walk, WalkEnd};
 use crate::time::SimTime;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -101,6 +101,11 @@ pub struct StorageConfig {
     /// delay per payload byte, added on top of the per-message latency
     /// sample (default `1e-8` ≈ 100 MB/s).
     pub repair_byte_secs: f64,
+    /// Per-operation routing-mode override for storage walks (puts,
+    /// gets, ranges). `None` inherits `SimConfig::routing_mode` — set
+    /// it to route data operations iteratively (failover, no stranding)
+    /// while cheap lookups stay recursive, or vice versa.
+    pub routing_mode: Option<RoutingMode>,
 }
 
 impl StorageConfig {
@@ -114,6 +119,7 @@ impl StorageConfig {
         range_width: 0.02,
         repair_interval: None,
         repair_byte_secs: 1e-8,
+        routing_mode: None,
     };
 
     /// True if any storage traffic or preload is configured.
@@ -153,9 +159,18 @@ pub struct SimConfig {
     pub workload: WorkloadConfig,
     /// Storage workload (disabled by default).
     pub storage: StorageConfig,
+    /// How walks forward on the plane: recursive hand-off (default),
+    /// requester-driven iterative with failover, or semi-recursive with
+    /// stranded-walk recovery. Storage ops can override per operation
+    /// via [`StorageConfig::routing_mode`].
+    pub routing_mode: RoutingMode,
     /// Keep a per-lookup [`LookupRecord`] (off by default — unbounded
     /// memory over long runs).
     pub record_lookups: bool,
+    /// Record each lookup's confirmed hop sequence into its
+    /// [`LookupRecord`] (off by default; only meaningful with
+    /// `record_lookups`).
+    pub record_paths: bool,
     /// Worker threads for the parallel paths (probe batches, bulk
     /// loads); `0` = auto. Results are bit-identical for every value.
     pub parallelism: usize,
@@ -175,7 +190,9 @@ impl Default for SimConfig {
             churn: ChurnConfig::NONE,
             workload: WorkloadConfig { lookup_rate: 1.0 },
             storage: StorageConfig::NONE,
+            routing_mode: RoutingMode::Recursive,
             record_lookups: false,
+            record_paths: false,
             parallelism: 0,
         }
     }
@@ -585,8 +602,17 @@ impl Simulator {
             Msg::StabilizeStart(id) => self.do_stabilize_start(id),
             Msg::StabilizeApply(id) => self.do_stabilize_apply(id),
             Msg::RefreshStart(id) => self.do_refresh_start(id),
-            Msg::Step { qid } => self.step_walk(qid),
+            Msg::Step { qid } => self.drive_walk(qid),
             Msg::Hop { qid, to, sent_at } => self.deliver_hop(qid, to, sent_at),
+            Msg::NextHopQuery { qid, to, sent_at } => self.deliver_next_hop_query(qid, to, sent_at),
+            Msg::NextHopReply {
+                qid,
+                from,
+                sent_at,
+                at_target,
+                candidates,
+            } => self.deliver_next_hop_reply(qid, from, sent_at, at_target, candidates),
+            Msg::WalkReport { qid, at } => self.deliver_walk_report(qid, at),
             Msg::ReplicaPut { op, to, sent_at } => self.deliver_replica_put(op, to, sent_at),
             Msg::ReplicaProbe { op, to, sent_at } => self.deliver_replica_probe(op, to, sent_at),
             Msg::RangeFragment { op, to, sent_at } => self.deliver_range_fragment(op, to, sent_at),
@@ -618,6 +644,20 @@ impl Simulator {
 
     // ----- walk state machine ---------------------------------------
 
+    /// Routing mode for a walk of the given purpose: storage ops honour
+    /// their per-operation override, everything else uses the sim-wide
+    /// mode.
+    fn mode_for(&self, purpose: &Purpose) -> RoutingMode {
+        match purpose {
+            Purpose::Put { .. } | Purpose::Get { .. } | Purpose::Range { .. } => self
+                .cfg
+                .storage
+                .routing_mode
+                .unwrap_or(self.cfg.routing_mode),
+            _ => self.cfg.routing_mode,
+        }
+    }
+
     /// Spawns a walk and executes its first step at the origin.
     fn spawn_walk(&mut self, purpose: Purpose, target: Key, from: u32) -> QueryId {
         let qid = self.next_qid;
@@ -628,36 +668,105 @@ impl Simulator {
             self.inflight_lookups += 1;
             self.metrics.inflight_peak = self.metrics.inflight_peak.max(self.inflight_lookups);
         }
+        let mode = self.mode_for(&purpose);
+        let path = if self.cfg.record_paths {
+            vec![from]
+        } else {
+            Vec::new()
+        };
         self.walks.insert(
             qid,
             Walk {
                 id: qid,
                 purpose,
                 target,
+                mode,
+                requester: from,
                 cur: from,
                 hops: 0,
+                msgs: 0,
                 timeouts: 0,
+                failovers: 0,
+                recovered: 0,
                 latency: SimTime::ZERO,
                 issued_at: self.plane.now(),
                 excluded: Vec::new(),
+                alternates: Vec::new(),
+                seen: Vec::new(),
+                query_sent: SimTime::ZERO,
+                rtt_seen: SimTime::ZERO,
+                last_known: from,
+                path,
                 max_hops,
                 rng,
             },
         );
-        self.step_walk(qid);
+        match mode {
+            RoutingMode::Recursive | RoutingMode::SemiRecursive => self.step_recursive(qid),
+            // The origin reads its own routing table for free.
+            RoutingMode::Iterative => self.iterative_local_step(qid),
+        }
         qid
     }
 
+    /// The unified step executor behind `Msg::Step` — the retry path of
+    /// every mode. A recursive walk re-steps at its current node after a
+    /// timeout; an iterative walk fails over down its candidate ladder;
+    /// a semi-recursive walk that was recovered mid-flight is already
+    /// `Iterative` here and continues requester-driven.
+    fn drive_walk(&mut self, qid: QueryId) {
+        let Some(walk) = self.walks.get(&qid) else {
+            return;
+        };
+        match walk.mode {
+            RoutingMode::Recursive | RoutingMode::SemiRecursive => self.step_recursive(qid),
+            RoutingMode::Iterative => self.iterative_failover(qid),
+        }
+    }
+
+    /// Ranked next-hop candidates at `at` toward `target`, from `at`'s
+    /// local view, with the walk's exclusions applied — the failover
+    /// ladder an iterative frontier hands back (shared
+    /// `sw_overlay::greedy_candidates` via [`sw_overlay::RingView`]).
+    fn ranked_candidates(&self, at: u32, target: Key, excluded: &[u32]) -> Vec<u32> {
+        let node = &self.nodes[at as usize];
+        let cur_d = Metric::Ring.distance(node.key, target);
+        let view = sw_overlay::RingView {
+            pred: node.pred,
+            succ: &node.succ,
+            long: &node.long,
+        };
+        let nodes = &self.nodes;
+        view.candidates(
+            Metric::Ring,
+            target,
+            cur_d,
+            |v| v == at || excluded.contains(&v),
+            |v| nodes[v as usize].key,
+        )
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect()
+    }
+
     /// One greedy step at the walk's current node (shared
-    /// `sw_overlay::greedy_step` via [`sw_overlay::RingView`]).
-    fn step_walk(&mut self, qid: QueryId) {
+    /// `sw_overlay::greedy_step` via [`sw_overlay::RingView`]) —
+    /// recursive and semi-recursive modes.
+    fn step_recursive(&mut self, qid: QueryId) {
         let Some(walk) = self.walks.get(&qid) else {
             return;
         };
         let cur = walk.cur;
         if !self.nodes[cur as usize].alive {
-            // The node holding the query failed: the walk is stranded.
-            self.finish_walk(qid, WalkEnd::Stranded);
+            // The node holding the query failed. A semi-recursive walk
+            // whose requester survives is *recovered* — the requester's
+            // watchdog resumes it iteratively; otherwise it is stranded.
+            if walk.mode == RoutingMode::SemiRecursive && self.nodes[walk.requester as usize].alive
+            {
+                self.recover_walk(qid);
+            } else {
+                self.finish_walk(qid, WalkEnd::Stranded);
+            }
             return;
         }
         let cur_key = self.nodes[cur as usize].key;
@@ -691,6 +800,7 @@ impl Simulator {
                 let now = self.plane.now();
                 let latency = self.cfg.latency;
                 let walk = self.walks.get_mut(&qid).expect("walk present");
+                walk.msgs += 1;
                 let dt = latency.sample(&mut walk.rng);
                 self.plane.send(
                     dt,
@@ -704,20 +814,37 @@ impl Simulator {
         }
     }
 
-    /// A forwarded query arrives at `to` — or its sender times out, if
-    /// `to` died while the message was in flight.
+    /// A recursively forwarded query arrives at `to` — or its sender
+    /// times out, if `to` died while the message was in flight.
     fn deliver_hop(&mut self, qid: QueryId, to: u32, sent_at: SimTime) {
         let now = self.plane.now();
         let alive = self.nodes[to as usize].alive;
         let penalty = self.cfg.timeout_penalty;
+        let latency = self.cfg.latency;
         let Some(walk) = self.walks.get_mut(&qid) else {
             return;
         };
         if alive {
+            let prev = walk.cur;
             walk.latency += now - sent_at;
             walk.hops += 1;
             walk.cur = to;
-            self.step_walk(qid);
+            if !walk.path.is_empty() {
+                walk.path.push(to);
+            }
+            // Semi-recursive relays post a progress report back to the
+            // requester — fire-and-forget, off the walk's critical path,
+            // but it is what makes stranded-walk recovery possible. The
+            // report names the node the query just *passed through*, not
+            // the relay itself: the relay is exactly the node that will
+            // be dead if the watchdog ever fires, so reporting it would
+            // make every recovery fall all the way back to the requester.
+            if walk.mode == RoutingMode::SemiRecursive {
+                walk.msgs += 1;
+                let dt = latency.sample(&mut walk.rng);
+                self.plane.send(dt, Msg::WalkReport { qid, at: prev });
+            }
+            self.drive_walk(qid);
         } else {
             // The sender's timeout clock started at send time; it may
             // already have expired if the sampled flight time exceeded
@@ -727,6 +854,290 @@ impl Simulator {
             walk.excluded.push(to);
             self.plane.send_at(sent_at + penalty, Msg::Step { qid });
         }
+    }
+
+    /// A progress report lands at the requester: remember how far the
+    /// query got (the resume point if its carrier dies).
+    fn deliver_walk_report(&mut self, qid: QueryId, at: u32) {
+        let Some(walk) = self.walks.get_mut(&qid) else {
+            return;
+        };
+        if self.nodes[walk.requester as usize].alive {
+            walk.last_known = at;
+        }
+    }
+
+    /// Stranded-walk recovery (semi-recursive): the carrier died holding
+    /// the query, but the requester survives. Its watchdog fires (one
+    /// timeout penalty), the dead carrier is excluded, and the walk
+    /// resumes *iteratively* from the last reported node — requester-
+    /// driven from here on, so only the requester's death can end it
+    /// abnormally now.
+    fn recover_walk(&mut self, qid: QueryId) {
+        let penalty = self.cfg.timeout_penalty;
+        let alive_last = {
+            let walk = self.walks.get(&qid).expect("recovering a live walk");
+            self.nodes[walk.last_known as usize].alive
+        };
+        let walk = self.walks.get_mut(&qid).expect("recovering a live walk");
+        let dead = walk.cur;
+        walk.recovered += 1;
+        walk.timeouts += 1;
+        walk.latency += penalty;
+        if !walk.excluded.contains(&dead) {
+            walk.excluded.push(dead);
+        }
+        walk.mode = RoutingMode::Iterative;
+        walk.alternates.clear();
+        let resume = if alive_last {
+            walk.last_known
+        } else {
+            walk.requester
+        };
+        walk.cur = resume;
+        if !walk.seen.contains(&resume) {
+            walk.seen.push(resume);
+        }
+        if resume == walk.requester {
+            // Resume at the requester itself: its table is local, so the
+            // next step costs no confirmation round.
+            self.iterative_local_step(qid);
+        } else {
+            // Re-confirm the frontier: query the last reported node for
+            // its candidates (counted as a hop when it answers).
+            self.send_next_hop_query(qid, resume);
+        }
+    }
+
+    // ----- iterative mode --------------------------------------------
+
+    /// A requester-local step: the walk's frontier *is* the requester
+    /// (spawn, or a recovery that fell all the way back), whose routing
+    /// table is read for free — it seeds the candidate pool.
+    fn iterative_local_step(&mut self, qid: QueryId) {
+        let Some(walk) = self.walks.get(&qid) else {
+            return;
+        };
+        debug_assert_eq!(walk.cur, walk.requester, "local step away from requester");
+        if !self.nodes[walk.requester as usize].alive {
+            // Only the requester's death strands an iterative walk.
+            self.finish_walk(qid, WalkEnd::Stranded);
+            return;
+        }
+        let cur_d = Metric::Ring.distance(self.nodes[walk.cur as usize].key, walk.target);
+        if cur_d == 0.0 {
+            self.finish_walk(qid, WalkEnd::Arrived);
+            return;
+        }
+        if walk.hops >= walk.max_hops {
+            self.finish_walk(qid, WalkEnd::HopLimit);
+            return;
+        }
+        let cands = self.ranked_candidates(walk.cur, walk.target, &walk.excluded);
+        if cands.is_empty() {
+            self.finish_walk(qid, WalkEnd::LocalMinimum);
+            return;
+        }
+        let requester = walk.requester;
+        let walk = self.walks.get_mut(&qid).expect("walk present");
+        walk.alternates = cands;
+        if !walk.seen.contains(&requester) {
+            walk.seen.push(requester);
+        }
+        self.advance_from_pool(qid, false);
+    }
+
+    /// Failover: a queried frontier timed out; the requester takes the
+    /// globally next-best unqueried candidate from its pool — which may
+    /// be a 2nd-best rung of an *earlier* frontier, a retreat a
+    /// recursive hand-off cannot make. A dry pool means every candidate
+    /// this walk ever learned was tried and excluded:
+    /// failed-over-exhausted.
+    fn iterative_failover(&mut self, qid: QueryId) {
+        let Some(walk) = self.walks.get_mut(&qid) else {
+            return;
+        };
+        if !self.nodes[walk.requester as usize].alive {
+            self.finish_walk(qid, WalkEnd::Stranded);
+            return;
+        }
+        self.advance_from_pool(qid, true);
+    }
+
+    /// Advances the walk to the globally best unqueried candidate in
+    /// its pool. On the healthy path this is the newest frontier's best
+    /// candidate — the greedy choice, so static-network hop sequences
+    /// match recursive exactly. After timeouts it may retreat to a
+    /// 2nd-best rung of an *earlier* frontier and route around the dead
+    /// region — persistence a recursive hand-off cannot offer, because
+    /// the hand-off left those candidates behind. (Termination stays at
+    /// greedy minima: the walk only ever *ends* at a frontier whose own
+    /// view offers nothing closer, so storage ops still complete in the
+    /// owner region.) A dry pool means every candidate the walk ever
+    /// learned was tried and excluded (`Exhausted`).
+    fn advance_from_pool(&mut self, qid: QueryId, failover: bool) {
+        let Some(walk) = self.walks.get_mut(&qid) else {
+            return;
+        };
+        match walk.next_alternate() {
+            None => self.finish_walk(qid, WalkEnd::Exhausted),
+            Some(next) => {
+                if failover {
+                    walk.failovers += 1;
+                }
+                walk.seen.push(next);
+                self.send_next_hop_query(qid, next);
+            }
+        }
+    }
+
+    /// Merges a frontier's fresh candidates into the walk's pool,
+    /// keeping it sorted closest-to-target-first (stable: existing
+    /// entries win distance ties). Already-queried, excluded and
+    /// duplicate nodes never enter.
+    fn merge_pool(&mut self, qid: QueryId, fresh: &[u32]) {
+        let target = {
+            let walk = self.walks.get(&qid).expect("walk present");
+            walk.target
+        };
+        let nodes = &self.nodes;
+        let d_of = |v: u32| Metric::Ring.distance(nodes[v as usize].key, target);
+        let walk = self.walks.get_mut(&qid).expect("walk present");
+        let mut pool: Vec<(u32, f64)> = walk.alternates.iter().map(|&v| (v, d_of(v))).collect();
+        for &v in fresh {
+            if walk.seen.contains(&v)
+                || walk.excluded.contains(&v)
+                || pool.iter().any(|&(u, _)| u == v)
+            {
+                continue;
+            }
+            pool.push((v, d_of(v)));
+        }
+        pool.sort_by(|a, b| a.1.total_cmp(&b.1));
+        walk.alternates = pool.into_iter().map(|(v, _)| v).collect();
+    }
+
+    /// Sends the iterative first leg: requester → frontier candidate
+    /// query. Exactly one exchange is in flight per walk.
+    fn send_next_hop_query(&mut self, qid: QueryId, to: u32) {
+        let now = self.plane.now();
+        let latency = self.cfg.latency;
+        let walk = self.walks.get_mut(&qid).expect("walk present");
+        debug_assert!(
+            !walk.excluded.contains(&to),
+            "failover must never route through an excluded contact"
+        );
+        walk.query_sent = now;
+        walk.msgs += 1;
+        let dt = latency.sample(&mut walk.rng);
+        self.plane.send(
+            dt,
+            Msg::NextHopQuery {
+                qid,
+                to,
+                sent_at: now,
+            },
+        );
+    }
+
+    /// The candidate query arrives at frontier `to` — or the requester
+    /// times out, if `to` died while the query was in flight, and fails
+    /// over.
+    fn deliver_next_hop_query(&mut self, qid: QueryId, to: u32, sent_at: SimTime) {
+        let now = self.plane.now();
+        let alive = self.nodes[to as usize].alive;
+        let latency = self.cfg.latency;
+        let Some(walk) = self.walks.get_mut(&qid) else {
+            return;
+        };
+        if !alive {
+            // The requester times out adaptively: it has measured every
+            // hop RTT on this walk, so it stops waiting well before the
+            // conservative penalty a blind recursive relay must sit out.
+            let penalty = walk.adaptive_timeout(self.cfg.timeout_penalty);
+            walk.timeouts += 1;
+            walk.latency += penalty;
+            if !walk.excluded.contains(&to) {
+                walk.excluded.push(to);
+            }
+            self.plane.send_at(sent_at + penalty, Msg::Step { qid });
+            return;
+        }
+        // The frontier answers from its local view at delivery time.
+        // (The query carried the walk's exclusion list, so the ladder it
+        // ranks never contains a contact the requester timed out on.)
+        walk.latency += now - sent_at;
+        let target = walk.target;
+        let excluded = std::mem::take(&mut walk.excluded);
+        let at_target = Metric::Ring.distance(self.nodes[to as usize].key, target) == 0.0;
+        let candidates = self.ranked_candidates(to, target, &excluded);
+        let walk = self.walks.get_mut(&qid).expect("walk present");
+        walk.excluded = excluded;
+        walk.msgs += 1;
+        let dt = latency.sample(&mut walk.rng);
+        self.plane.send(
+            dt,
+            Msg::NextHopReply {
+                qid,
+                from: to,
+                sent_at: now,
+                at_target,
+                candidates,
+            },
+        );
+    }
+
+    /// The frontier's answer lands back at the requester: confirm the
+    /// hop (RTT accounted), then finish or query the next frontier.
+    fn deliver_next_hop_reply(
+        &mut self,
+        qid: QueryId,
+        from: u32,
+        sent_at: SimTime,
+        at_target: bool,
+        candidates: Vec<u32>,
+    ) {
+        let now = self.plane.now();
+        let Some(walk) = self.walks.get_mut(&qid) else {
+            return;
+        };
+        if !self.nodes[walk.requester as usize].alive {
+            self.finish_walk(qid, WalkEnd::Stranded);
+            return;
+        }
+        walk.latency += now - sent_at;
+        // A reply from the node that is already the confirmed frontier
+        // (a dry-ladder re-ask, or a recovery re-confirmation) refreshes
+        // the ladder without advancing the walk — not a new hop.
+        if from != walk.cur {
+            walk.hops += 1;
+            walk.cur = from;
+            if !walk.path.is_empty() {
+                walk.path.push(from);
+            }
+        }
+        let rtt = now - walk.query_sent;
+        walk.rtt_seen = walk.rtt_seen.max(rtt);
+        self.metrics.hop_rtt.push(rtt.as_secs_f64());
+        let walk = self.walks.get_mut(&qid).expect("walk present");
+        if at_target {
+            self.finish_walk(qid, WalkEnd::Arrived);
+            return;
+        }
+        if walk.hops >= walk.max_hops {
+            self.finish_walk(qid, WalkEnd::HopLimit);
+            return;
+        }
+        if candidates.is_empty() {
+            // The frontier's live view offers nothing closer: the walk
+            // terminates *here* — a greedy terminus, exactly where a
+            // recursive walk would stop (the pool's farther leftovers
+            // must not drag a completed route past the owner region).
+            self.finish_walk(qid, WalkEnd::LocalMinimum);
+            return;
+        }
+        self.merge_pool(qid, &candidates);
+        self.advance_from_pool(qid, false);
     }
 
     /// Terminal transition: remove the walk and dispatch on purpose.
@@ -746,9 +1157,30 @@ impl Simulator {
             Purpose::Lookup { target_id } => {
                 self.inflight_lookups -= 1;
                 self.metrics.lookups += 1;
+                // A result nobody can receive is no result: if the
+                // requester died while the walk was in flight, the
+                // lookup is terminally stranded in *every* mode — this
+                // is what keeps the recursive/iterative comparison
+                // apples-to-apples (iterative checks the requester at
+                // each reply; recursive modes settle up here, when the
+                // response would have been sent back).
+                let end = if end != WalkEnd::Stranded && !self.nodes[walk.requester as usize].alive
+                {
+                    WalkEnd::Stranded
+                } else {
+                    end
+                };
                 let success = end != WalkEnd::Stranded && walk.cur == target_id;
-                if end == WalkEnd::Stranded {
-                    self.metrics.lookups_stranded += 1;
+                match end {
+                    WalkEnd::Stranded => self.metrics.lookups_stranded += 1,
+                    WalkEnd::Exhausted => self.metrics.lookups_exhausted += 1,
+                    _ => {}
+                }
+                if walk.failovers > 0 {
+                    self.metrics.lookups_failed_over += 1;
+                }
+                if walk.recovered > 0 {
+                    self.metrics.lookups_recovered += 1;
                 }
                 if success {
                     self.metrics.lookups_ok += 1;
@@ -761,14 +1193,17 @@ impl Simulator {
                         completed_at: now,
                         hops: walk.hops,
                         timeouts: walk.timeouts,
+                        failovers: walk.failovers,
                         latency: walk.latency,
                         success,
-                        stranded: end == WalkEnd::Stranded,
+                        end,
+                        recovered: walk.recovered > 0,
+                        path: std::mem::take(&mut walk.path),
                     });
                 }
             }
             Purpose::JoinFind { key } => {
-                self.metrics.join_messages += (walk.hops + walk.timeouts) as u64;
+                self.metrics.join_messages += walk.msgs as u64;
                 if end == WalkEnd::Stranded || self.alive.contains_key(&key) {
                     self.metrics.joins_aborted += 1;
                 } else {
@@ -782,7 +1217,7 @@ impl Simulator {
                 tries_left,
                 refresh,
             } => {
-                let msgs = (walk.hops + walk.timeouts) as u64;
+                let msgs = walk.msgs as u64;
                 if refresh {
                     self.metrics.refresh_messages += msgs;
                 } else {
@@ -1193,8 +1628,11 @@ impl Simulator {
         value: Vec<u8>,
         mut walk: Walk,
     ) {
-        self.metrics.storage_messages += (walk.hops + walk.timeouts) as u64;
-        if end == WalkEnd::Stranded || end == WalkEnd::HopLimit {
+        self.metrics.storage_messages += walk.msgs as u64;
+        if matches!(
+            end,
+            WalkEnd::Stranded | WalkEnd::HopLimit | WalkEnd::Exhausted
+        ) {
             self.metrics.puts += 1;
             return;
         }
@@ -1293,8 +1731,11 @@ impl Simulator {
     /// Get routing phase done: read the routed owner's primary shard,
     /// falling back to replica probes along its successor view.
     fn finish_get_route(&mut self, qid: QueryId, end: WalkEnd, key: Key, mut walk: Walk) {
-        self.metrics.storage_messages += (walk.hops + walk.timeouts) as u64;
-        if end == WalkEnd::Stranded || end == WalkEnd::HopLimit {
+        self.metrics.storage_messages += walk.msgs as u64;
+        if matches!(
+            end,
+            WalkEnd::Stranded | WalkEnd::HopLimit | WalkEnd::Exhausted
+        ) {
             self.metrics.gets += 1;
             return;
         }
@@ -1338,6 +1779,7 @@ impl Simulator {
             qid,
             StorageOp::GetFallback {
                 key,
+                owner: at,
                 chain,
                 latency: walk.latency,
                 rng: walk.rng,
@@ -1352,6 +1794,7 @@ impl Simulator {
         let latency_model = self.cfg.latency;
         let Some(StorageOp::GetFallback {
             key,
+            owner,
             chain,
             latency,
             rng,
@@ -1361,6 +1804,7 @@ impl Simulator {
             return;
         };
         let key = *key;
+        let owner = *owner;
         // A probed peer serves *any* copy it holds — replica copies from
         // fan-outs, or primary rows inherited through a failure merge.
         let hit = alive && (self.replica.contains(to, key) || self.primary.contains(to, key));
@@ -1373,6 +1817,28 @@ impl Simulator {
             self.metrics.gets += 1;
             self.metrics.gets_ok += 1;
             self.metrics.get_latency_secs.push(total.as_secs_f64());
+            // Read repair: the routed owner missed a key this replica
+            // just served — stream that one item to it immediately (an
+            // owner-direction repair transfer, byte-accounted like any
+            // anti-entropy rung) instead of waiting for the next round.
+            if owner != to && self.nodes[owner as usize].alive {
+                let item = self
+                    .replica
+                    .get(to, key)
+                    .or_else(|| self.primary.get(to, key))
+                    .cloned();
+                if let Some(v) = item {
+                    self.metrics.gets_read_repaired += 1;
+                    let bytes = REPAIR_HEADER_BYTES + item_bytes(&v);
+                    self.send_repair(
+                        bytes,
+                        Msg::RepairPull {
+                            owner,
+                            items: vec![(key, v)],
+                        },
+                    );
+                }
+            }
             return;
         }
         // Miss (alive but no copy) or timeout (dead): try the next
@@ -1407,8 +1873,11 @@ impl Simulator {
     /// Range routing phase done: begin the clockwise owner sweep at the
     /// routed node.
     fn finish_range_route(&mut self, qid: QueryId, end: WalkEnd, lo: Key, hi: Key, walk: Walk) {
-        self.metrics.storage_messages += (walk.hops + walk.timeouts) as u64;
-        if end == WalkEnd::Stranded || end == WalkEnd::HopLimit {
+        self.metrics.storage_messages += walk.msgs as u64;
+        if matches!(
+            end,
+            WalkEnd::Stranded | WalkEnd::HopLimit | WalkEnd::Exhausted
+        ) {
             self.metrics.ranges += 1;
             return;
         }
@@ -2389,7 +2858,10 @@ mod tests {
             "expected at least one stranded lookup, got {}",
             m.lookups_stranded
         );
-        let stranded = recs.iter().find(|r| r.stranded).expect("stranded record");
+        let stranded = recs
+            .iter()
+            .find(|r| r.end == WalkEnd::Stranded)
+            .expect("stranded record");
         assert!(!stranded.success);
     }
 
@@ -2482,6 +2954,7 @@ mod tests {
                 range_width: 0.02,
                 repair_interval: Some(SimTime::from_secs(5)),
                 repair_byte_secs: 1e-6,
+                routing_mode: None,
             },
             stabilize_interval: Some(SimTime::from_secs(5)),
             refresh_interval: Some(SimTime::from_secs(30)),
@@ -2570,6 +3043,7 @@ mod tests {
                 replication: 3,
                 repair_interval: repair,
                 repair_byte_secs: 1e-6,
+                routing_mode: None,
                 ..StorageConfig::NONE
             },
             stabilize_interval: Some(SimTime::from_secs(3)),
@@ -2643,6 +3117,7 @@ mod tests {
                 // Rounds far apart: failure bursts outrun repair.
                 repair_interval: Some(SimTime::from_secs(60)),
                 repair_byte_secs: 1e-6,
+                routing_mode: None,
                 ..StorageConfig::NONE
             },
             stabilize_interval: Some(SimTime::from_secs(5)),
@@ -2751,6 +3226,312 @@ mod tests {
                 digest(threads),
                 "thread count {threads} changed the run"
             );
+        }
+    }
+
+    // ----- routing modes ---------------------------------------------
+
+    /// On a static network the three modes are the *same algorithm* on
+    /// the wire: iterative visits the bit-identical hop sequence as
+    /// recursive for the same seed, and (with a constant latency model)
+    /// pays exactly one extra one-way delay per hop — the reply leg
+    /// that upgrades each hand-off to a full RTT.
+    #[test]
+    fn iterative_matches_recursive_hops_and_pays_one_rtt_per_hop() {
+        let hop = SimTime::from_millis(50);
+        let run = |mode: RoutingMode| {
+            let cfg = SimConfig {
+                latency: LatencyModel::Constant(hop),
+                routing_mode: mode,
+                record_lookups: true,
+                record_paths: true,
+                // No maintenance: refresh chains would interleave their
+                // link draws differently across modes (probe walks
+                // finish at different times) and rewire the overlay.
+                stabilize_interval: None,
+                refresh_interval: None,
+                ..quiet_config(19, 256)
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(60));
+            let mut recs = sim.lookup_records().to_vec();
+            // Completion order differs across modes (iterative walks fly
+            // longer); issue order is mode-independent.
+            recs.sort_by_key(|r| r.issued_at);
+            recs
+        };
+        let rec = run(RoutingMode::Recursive);
+        let iter = run(RoutingMode::Iterative);
+        let n = rec.len().min(iter.len());
+        assert!(n > 500, "want a real sample, got {n}");
+        for (a, b) in rec[..n].iter().zip(&iter[..n]) {
+            assert_eq!(a.issued_at, b.issued_at, "same workload draws");
+            assert_eq!(a.path, b.path, "hop sequences must be bit-identical");
+            assert_eq!(a.hops, b.hops);
+            assert!(a.success && b.success, "static network never fails");
+            assert_eq!(a.end, WalkEnd::Arrived);
+            assert_eq!(b.end, WalkEnd::Arrived);
+            assert_eq!(a.latency, SimTime(hop.0 * a.hops as u64));
+            assert_eq!(
+                b.latency,
+                SimTime(a.latency.0 + hop.0 * a.hops as u64),
+                "iterative = recursive + one one-way per hop (a full RTT per hop)"
+            );
+        }
+        // Semi-recursive rides the same critical path as recursive.
+        let semi = run(RoutingMode::SemiRecursive);
+        for (a, c) in rec[..n.min(semi.len())].iter().zip(&semi) {
+            assert_eq!(a.path, c.path);
+            assert_eq!(a.latency, c.latency, "reports are off the critical path");
+        }
+    }
+
+    /// The tentpole claim under churn: for the same seed and churn
+    /// level, iterative lookups strand+fail strictly less than
+    /// recursive ones — the requester survives carrier deaths and fails
+    /// over past dead frontiers — and the failover/RTT machinery
+    /// actually fires.
+    #[test]
+    fn iterative_strands_and_fails_strictly_less_than_recursive_under_churn() {
+        let run = |mode: RoutingMode| {
+            let cfg = SimConfig {
+                // No ring stabilization: successor views go stale, so
+                // the forwarding strategy itself must absorb the churn.
+                stabilize_interval: None,
+                refresh_interval: Some(SimTime::from_secs(30)),
+                churn: ChurnConfig::symmetric(8.0),
+                workload: WorkloadConfig { lookup_rate: 30.0 },
+                routing_mode: mode,
+                ..quiet_config(9, 512)
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(120));
+            sim.metrics().clone()
+        };
+        let rec = run(RoutingMode::Recursive);
+        let iter = run(RoutingMode::Iterative);
+        assert!(rec.lookups_stranded > 0, "recursive must strand here");
+        assert_eq!(rec.lookups_failed_over, 0, "no ladder in recursive mode");
+        assert!(
+            iter.lookups_failed_over > 0,
+            "iterative must fail over past dead frontiers"
+        );
+        assert!(iter.hop_rtt.count() > 0, "hop RTTs must be accounted");
+        assert!(
+            iter.stranded_or_failed_rate() < rec.stranded_or_failed_rate(),
+            "iterative must strand+fail strictly less: {} vs {}",
+            iter.stranded_or_failed_rate(),
+            rec.stranded_or_failed_rate()
+        );
+        // The latency price of driving every hop from the requester.
+        assert!(
+            iter.latency_secs.mean() > rec.latency_secs.mean(),
+            "per-hop RTTs must cost latency: {} vs {}",
+            iter.latency_secs.mean(),
+            rec.latency_secs.mean()
+        );
+    }
+
+    /// Semi-recursive recovery: walks whose carrier dies are resumed by
+    /// the requester instead of lost — strandings turn into recoveries.
+    #[test]
+    fn semi_recursive_recovers_stranded_walks() {
+        let run = |mode: RoutingMode| {
+            let cfg = SimConfig {
+                stabilize_interval: None,
+                refresh_interval: Some(SimTime::from_secs(30)),
+                churn: ChurnConfig::symmetric(8.0),
+                workload: WorkloadConfig { lookup_rate: 30.0 },
+                routing_mode: mode,
+                record_lookups: true,
+                ..quiet_config(9, 512)
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(120));
+            (sim.metrics().clone(), sim.lookup_records().to_vec())
+        };
+        let (rec, _) = run(RoutingMode::Recursive);
+        let (semi, recs) = run(RoutingMode::SemiRecursive);
+        assert!(
+            semi.lookups_recovered > 0,
+            "carrier deaths must be recovered"
+        );
+        assert!(
+            semi.lookups_stranded < rec.lookups_stranded,
+            "recovery must reduce stranding: {} vs {}",
+            semi.lookups_stranded,
+            rec.lookups_stranded
+        );
+        // The stranded-vs-recovered taxonomy: recovery is visible per
+        // record, and some recovered walks go on to reach the target.
+        // (A recovered walk can still end `Stranded` — only by its
+        // *requester* dying afterwards, never by the carrier again.)
+        let recovered: Vec<_> = recs.iter().filter(|r| r.recovered).collect();
+        assert!(!recovered.is_empty());
+        assert!(
+            recovered.iter().any(|r| r.success),
+            "some recovered walks must still reach the target"
+        );
+        assert!(
+            recovered
+                .iter()
+                .filter(|r| r.end == WalkEnd::Stranded)
+                .count()
+                < recovered.len().div_ceil(2),
+            "recovery must usually save the walk, not merely delay stranding"
+        );
+    }
+
+    /// The per-operation mode override, and honest message accounting:
+    /// storage walks routed iteratively (while lookups stay recursive)
+    /// pay two plane messages per hop, and `storage_messages` must show
+    /// it.
+    #[test]
+    fn storage_mode_override_counts_two_messages_per_hop() {
+        let run = |storage_mode: Option<RoutingMode>| {
+            let cfg = SimConfig {
+                workload: WorkloadConfig { lookup_rate: 5.0 },
+                storage: StorageConfig {
+                    put_rate: 10.0,
+                    get_rate: 10.0,
+                    replication: 2,
+                    preload: 100,
+                    routing_mode: storage_mode,
+                    ..StorageConfig::NONE
+                },
+                stabilize_interval: None,
+                refresh_interval: None,
+                ..quiet_config(24, 256)
+            };
+            let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+            sim.run_until(SimTime::from_secs(60));
+            sim.metrics().clone()
+        };
+        let rec = run(None);
+        let iter = run(Some(RoutingMode::Iterative));
+        // Same workload draws, same hop sequences (static network): the
+        // only difference is the query+reply pair per hop. Iterative
+        // walks fly longer, so slightly fewer ops complete by the fixed
+        // horizon — compare messages *per completed operation*.
+        let per_op = |m: &SimMetrics| m.storage_messages as f64 / (m.puts + m.gets) as f64;
+        assert!((rec.puts + rec.gets).abs_diff(iter.puts + iter.gets) < 40);
+        assert!(
+            per_op(&iter) > 1.4 * per_op(&rec),
+            "iterative storage routing must pay ~2x routing messages per op: {} vs {}",
+            per_op(&iter),
+            per_op(&rec)
+        );
+        // The override is per-operation: lookups stayed recursive, so
+        // every observed hop RTT came from a storage walk.
+        assert!(iter.hop_rtt.count() > 0);
+        assert_eq!(rec.hop_rtt.count(), 0);
+    }
+
+    /// Read repair: a get served by a replica-fallback probe streams the
+    /// key straight to the routed owner — even with anti-entropy rounds
+    /// disabled, repair traffic flows at read time.
+    #[test]
+    fn read_repair_pushes_replica_hits_to_owner() {
+        let cfg = SimConfig {
+            churn: ChurnConfig::symmetric(6.0),
+            workload: WorkloadConfig { lookup_rate: 2.0 },
+            storage: StorageConfig {
+                get_rate: 20.0,
+                preload: 500,
+                replication: 3,
+                repair_interval: None, // anti-entropy off: reads do the repairing
+                ..StorageConfig::NONE
+            },
+            stabilize_interval: Some(SimTime::from_secs(5)),
+            ..quiet_config(20, 256)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(120));
+        let m = sim.metrics();
+        assert!(m.gets_fallback > 0, "churned owners must miss some gets");
+        assert!(
+            m.gets_read_repaired > 0,
+            "replica hits must schedule read repair"
+        );
+        assert!(
+            m.gets_read_repaired <= m.gets_fallback,
+            "only fallback-served gets can read-repair"
+        );
+        assert!(
+            m.repair_messages >= m.gets_read_repaired,
+            "each read repair is a counted repair message"
+        );
+        assert!(m.repair_bytes > 0, "read repair pays bytes");
+    }
+
+    /// The acceptance determinism contract, per mode: a churn + storage
+    /// run digests bit-identically across worker-thread counts in every
+    /// routing mode.
+    #[test]
+    fn every_mode_bit_identical_across_thread_counts() {
+        for mode in RoutingMode::ALL {
+            let digest = |parallelism: usize| {
+                let cfg = SimConfig {
+                    parallelism,
+                    routing_mode: mode,
+                    record_lookups: true,
+                    churn: ChurnConfig::symmetric(4.0),
+                    workload: WorkloadConfig { lookup_rate: 20.0 },
+                    storage: StorageConfig {
+                        put_rate: 4.0,
+                        get_rate: 8.0,
+                        replication: 2,
+                        preload: 200,
+                        repair_interval: Some(SimTime::from_secs(5)),
+                        repair_byte_secs: 1e-6,
+                        ..StorageConfig::NONE
+                    },
+                    stabilize_interval: Some(SimTime::from_secs(5)),
+                    refresh_interval: Some(SimTime::from_secs(30)),
+                    ..quiet_config(23, 128)
+                };
+                let mut sim =
+                    Simulator::new(cfg, Arc::new(TruncatedPareto::new(1.5, 0.01).unwrap()));
+                sim.run_until(SimTime::from_secs(40));
+                let (probe_ok, probe_hops) = sim.probe_lookups(100);
+                let m = sim.metrics();
+                (
+                    (
+                        m.lookups,
+                        m.lookups_ok,
+                        m.lookups_stranded,
+                        m.lookups_failed_over,
+                        m.lookups_exhausted,
+                        m.lookups_recovered,
+                        m.timeouts,
+                        m.hops.mean().to_bits(),
+                        m.latency_secs.mean().to_bits(),
+                        m.hop_rtt.mean().to_bits(),
+                    ),
+                    (
+                        m.puts,
+                        m.gets,
+                        m.gets_ok,
+                        m.gets_fallback,
+                        m.gets_read_repaired,
+                        m.repair_messages,
+                        m.repair_bytes,
+                        m.storage_messages,
+                        m.events,
+                    ),
+                    (probe_ok.to_bits(), probe_hops.mean().to_bits()),
+                    sim.lookup_records().len(),
+                    sim.alive_count(),
+                )
+            };
+            let one = digest(1);
+            for threads in [2, 4] {
+                assert_eq!(
+                    one,
+                    digest(threads),
+                    "mode {mode:?}: thread count {threads} changed the run"
+                );
+            }
         }
     }
 

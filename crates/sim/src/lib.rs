@@ -56,6 +56,13 @@
 //!    durability/bandwidth trade-off is measurable
 //!    (`SimMetrics::{repair_messages, repair_bytes, repair_overhead}`).
 //!
+//! **Read repair** shortcuts the round-trip wait: when a get's routed
+//! owner misses and a replica-fallback probe serves the key, the
+//! serving replica immediately streams that one item to the routed
+//! owner (a targeted, single-item owner-direction transfer on the same
+//! byte-accounted plane; counted in `SimMetrics::gets_read_repaired`),
+//! so hot keys heal at read time instead of at the next round.
+//!
 //! Durability bookkeeping is ground truth outside the protocol: per-key
 //! live-copy counts feed the `keys_under_replicated` gauge, `keys_lost`
 //! (a key whose last live copy dies is *permanently* lost — subsequent
@@ -66,25 +73,49 @@
 //! copies are retired, and every surviving key converges to exactly
 //! `min(replication, alive)` copies.
 //!
-//! ## State-machine lifecycle
+//! ## Walk lifecycle and routing modes
 //!
 //! A walk is spawned with a fresh query id, takes its **first greedy
-//! step at the origin immediately**, and then lives entirely on the
-//! plane: a chosen contact becomes a `Hop` message delivered one
-//! latency sample later. On delivery the walk advances and steps again
-//! at the new node — *at that node's current local view*, which churn
-//! may have changed since the walk started. A contact that died while
-//! the message was in flight costs the sender a timeout (penalty
-//! latency, contact excluded, retry `Step` at `send time + penalty`);
-//! if the node *holding* the query fails before its retry fires, the
-//! walk is **stranded** — an outcome a whole-walk-at-one-instant engine
-//! cannot produce. Completion dispatches on the walk's
+//! step at the origin immediately** (the origin reads its own table for
+//! free in every mode), and then lives on the plane according to its
+//! [`protocol::RoutingMode`] — chosen per [`SimConfig`], overridable
+//! per storage operation:
+//!
+//! * **Recursive** — the query is handed off node to node: a chosen
+//!   contact becomes a `Hop` message delivered one latency sample
+//!   later, and on delivery the walk advances and steps again *at that
+//!   node's current local view*, which churn may have changed since the
+//!   walk started. A contact that died while the message was in flight
+//!   costs the sender a timeout (penalty latency, contact excluded,
+//!   retry `Step` at `send time + penalty`); if the node *holding* the
+//!   query fails before its retry fires, the walk is **stranded** — an
+//!   outcome a whole-walk-at-one-instant engine cannot produce.
+//! * **Iterative** — the requester drives every hop: it asks the
+//!   frontier for its ranked candidate ladder (`NextHopQuery` /
+//!   `NextHopReply`, two plane messages — one full RTT per hop,
+//!   accounted in `SimMetrics::hop_rtt`) and advances itself. On a
+//!   frontier timeout the requester **fails over** to the next-ranked
+//!   candidate from the previous reply without re-asking
+//!   ([`protocol::Walk::next_alternate`]); a dry ladder ends the walk
+//!   `Exhausted`. The query never leaves the requester, so only the
+//!   requester's death strands it — the same hop sequence as recursive
+//!   on a static network, bought at one extra one-way delay per hop.
+//! * **SemiRecursive** — recursive forwarding (same hops, same critical
+//!   path) plus a fire-and-forget `WalkReport` from each relay to the
+//!   requester. A stranded carrier is **recovered**: the requester's
+//!   watchdog pays one timeout penalty, excludes the dead carrier, and
+//!   resumes the walk iteratively from the last reported node.
+//!
+//! All terminations share one taxonomy ([`protocol::WalkEnd`]:
+//! delivered / local-minimum / hop-budget / stranded /
+//! failed-over-exhausted), surfaced per lookup in
+//! [`protocol::LookupRecord`]. Completion dispatches on the walk's
 //! [`protocol::Purpose`]: lookups record metrics, a join splices the
 //! new node (taking over its shard slice) and starts its link-probe
 //! chain, storage ops enter their fan-out / fallback / sweep phase.
 //! Contact selection everywhere is the one shared
-//! [`sw_overlay::greedy_step`] implementation, through
-//! [`sw_overlay::RingView`].
+//! [`sw_overlay::greedy_step`] / [`sw_overlay::greedy_candidates`]
+//! implementation, through [`sw_overlay::RingView`].
 //!
 //! ## Determinism contract
 //!
@@ -119,5 +150,5 @@ pub use engine::{
 pub use latency::LatencyModel;
 pub use metrics::SimMetrics;
 pub use plane::{Envelope, MessagePlane};
-pub use protocol::{LookupRecord, Msg, Purpose, QueryId, StorageOp, Walk, WalkEnd};
+pub use protocol::{LookupRecord, Msg, Purpose, QueryId, RoutingMode, StorageOp, Walk, WalkEnd};
 pub use time::SimTime;

@@ -16,8 +16,22 @@ pub struct SimMetrics {
     /// timeout penalties.
     pub latency_secs: OnlineStats,
     /// Lookups stranded by a mid-flight failure of the node holding the
-    /// query (a failure mode only the per-hop message plane can express).
+    /// query — the carrier in recursive mode, the requester itself in
+    /// iterative mode (a failure mode only the per-hop message plane can
+    /// express).
     pub lookups_stranded: u64,
+    /// Lookups that failed over to an alternate next-hop candidate after
+    /// a frontier timeout, without re-asking (iterative ladder).
+    pub lookups_failed_over: u64,
+    /// Lookups whose failover ladder ran dry (`WalkEnd::Exhausted`).
+    pub lookups_exhausted: u64,
+    /// Lookups whose stranded carrier was recovered by the requester
+    /// (semi-recursive mode: resumed iteratively instead of lost).
+    pub lookups_recovered: u64,
+    /// Per-hop round-trip times (seconds) observed by iterative
+    /// requesters: query leg + reply leg per confirmed hop. Empty in
+    /// pure recursive runs (a hand-off observes no RTT).
+    pub hop_rtt: OnlineStats,
     /// Peak number of lookups simultaneously in flight.
     pub inflight_peak: u64,
     /// Timeouts encountered while routing (stale entries hit).
@@ -48,6 +62,9 @@ pub struct SimMetrics {
     pub gets_ok: u64,
     /// Replica fallback probes sent by gets whose routed owner missed.
     pub gets_fallback: u64,
+    /// Gets served by a replica-fallback probe that scheduled a targeted
+    /// read-repair push of the key back to the routed owner.
+    pub gets_read_repaired: u64,
     /// Per-get end-to-end latency (seconds), successful gets only.
     pub get_latency_secs: OnlineStats,
     /// Range queries completed.
@@ -58,8 +75,10 @@ pub struct SimMetrics {
     pub range_items: u64,
     /// Peers visited by range sweeps.
     pub range_peers: u64,
-    /// Messages spent by the storage workload (routing hops, replica
-    /// writes, fallback probes, range fragments).
+    /// Messages spent by the storage workload (routing messages — hop
+    /// hand-offs, or query+reply pairs and progress reports in the
+    /// non-recursive modes — plus replica writes, fallback probes and
+    /// range fragments).
     pub storage_messages: u64,
     /// Messages spent by the anti-entropy repair protocol (digests,
     /// diffs, pushes, recovery pulls).
@@ -91,6 +110,18 @@ impl SimMetrics {
             0.0
         } else {
             self.lookups_ok as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of lookups that did *not* reach the target's live owner
+    /// — stranded, exhausted, local-minimum and hop-budget ends
+    /// together. The robustness number the routing-mode comparison
+    /// (E19) ranks modes by.
+    pub fn stranded_or_failed_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.lookups - self.lookups_ok) as f64 / self.lookups as f64
         }
     }
 

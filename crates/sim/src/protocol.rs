@@ -7,28 +7,63 @@
 //! is at each hop's delivery time*, not as it was when the operation
 //! started.
 //!
+//! ## Routing modes
+//!
+//! Forwarding strategy is pluggable ([`RoutingMode`], chosen per
+//! `SimConfig` and overridable per storage operation). The [`Walk`]
+//! struct is the **requester-held** record of the operation (engine-side
+//! accounting: hops, timeouts, latency, exclusions, failover ladder);
+//! what actually travels on the plane is only the minimal in-flight
+//! payload of each [`Msg`]. The mode decides *who holds the query* —
+//! and therefore whose death strands it:
+//!
+//! * **Recursive** — the query is handed off node to node
+//!   ([`Msg::Hop`], one message per hop). The walk state conceptually
+//!   travels with the carrier: if the node holding the query dies, the
+//!   walk is **stranded** ([`WalkEnd::Stranded`]). Cheapest per hop
+//!   (one one-way latency sample), most fragile under churn.
+//! * **Iterative** — the requester drives every hop itself: it asks the
+//!   frontier node for its ranked next-hop candidates
+//!   ([`Msg::NextHopQuery`]) and the frontier answers
+//!   ([`Msg::NextHopReply`]) — two plane messages, one full RTT per
+//!   hop. The query never leaves the requester, so the walk strands
+//!   only if the *requester* dies. A frontier that times out is
+//!   excluded and the requester **fails over** to the next-best
+//!   candidate from the previous reply without re-asking
+//!   ([`Walk::next_alternate`]); running the ladder dry ends the walk
+//!   as [`WalkEnd::Exhausted`].
+//! * **SemiRecursive** — forwarding is recursive (same hop sequence and
+//!   per-hop latency as `Recursive`), but every relay also posts a
+//!   cheap progress report to the requester ([`Msg::WalkReport`], off
+//!   the critical path). If the carrier dies, the requester's watchdog
+//!   notices (one timeout penalty), and the walk is **recovered**: the
+//!   requester resumes it iteratively from the last reported node
+//!   instead of losing it. Stranding requires carrier *and* requester
+//!   to die.
+//!
 //! Lifecycle of a walk:
 //!
 //! 1. **Spawn** — the engine assigns a fresh [`QueryId`], derives the
 //!    walk's private RNG stream from `(seed, id)`, and executes the
-//!    first step at the origin immediately.
-//! 2. **Step** (at node `cur`) — if `cur` has failed, the walk is
-//!    *stranded* (the carrier of the in-flight query died — a failure
-//!    mode a whole-walk engine cannot express). Otherwise the node
-//!    picks the greedy next contact from its local view (shared
-//!    `sw_overlay::greedy_step`) and sends a `Hop` with a
-//!    latency-sampled delivery time.
-//! 3. **Hop delivery** (at node `to`) — if `to` is alive the walk
-//!    advances and the next step executes there at the same instant.
-//!    If `to` died while the message was in flight, the sender's
-//!    timeout fires instead: the contact is excluded, the timeout
-//!    penalty is charged, and a retry `Step` is scheduled back at the
-//!    sender.
+//!    first step at the origin immediately (the origin reads its own
+//!    routing table for free in every mode).
+//! 2. **Step** — in recursive modes the current node picks the greedy
+//!    next contact from its local view (shared
+//!    `sw_overlay::greedy_step`) and sends a `Hop`; in iterative mode
+//!    the requester sends a `NextHopQuery` to its chosen frontier,
+//!    which ranks its candidates with `sw_overlay::greedy_candidates`
+//!    and replies.
+//! 3. **Timeouts** — a contact that died while a message was in flight
+//!    costs the sender/requester the timeout penalty and is excluded;
+//!    recursive modes re-step at the sender, iterative mode fails over
+//!    down the candidate ladder.
 //! 4. **Completion** — arrival at the target's owner, a local minimum,
-//!    the hop budget, or stranding. What happens next depends on
-//!    [`Purpose`]: lookups record metrics, a join splices the new node
-//!    and starts its link-probe chain, storage ops enter their
-//!    replica-fan-out / fallback-probe / range-sweep phase.
+//!    the hop budget, a dry failover ladder, or stranding. What happens
+//!    next depends on [`Purpose`]: lookups record metrics, a join
+//!    splices the new node and starts its link-probe chain, storage ops
+//!    enter their replica-fan-out / fallback-probe / range-sweep phase
+//!    (in iterative mode the operation payload piggybacks on the final
+//!    exchange with the owner, so completion costs no extra message).
 //!
 //! ## The repair plane
 //!
@@ -44,13 +79,52 @@
 //! the next round retries. There is no oracle shortcut: a failed peer's
 //! shards die with it, and its slice of the key space is durable again
 //! only once a surviving replica has actually streamed it to the new
-//! owner.
+//! owner. **Read repair** rides the same plane: a get served by a
+//! replica-fallback probe immediately streams that one key to the
+//! routed owner (a targeted, single-item [`Msg::RepairPull`]) instead
+//! of waiting for the next anti-entropy round.
 
 use crate::time::SimTime;
 use sw_keyspace::{Key, Rng};
 
 /// Identifier of one in-flight walk / storage operation.
 pub type QueryId = u64;
+
+/// How a walk's hops travel on the plane — who holds the query, who can
+/// strand it, and what a hop costs. See the module docs for the full
+/// contrast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Hand the query off node to node; a dying carrier strands it.
+    #[default]
+    Recursive,
+    /// The requester drives each hop (query + reply, one RTT per hop)
+    /// and fails over to alternate candidates on timeout; only the
+    /// requester's death strands the walk.
+    Iterative,
+    /// Recursive forwarding plus progress reports; a stranded carrier is
+    /// recovered by the requester, which resumes the walk iteratively
+    /// from the last reported node.
+    SemiRecursive,
+}
+
+impl RoutingMode {
+    /// All modes, in sweep order (benchmarks and comparison tables).
+    pub const ALL: [RoutingMode; 3] = [
+        RoutingMode::Recursive,
+        RoutingMode::Iterative,
+        RoutingMode::SemiRecursive,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingMode::Recursive => "recursive",
+            RoutingMode::Iterative => "iterative",
+            RoutingMode::SemiRecursive => "semi-recursive",
+        }
+    }
+}
 
 /// Why a walk is routing — decides what its completion triggers.
 #[derive(Debug, Clone)]
@@ -102,7 +176,11 @@ pub enum Purpose {
     },
 }
 
-/// One in-flight greedy walk (the routing phase of every operation).
+/// The requester-held state of one in-flight operation (the routing
+/// phase of every operation). Only [`Msg`] payloads travel on the plane;
+/// this record stays with the engine and — in iterative mode — models
+/// exactly what the requesting node itself would remember, which is why
+/// a dying *relay* cannot destroy it.
 #[derive(Debug)]
 pub struct Walk {
     /// Query id (also the walk's RNG stream index).
@@ -111,37 +189,162 @@ pub struct Walk {
     pub purpose: Purpose,
     /// Key being routed toward.
     pub target: Key,
-    /// Node currently holding the query.
+    /// Forwarding strategy (may switch to `Iterative` mid-walk when a
+    /// semi-recursive walk is recovered).
+    pub mode: RoutingMode,
+    /// The node that issued the operation. It drives every hop in
+    /// iterative mode; its death is the only thing that strands an
+    /// iterative walk.
+    pub requester: u32,
+    /// The query's frontier: the node currently holding it (recursive)
+    /// or the last hop the requester confirmed (iterative).
     pub cur: u32,
     /// Hops taken so far.
     pub hops: u32,
+    /// Network messages this walk has put on the plane so far (hop
+    /// hand-offs, next-hop queries *and* replies, progress reports) —
+    /// what the per-purpose message metrics charge, so iterative mode's
+    /// two-messages-per-hop cost is not invisible. In pure recursive
+    /// mode this equals `hops + timeouts`.
+    pub msgs: u32,
     /// Dead contacts hit so far.
     pub timeouts: u32,
+    /// Failovers taken to an alternate candidate (iterative ladder).
+    pub failovers: u32,
+    /// Stranded-carrier recoveries performed (semi-recursive).
+    pub recovered: u32,
     /// Accumulated network latency (hop delays + timeout penalties).
     pub latency: SimTime,
     /// Virtual time the operation was issued.
     pub issued_at: SimTime,
     /// Contacts excluded after timing out (small; linear scan).
     pub excluded: Vec<u32>,
+    /// The requester's candidate pool (iterative mode): every next-hop
+    /// candidate learned from any reply on this walk, not yet queried,
+    /// kept sorted closest-to-target-first and consumed via
+    /// [`Walk::next_alternate`]. On a healthy path its head is always
+    /// the newest frontier's best candidate (the greedy choice); after
+    /// a timeout it is the failover ladder — including 2nd/3rd-best
+    /// candidates from *earlier* frontiers, which a recursive hand-off
+    /// has irrevocably left behind.
+    pub alternates: Vec<u32>,
+    /// Nodes this walk has already queried (iterative mode): never
+    /// re-queried, never re-admitted to the pool.
+    pub seen: Vec<u32>,
+    /// Send time of the in-flight `NextHopQuery` (per-hop RTT
+    /// accounting at the requester).
+    pub query_sent: SimTime,
+    /// Largest hop RTT the requester has observed on this walk —
+    /// feeds its adaptive timeout (`Walk::adaptive_timeout`), one of
+    /// the structural advantages of driving lookups iteratively: the
+    /// requester sees every round trip, so it can stop waiting the
+    /// full conservative penalty for contacts that are clearly dead.
+    pub rtt_seen: SimTime,
+    /// Last node a progress report confirmed back to the requester —
+    /// where a semi-recursive recovery resumes from.
+    pub last_known: u32,
+    /// Confirmed hop sequence, origin first (recorded only when
+    /// `SimConfig::record_paths` is on).
+    pub path: Vec<u32>,
     /// Hop budget.
     pub max_hops: u32,
     /// Private RNG stream (latency samples, link-probe targets).
     pub rng: Rng,
 }
 
-/// Terminal states of a walk's routing phase.
+impl Walk {
+    /// Pops the best remaining failover candidate: the first entry of
+    /// the ranked ladder that has not been excluded by a timeout.
+    /// Entries excluded since the ladder was built are discarded, never
+    /// returned — failover can *never* route through a contact the
+    /// requester already timed out on. `None` means the ladder is dry
+    /// ([`WalkEnd::Exhausted`] if a candidate had existed).
+    pub fn next_alternate(&mut self) -> Option<u32> {
+        while !self.alternates.is_empty() {
+            let v = self.alternates.remove(0);
+            if !self.excluded.contains(&v) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// The requester's adaptive query timeout: three times the largest
+    /// RTT it has observed on this walk, capped by the configured
+    /// conservative penalty (and equal to it until a first RTT lands).
+    /// Recursive relays cannot do this — each sender observes at most
+    /// one round trip — so they always wait the full penalty.
+    pub fn adaptive_timeout(&self, penalty: SimTime) -> SimTime {
+        if self.rtt_seen == SimTime::ZERO {
+            penalty
+        } else {
+            penalty.min(SimTime(self.rtt_seen.0.saturating_mul(3)))
+        }
+    }
+
+    /// Bare test fixture: an iterative lookup walk with the given
+    /// candidate pool and exclusion list, everything else zeroed. For
+    /// unit and property tests of the pool mechanics only.
+    #[doc(hidden)]
+    pub fn fixture(alternates: Vec<u32>, excluded: Vec<u32>) -> Walk {
+        Walk {
+            id: 0,
+            purpose: Purpose::Lookup { target_id: 0 },
+            target: Key::clamped(0.5),
+            mode: RoutingMode::Iterative,
+            requester: 0,
+            cur: 0,
+            hops: 0,
+            msgs: 0,
+            timeouts: 0,
+            failovers: 0,
+            recovered: 0,
+            latency: SimTime::ZERO,
+            issued_at: SimTime::ZERO,
+            excluded,
+            alternates,
+            seen: Vec::new(),
+            query_sent: SimTime::ZERO,
+            rtt_seen: SimTime::ZERO,
+            last_known: 0,
+            path: Vec::new(),
+            max_hops: 8,
+            rng: Rng::new(0),
+        }
+    }
+}
+
+/// Terminal states of a walk's routing phase — the termination taxonomy
+/// [`LookupRecord::end`] reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WalkEnd {
-    /// Reached a node whose key distance to the target is zero.
+    /// Delivered: reached a node whose key distance to the target is
+    /// zero.
     Arrived,
     /// No live contact improves on the current node (greedy terminus —
     /// for non-member keys this *is* the owner region).
     LocalMinimum,
     /// Hop budget exhausted.
     HopLimit,
-    /// The node holding the query failed while the query rested there
-    /// (mid-flight churn stranded the walk).
+    /// The walk died with the node holding it: the carrier (recursive),
+    /// or the requester itself (iterative / recovered walks).
     Stranded,
+    /// Failed-over-exhausted: every ranked candidate at the frontier
+    /// timed out and the failover ladder ran dry (iterative mode).
+    Exhausted,
+}
+
+impl WalkEnd {
+    /// Short display name (comparison tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            WalkEnd::Arrived => "delivered",
+            WalkEnd::LocalMinimum => "local-minimum",
+            WalkEnd::HopLimit => "hop-budget",
+            WalkEnd::Stranded => "stranded",
+            WalkEnd::Exhausted => "failed-over-exhausted",
+        }
+    }
 }
 
 /// The second phase of a storage operation, entered when its routing
@@ -165,6 +368,9 @@ pub enum StorageOp {
     GetFallback {
         /// Item key.
         key: Key,
+        /// The routed owner whose primary read missed — the target of a
+        /// read-repair push if a replica probe hits.
+        owner: u32,
         /// Replica holders still to probe, in chain order.
         chain: Vec<u32>,
         /// Latency accumulated so far (route + probe round trips +
@@ -222,12 +428,16 @@ pub enum Msg {
     RefreshStart(u32),
 
     // -- The walk plane -----------------------------------------------
-    /// The walk executes its next greedy step at its current node.
+    /// The walk's driver executes its next action: a greedy step at the
+    /// current node (recursive modes) or a failover down the candidate
+    /// ladder at the requester (iterative mode). Also the timeout
+    /// retry in every mode.
     Step {
         /// Walk id.
         qid: QueryId,
     },
-    /// A forwarded query arriving at `to` (sent at `sent_at`).
+    /// Recursive hand-off: the query itself arriving at `to` (sent at
+    /// `sent_at`).
     Hop {
         /// Walk id.
         qid: QueryId,
@@ -235,6 +445,46 @@ pub enum Msg {
         to: u32,
         /// Send time (for the sender's timeout clock).
         sent_at: SimTime,
+    },
+    /// Iterative mode, first leg: the requester asks frontier `to` for
+    /// its ranked next-hop candidates toward the walk's target.
+    NextHopQuery {
+        /// Walk id.
+        qid: QueryId,
+        /// The frontier node being asked.
+        to: u32,
+        /// Send time (for the requester's timeout clock and the hop's
+        /// RTT accounting).
+        sent_at: SimTime,
+    },
+    /// Iterative mode, second leg: frontier `from` answers with its
+    /// candidate ladder; the requester advances (or finishes).
+    NextHopReply {
+        /// Walk id.
+        qid: QueryId,
+        /// The answering frontier.
+        from: u32,
+        /// Reply send time.
+        sent_at: SimTime,
+        /// True if the frontier's key distance to the target is zero.
+        at_target: bool,
+        /// Ranked next-hop candidates from the frontier's local view,
+        /// closest-first, already filtered by the walk's exclusions.
+        candidates: Vec<u32>,
+    },
+    /// Semi-recursive progress report: a relay tells the requester the
+    /// query passed through `at` on its way to the relay
+    /// (fire-and-forget, off the critical path — this is what makes
+    /// stranded-walk recovery possible). Reporting the *previous*
+    /// carrier rather than the relay itself is deliberate: the relay is
+    /// exactly the node that is dead when the watchdog fires, while the
+    /// node it came from is the nearest resume point likely to be alive.
+    WalkReport {
+        /// Walk id.
+        qid: QueryId,
+        /// The node the query last passed through before the reporting
+        /// relay — the requester's recovery resume point.
+        at: u32,
     },
 
     // -- Storage fan-out ----------------------------------------------
@@ -314,8 +564,10 @@ pub enum Msg {
         /// Keys the owner lacks and requests back.
         want: Vec<Key>,
     },
-    /// Replica → owner: the requested items streamed back — the only way
-    /// a failed peer's slice becomes durable again.
+    /// Replica → owner: items streamed toward the owner — the recovery
+    /// direction of an anti-entropy round, and the carrier of targeted
+    /// read-repair pushes (a single-item transfer scheduled the moment a
+    /// replica-fallback probe serves a get the routed owner missed).
     RepairPull {
         /// The recovering owner.
         owner: u32,
@@ -327,9 +579,10 @@ pub enum Msg {
 /// Per-lookup record, collected when `SimConfig::record_lookups` is on.
 ///
 /// `latency` is exactly the per-hop accumulation: one sampled delay per
-/// successful hop plus one `timeout_penalty` per dead contact hit —
-/// tests assert this identity against `hops`/`timeouts`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// successful hop (two per hop in iterative mode — query and reply legs)
+/// plus one `timeout_penalty` per dead contact hit or watchdog recovery —
+/// tests assert this identity against `hops`/`timeouts` per mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LookupRecord {
     /// When the lookup was issued.
     pub issued_at: SimTime,
@@ -339,12 +592,21 @@ pub struct LookupRecord {
     pub hops: u32,
     /// Dead contacts hit.
     pub timeouts: u32,
+    /// Failovers taken down the candidate ladder (iterative mode).
+    pub failovers: u32,
     /// Accumulated network latency.
     pub latency: SimTime,
     /// True if the walk ended at the target peer.
     pub success: bool,
-    /// True if the walk was stranded by a mid-flight failure.
-    pub stranded: bool,
+    /// How the walk terminated (the stranded-vs-recovered taxonomy: a
+    /// recovered walk does *not* end `Stranded` — check `recovered`).
+    pub end: WalkEnd,
+    /// True if the walk's carrier was stranded and the requester
+    /// recovered it (semi-recursive mode).
+    pub recovered: bool,
+    /// Confirmed hop sequence, origin first (empty unless
+    /// `SimConfig::record_paths` was on).
+    pub path: Vec<u32>,
 }
 
 impl LookupRecord {
@@ -352,5 +614,25 @@ impl LookupRecord {
     /// the witness that two lookups were concurrently in flight.
     pub fn overlaps(&self, other: &LookupRecord) -> bool {
         self.issued_at < other.completed_at && other.issued_at < self.completed_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_alternate_skips_excluded_and_drains_in_rank_order() {
+        let mut w = Walk::fixture(vec![3, 4, 5, 6], vec![4, 6]);
+        assert_eq!(w.next_alternate(), Some(3));
+        assert_eq!(w.next_alternate(), Some(5), "4 is excluded");
+        assert_eq!(w.next_alternate(), None, "6 is excluded: ladder dry");
+        assert!(w.alternates.is_empty());
+    }
+
+    #[test]
+    fn next_alternate_on_empty_ladder_is_none() {
+        let mut w = Walk::fixture(Vec::new(), vec![1]);
+        assert_eq!(w.next_alternate(), None);
     }
 }

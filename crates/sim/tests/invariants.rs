@@ -3,13 +3,19 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use sw_keyspace::distribution::{KeyDistribution, TruncatedPareto, Uniform};
-use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, StorageConfig, WorkloadConfig};
+use sw_sim::{
+    ChurnConfig, RoutingMode, SimConfig, SimTime, Simulator, StorageConfig, Walk, WorkloadConfig,
+};
 
 fn dist_for(choice: u8) -> Arc<dyn KeyDistribution> {
     match choice % 2 {
         0 => Arc::new(Uniform),
         _ => Arc::new(TruncatedPareto::new(1.5, 0.02).unwrap()),
     }
+}
+
+fn mode_for(choice: u8) -> RoutingMode {
+    RoutingMode::ALL[(choice % 3) as usize]
 }
 
 proptest! {
@@ -67,15 +73,17 @@ proptest! {
         prop_assert_eq!(m.end_time, SimTime::from_secs(30));
     }
 
-    /// Bit-for-bit determinism across identical configurations.
+    /// Bit-for-bit determinism across identical configurations, in
+    /// every routing mode.
     #[test]
-    fn determinism(seed in any::<u64>()) {
+    fn determinism(seed in any::<u64>(), mode_choice in 0u8..3) {
         let run = || {
             let cfg = SimConfig {
                 seed,
                 initial_n: 48,
                 churn: ChurnConfig::symmetric(3.0),
                 workload: WorkloadConfig { lookup_rate: 8.0 },
+                routing_mode: mode_for(mode_choice),
                 ..SimConfig::default()
             };
             let mut sim = Simulator::new(cfg, Arc::new(Uniform));
@@ -84,11 +92,38 @@ proptest! {
                 sim.alive_count(),
                 sim.metrics().lookups,
                 sim.metrics().lookups_ok,
+                sim.metrics().lookups_failed_over,
+                sim.metrics().lookups_recovered,
                 sim.metrics().timeouts,
                 sim.metrics().hops.mean().to_bits(),
+                sim.metrics().hop_rtt.mean().to_bits(),
             )
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Failover safety: the candidate-pool pop can *never* hand back a
+    /// contact the requester has already excluded by timeout, no matter
+    /// how pool and exclusion list interleave — and it consumes each
+    /// candidate at most once.
+    #[test]
+    fn failover_never_routes_through_excluded_contacts(
+        pool in proptest::collection::vec(0u32..64, 0..24),
+        excluded in proptest::collection::vec(0u32..64, 0..24),
+    ) {
+        let mut walk = Walk::fixture(pool.clone(), excluded.clone());
+        let mut handed_out = Vec::new();
+        while let Some(v) = walk.next_alternate() {
+            prop_assert!(!excluded.contains(&v), "excluded contact {} handed out", v);
+            prop_assert!(!handed_out.contains(&v) || pool.iter().filter(|&&u| u == v).count() > 1,
+                "candidate {} handed out twice", v);
+            handed_out.push(v);
+        }
+        prop_assert!(walk.alternates.is_empty(), "pool must drain");
+        // Every pool entry was either handed out or excluded.
+        for v in pool {
+            prop_assert!(handed_out.contains(&v) || excluded.contains(&v));
+        }
     }
 
     /// Anti-entropy quiescence: after churn stops and enough repair
