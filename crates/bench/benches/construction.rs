@@ -158,10 +158,6 @@ fn main() {
     );
     all.push(join);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_construction.json");
-    std::fs::write(path, to_json(&all)).expect("write BENCH_construction.json");
-    println!(
-        "\nwrote {} measurements to BENCH_construction.json",
-        all.len()
-    );
+    println!();
+    sw_bench::ctx::write_snapshot("BENCH_construction.json", &to_json(&all));
 }

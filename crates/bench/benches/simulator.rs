@@ -148,7 +148,6 @@ fn main() {
     });
     all.push(m);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-    std::fs::write(path, to_json(&all)).expect("write BENCH_sim.json");
-    println!("\nwrote {} measurements to BENCH_sim.json", all.len());
+    println!();
+    sw_bench::ctx::write_snapshot("BENCH_sim.json", &to_json(&all));
 }

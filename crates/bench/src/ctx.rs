@@ -1,6 +1,15 @@
-//! Execution context shared by all experiments.
+//! Execution context shared by all experiments, and the one place that
+//! owns the experiment output paths.
+//!
+//! Every artifact an experiment or bench binary produces goes through
+//! the helpers here: per-experiment CSVs land in the context's
+//! `results/` directory ([`Ctx::write_csv`]), and the repo-root
+//! `BENCH_*.json` perf-trajectory snapshots CI uploads go through
+//! [`write_snapshot`] / [`snapshot_path`]. No experiment hand-rolls a
+//! `CARGO_MANIFEST_DIR` path of its own.
 
-use std::path::PathBuf;
+use crate::table::Table;
+use std::path::{Path, PathBuf};
 
 /// Knobs every experiment respects.
 #[derive(Debug, Clone)]
@@ -41,6 +50,37 @@ impl Ctx {
             full
         }
     }
+
+    /// Writes an experiment's table as `results/<file>` (the context's
+    /// output directory) — the single CSV path authority.
+    pub fn write_csv(&self, table: &Table, file: &str) {
+        table.write_csv(&self.out_dir, file);
+    }
+}
+
+/// The repository root (where the `BENCH_*.json` snapshots live),
+/// resolved from this crate's manifest.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Absolute path of a repo-root perf snapshot, e.g.
+/// `snapshot_path("BENCH_scale.json")`.
+pub fn snapshot_path(file: &str) -> PathBuf {
+    repo_root().join(file)
+}
+
+/// Writes a repo-root `BENCH_*.json` perf-trajectory snapshot (the files
+/// CI uploads as artifacts) and prints a one-line receipt.
+///
+/// # Panics
+///
+/// Panics if the write fails — a missing snapshot must fail the bench
+/// run loudly, not silently skip the artifact.
+pub fn write_snapshot(file: &str, contents: &str) {
+    let path = snapshot_path(file);
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {file}: {e}"));
+    println!("  wrote {file}");
 }
 
 #[cfg(test)]

@@ -105,7 +105,7 @@ pub fn e8_load_balance(ctx: &Ctx) {
         }
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e8_load_balance.csv");
+    ctx.write_csv(&table, "e8_load_balance.csv");
     println!(
         "  expected shape: uniform-hash collapses on the skewed corpus (storage gini \
          → 0.9); data-sampled placement restores uniform-grade storage balance — \

@@ -30,7 +30,7 @@ pub fn e12_kleinberg_exponent(ctx: &Ctx) {
         table.row(vec![f2(r), f2(ring_hops), f2(grid_hops)]);
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e12_kleinberg_exponent.csv");
+    ctx.write_csv(&table, "e12_kleinberg_exponent.csv");
     println!(
         "  expected shape: U-curves — the 1-d minimum near r = 1; the 2-d curve \
          flattens near r ≤ 2 at this scale (the asymptotic r = dim optimum needs \
@@ -59,7 +59,7 @@ pub fn e13_watts_strogatz(ctx: &Ctx) {
         table.row(vec![format!("{p}"), f3(c), f3(l)]);
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e13_watts_strogatz.csv");
+    ctx.write_csv(&table, "e13_watts_strogatz.csv");
     println!(
         "  expected shape: L(p)/L(0) collapses around p ≈ 0.01 while C(p)/C(0) is \
          still ≈ 1 — the small-world window of Watts & Strogatz (1998), Fig. 2"

@@ -73,7 +73,7 @@ pub fn e10_join_protocol(ctx: &Ctx) {
         }
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e10_join_protocol.csv");
+    ctx.write_csv(&table, "e10_join_protocol.csv");
     println!(
         "  expected shape: msgs/join grows ~log²N; grown networks route within a \
          small factor of the oracle, and one refresh round closes most of the gap \
@@ -144,7 +144,7 @@ pub fn e11_estimation(ctx: &Ctx) {
     let (h, s) = survey(&oracle, &mut rng);
     table.row(vec!["oracle (true f)".into(), h, s]);
     table.print();
-    table.write_csv(&ctx.out_dir, "e11_estimation.csv");
+    ctx.write_csv(&table, "e11_estimation.csv");
     println!(
         "  expected shape: the ECDF estimator lands within ~20% of the oracle even at \
          tiny sample budgets and keeps improving with rounds; fixed-bin histograms \
@@ -209,7 +209,7 @@ pub fn e14_churn(ctx: &Ctx) {
         }
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e14_churn.csv");
+    ctx.write_csv(&table, "e14_churn.csv");
     println!(
         "  expected shape: without maintenance success decays with churn rate; \
          stabilization recovers correctness, refresh additionally recovers hop \

@@ -94,7 +94,7 @@ pub fn e9_normalization_equivalence(ctx: &Ctx) {
         }
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e9_normalization_equivalence.csv");
+    ctx.write_csv(&table, "e9_normalization_equivalence.csv");
     println!(
         "  expected shape: per-distribution row pairs agree within CI on every \
          column — the two constructions sample the same graph law (Theorem 2's proof)"

@@ -92,7 +92,7 @@ pub fn e17_inflight(ctx: &Ctx) {
         }
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e17_inflight.csv");
+    ctx.write_csv(&table, "e17_inflight.csv");
     println!(
         "  expected shape: lookups overlap in flight at every churn rate (peak >> 1); \
          stranded queries and the p99 latency tail grow with churn while maintenance \

@@ -1,8 +1,8 @@
 //! One module per experiment family; the registry in the crate root maps
-//! experiment ids (`e1`..`e19`) onto these functions. Each experiment
+//! experiment ids (`e1`..`e20`) onto these functions. Each experiment
 //! prints its table(s) and writes CSVs into the context's output
-//! directory. `EXPERIMENTS.md` documents expected shapes and records a
-//! reference run.
+//! directory (through the shared `ctx` path helpers). `EXPERIMENTS.md`
+//! documents expected shapes and records a reference run.
 
 pub mod balance;
 pub mod classics;
@@ -11,5 +11,6 @@ pub mod equivalence;
 pub mod inflight;
 pub mod repair;
 pub mod routing_modes;
+pub mod scale;
 pub mod skew;
 pub mod theory;

@@ -123,7 +123,7 @@ pub fn e18_repair(ctx: &Ctx) {
         }
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e18_repair.csv");
+    ctx.write_csv(&table, "e18_repair.csv");
     write_snapshot(&rows);
     println!(
         "  expected shape: with repair off, keys are permanently lost and losses grow \
@@ -155,7 +155,5 @@ fn write_snapshot(rows: &[RepairRow]) {
         ));
     }
     out.push_str("]\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repair.json");
-    std::fs::write(path, out).expect("write BENCH_repair.json");
-    println!("  wrote {} rows to BENCH_repair.json", rows.len());
+    crate::ctx::write_snapshot("BENCH_repair.json", &out);
 }

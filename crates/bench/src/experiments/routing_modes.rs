@@ -129,7 +129,7 @@ pub fn e19_routing_modes(ctx: &Ctx) {
         }
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e19_routing_modes.csv");
+    ctx.write_csv(&table, "e19_routing_modes.csv");
     write_snapshot(&rows);
     println!(
         "  expected shape: at churn 0 all modes deliver 100% with identical hop \
@@ -168,7 +168,5 @@ fn write_snapshot(rows: &[RoutingRow]) {
         ));
     }
     out.push_str("]\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json");
-    std::fs::write(path, out).expect("write BENCH_routing.json");
-    println!("  wrote {} rows to BENCH_routing.json", rows.len());
+    crate::ctx::write_snapshot("BENCH_routing.json", &out);
 }

@@ -1,0 +1,275 @@
+//! E20 — scaling the CSR substrate: construction throughput, old-vs-new
+//! routing kernel throughput, resident bytes/peer, and the
+//! freeze → reopen path, swept over n × {uniform, Pareto}.
+//!
+//! This is the experiment behind the ROADMAP's ">10⁷ peers" open item:
+//! the overlay is built once (parallel per-peer sampling, harmonic rule
+//! — the exact rule is `O(N)` per peer and quadratic in total), routed
+//! with **both** greedy kernels over the same workload — the slice-based
+//! reference and the chunked key-aligned SoA kernel — with the hop
+//! sequences asserted bit-identical, then frozen to a flat arena,
+//! reopened (O(1) allocations) and routed again. Writes
+//! `BENCH_scale.json` (repo root, CI artifact) alongside the table and
+//! CSV.
+//!
+//! The full sweep is n ∈ {10⁵, 10⁶, 10⁷}; `--quick` (CI smoke) runs
+//! {10⁴, 4·10⁴}. Set `SW_E20_MAX_N` to cap the sweep (e.g.
+//! `SW_E20_MAX_N=1000000` skips the 10⁷ cell on small machines: that
+//! cell needs ~10 GB of RAM and, single-threaded, tens of minutes).
+
+use crate::ctx::{self, Ctx};
+use crate::table::{f2, Table};
+use std::sync::Arc;
+use std::time::Instant;
+use sw_core::config::LinkSampler;
+use sw_core::{SmallWorldBuilder, SmallWorldNetwork};
+use sw_keyspace::distribution::{KeyDistribution, TruncatedPareto, Uniform};
+use sw_keyspace::Rng;
+use sw_overlay::route::{route_batch, survey_queries, RouteOptions, TargetModel};
+use sw_overlay::{Overlay, Placement};
+
+/// Routes a [`SmallWorldNetwork`]'s contact table through the
+/// *slice-based reference* kernel (the `Overlay` default), so the
+/// old-vs-new comparison runs the two kernels over the same rows.
+struct ReferenceKernel<'a>(&'a SmallWorldNetwork);
+
+impl Overlay for ReferenceKernel<'_> {
+    fn name(&self) -> String {
+        format!("{}+reference", self.0.name())
+    }
+    fn placement(&self) -> &Placement {
+        self.0.placement()
+    }
+    fn topology(&self) -> &sw_graph::Topology {
+        self.0.topology()
+    }
+    // No `route` override: the trait default is `greedy_route`, the
+    // slice-based reference engine.
+}
+
+/// Forces the chunked SoA kernel regardless of the size-based default
+/// (`SmallWorldNetwork::route` picks the measured winner per size; this
+/// sweep is the measurement, so it pins each kernel explicitly).
+struct SoaKernel<'a>(&'a SmallWorldNetwork);
+
+impl Overlay for SoaKernel<'_> {
+    fn name(&self) -> String {
+        format!("{}+soa", self.0.name())
+    }
+    fn placement(&self) -> &Placement {
+        self.0.placement()
+    }
+    fn topology(&self) -> &sw_graph::Topology {
+        self.0.topology()
+    }
+    fn route(
+        &self,
+        from: sw_graph::NodeId,
+        target: sw_keyspace::Key,
+        opts: &RouteOptions,
+    ) -> sw_overlay::RouteResult {
+        sw_overlay::greedy_route_on(self.0.placement(), self.0.route_table(), from, target, opts)
+    }
+}
+
+struct ScaleRow {
+    id: String,
+    n: usize,
+    construct_s: f64,
+    peers_per_s: f64,
+    routes_per_s_ref: f64,
+    routes_per_s_soa: f64,
+    kernel_speedup: f64,
+    bytes_per_peer: f64,
+    freeze_s: f64,
+    open_s: f64,
+    hops_mean: f64,
+}
+
+/// E20 — CSR substrate at scale (see module docs).
+pub fn e20_scale(ctx: &Ctx) {
+    let sizes: Vec<usize> = if ctx.quick {
+        vec![10_000, 40_000]
+    } else {
+        vec![100_000, 1_000_000, 10_000_000]
+    };
+    let max_n: usize = std::env::var("SW_E20_MAX_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let sizes: Vec<usize> = sizes.into_iter().filter(|&n| n <= max_n).collect();
+    if sizes.is_empty() {
+        println!("E20: SW_E20_MAX_N filtered out every size — nothing to run");
+        return;
+    }
+    let queries = ctx.queries(4096);
+    let mut table = Table::new(
+        format!("E20: CSR substrate at scale (harmonic sampler, {queries} member lookups/cell)"),
+        &[
+            "distribution",
+            "n",
+            "construct (s)",
+            "peers/s",
+            "routes/s (ref)",
+            "routes/s (SoA)",
+            "kernel speedup",
+            "bytes/peer",
+            "freeze (s)",
+            "open (s)",
+            "hops",
+        ],
+    );
+    // Constructors, not instances: the builder (a `Box`) and the reopen
+    // path (an `Arc`) both draw from the same single definition, so the
+    // parameters cannot diverge.
+    type MakeDist = fn() -> Box<dyn KeyDistribution>;
+    let dists: Vec<(&str, MakeDist)> = vec![
+        ("uniform", || Box::new(Uniform)),
+        ("pareto(1.5,0.01)", || {
+            Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid"))
+        }),
+    ];
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for &n in &sizes {
+        for &(dname, make) in &dists {
+            let row = run_cell(ctx, n, dname, make, queries);
+            table.row(vec![
+                dname.to_string(),
+                row.n.to_string(),
+                f2(row.construct_s),
+                format!("{:.0}", row.peers_per_s),
+                format!("{:.0}", row.routes_per_s_ref),
+                format!("{:.0}", row.routes_per_s_soa),
+                f2(row.kernel_speedup),
+                format!("{:.1}", row.bytes_per_peer),
+                f2(row.freeze_s),
+                f2(row.open_s),
+                f2(row.hops_mean),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+    ctx.write_csv(&table, "e20_scale.csv");
+    write_snapshot(&rows);
+    println!(
+        "  expected shape: construction peers/s decays slowly in n (per-peer \
+         sampling is O(log n)); the two kernels produce identical hop sequences \
+         (asserted) and cross over with n — at small n the reference's key \
+         gathers hit a cache-resident key array and win, while at large n the \
+         keys spill out of cache and the SoA kernel's contiguous position lanes \
+         (1-2 sequential lines per hop instead of ~degree scattered gathers) \
+         pull ahead; bytes/peer ~8·(2 + avg degree) + lanes, growing with log n \
+         via the out-degree; reopening a frozen overlay costs a read, not a \
+         rebuild (open (s) ≪ construct (s))"
+    );
+}
+
+/// One (n, distribution) cell: build, route both kernels, freeze,
+/// reopen, route again, verify bit-identity throughout.
+fn run_cell(
+    ctx: &Ctx,
+    n: usize,
+    dname: &str,
+    make_dist: fn() -> Box<dyn KeyDistribution>,
+    queries: usize,
+) -> ScaleRow {
+    println!("  [e20] {dname} n={n}: building…");
+    let mut rng = Rng::new(ctx.seed ^ 20 ^ n as u64);
+    let t0 = Instant::now();
+    let net = SmallWorldBuilder::new(n)
+        .distribution(make_dist())
+        .sampler(LinkSampler::Harmonic)
+        .parallelism(0)
+        .build(&mut rng)
+        .expect("n >= 4");
+    let construct_s = t0.elapsed().as_secs_f64();
+
+    let workload = survey_queries(net.placement(), queries, TargetModel::MemberKeys, &mut rng);
+    let opts = RouteOptions {
+        record_path: false,
+        ..RouteOptions::for_n(n)
+    };
+
+    // Old kernel: the slice-based reference over the same contact table.
+    let t0 = Instant::now();
+    let ref_results = route_batch(&ReferenceKernel(&net), &workload, &opts, 0);
+    let ref_s = t0.elapsed().as_secs_f64();
+    // New kernel: the chunked SoA lanes, pinned explicitly.
+    let t0 = Instant::now();
+    let soa_results = route_batch(&SoaKernel(&net), &workload, &opts, 0);
+    let soa_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        ref_results, soa_results,
+        "chunked SoA kernel must produce bit-identical hop sequences"
+    );
+    let hops_mean =
+        soa_results.iter().map(|r| r.hops as f64).sum::<f64>() / soa_results.len().max(1) as f64;
+
+    let bytes_per_peer = net.resident_bytes() as f64 / n as f64;
+
+    // Freeze → reopen → route the same workload over the arena-backed
+    // table; results must not change.
+    let dir = std::env::temp_dir().join(format!(
+        "sw-e20-{}-{n}",
+        dname.replace(['(', ')', ','], "-")
+    ));
+    let t0 = Instant::now();
+    net.freeze_to(&dir).expect("freeze overlay");
+    let freeze_s = t0.elapsed().as_secs_f64();
+    let config = *net.config();
+    drop(net);
+    let t0 = Instant::now();
+    let reopened =
+        SmallWorldNetwork::open_from(&dir, config, Arc::from(make_dist())).expect("reopen overlay");
+    let open_s = t0.elapsed().as_secs_f64();
+    let reopened_results = route_batch(&reopened, &workload, &opts, 0);
+    assert_eq!(
+        soa_results, reopened_results,
+        "reopened overlay must route bit-identically"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    ScaleRow {
+        id: format!("scale/{dname}/{n}"),
+        n,
+        construct_s,
+        peers_per_s: n as f64 / construct_s,
+        routes_per_s_ref: queries as f64 / ref_s,
+        routes_per_s_soa: queries as f64 / soa_s,
+        kernel_speedup: ref_s / soa_s,
+        bytes_per_peer,
+        freeze_s,
+        open_s,
+        hops_mean,
+    }
+}
+
+/// Hand-rolled JSON snapshot (the workspace builds offline — no serde),
+/// via the shared `ctx` snapshot writer.
+fn write_snapshot(rows: &[ScaleRow]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"n\": {}, \"construct_secs\": {:.4}, \
+             \"peers_per_sec\": {:.1}, \"routes_per_sec_reference\": {:.1}, \
+             \"routes_per_sec_soa\": {:.1}, \"kernel_speedup\": {:.4}, \
+             \"bytes_per_peer\": {:.1}, \"freeze_secs\": {:.4}, \
+             \"open_secs\": {:.4}, \"hops_mean\": {:.4}}}{}\n",
+            r.id,
+            r.n,
+            r.construct_s,
+            r.peers_per_s,
+            r.routes_per_s_ref,
+            r.routes_per_s_soa,
+            r.kernel_speedup,
+            r.bytes_per_peer,
+            r.freeze_s,
+            r.open_s,
+            r.hops_mean,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    ctx::write_snapshot("BENCH_scale.json", &out);
+}

@@ -45,7 +45,7 @@ pub fn e3_skew_invariance(ctx: &Ctx) {
         }
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e3_skew_invariance.csv");
+    ctx.write_csv(&table, "e3_skew_invariance.csv");
     println!("  expected shape: per-N hop means agree across all seven rows (within CI)");
 }
 
@@ -166,7 +166,7 @@ pub fn e4_system_comparison(ctx: &Ctx) {
         table.row(row);
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e4_system_comparison.csv");
+    ctx.write_csv(&table, "e4_system_comparison.csv");
     println!(
         "  expected shape: model-2 / mercury / p-grid stay flat across columns; \
          naive kleinberg and symphony degrade with skew; chord/pastry inflate moderately"
@@ -237,7 +237,7 @@ pub fn e15_routing_metric(ctx: &Ctx) {
         ]);
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e15_routing_metric.csv");
+    ctx.write_csv(&table, "e15_routing_metric.csv");
     println!(
         "  expected shape: small positive Δ — key-space greedy pays a little for \
          not knowing f, but stays logarithmic (the links, not the metric, carry Theorem 2)"

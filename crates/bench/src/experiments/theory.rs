@@ -44,7 +44,7 @@ pub fn e1_hops_vs_n(ctx: &Ctx) {
         table.row(row);
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e1_hops_vs_n.csv");
+    ctx.write_csv(&table, "e1_hops_vs_n.csv");
     if xs.len() >= 2 {
         let fit = linear_fit(&xs, &ys);
         println!(
@@ -94,7 +94,7 @@ pub fn e2_partition_advance(ctx: &Ctx) {
         ]);
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e2_partition_advance.csv");
+    ctx.write_csv(&table, "e2_partition_advance.csv");
     println!(
         "  overall: P_next = {:.3} (bound ≥ {:.3}), mean dwell = {:.3} (bound ≤ {:.3}), routes = {}",
         s.pnext_overall(),
@@ -131,7 +131,7 @@ pub fn e5_outdegree_tradeoff(ctx: &Ctx) {
         ]);
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e5_outdegree_tradeoff.csv");
+    ctx.write_csv(&table, "e5_outdegree_tradeoff.csv");
     println!("  expected shape: hops ≈ Θ(log²N / k), flattening once k ≥ log2 N");
 }
 
@@ -187,7 +187,7 @@ pub fn e6_partition_occupancy(ctx: &Ctx) {
         ]);
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e6_partition_occupancy.csv");
+    ctx.write_csv(&table, "e6_partition_occupancy.csv");
     println!(
         "  small-world links spread ~uniformly over partitions 1..{m}; Chord pins ~one \
          finger per partition (≈{n} links each: its partitions are exact by construction)"
@@ -229,7 +229,7 @@ pub fn e16_ring_topology(ctx: &Ctx) {
         }
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e16_ring_topology.csv");
+    ctx.write_csv(&table, "e16_ring_topology.csv");
     println!(
         "  expected shape: ring rows match interval rows (slightly cheaper — no \
          boundary peers with one-sided neighbourhoods); Theorems 1–2 carry over \
@@ -265,7 +265,7 @@ pub fn e7_link_loss(ctx: &Ctx) {
         ]);
     }
     table.print();
-    table.write_csv(&ctx.out_dir, "e7_link_loss.csv");
+    ctx.write_csv(&table, "e7_link_loss.csv");
     println!(
         "  success stays 1.0 throughout (neighbour links keep the space connected); \
          cost degrades gracefully and collapses to linear only at 100% loss"

@@ -127,5 +127,10 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Routing modes: recursive vs iterative vs semi-recursive under churn (writes BENCH_routing.json)",
             experiments::routing_modes::e19_routing_modes,
         ),
+        (
+            "e20",
+            "Scale: construction + old-vs-new routing kernels + freeze/reopen at n up to 10^7 (writes BENCH_scale.json)",
+            experiments::scale::e20_scale,
+        ),
     ]
 }

@@ -193,20 +193,14 @@ impl SmallWorldBuilder {
             selector.sample_links(u as u32, budget, &mut peer_rng)
         });
         let long = CsrTopology::from_rows(&rows);
-        let label = format!(
-            "sw({},{})",
-            assumed.name(),
-            match self.config.sampler {
-                LinkSampler::Exact => "exact",
-                LinkSampler::Harmonic => "harmonic",
-            }
-        );
-        Ok(SmallWorldNetwork::assemble(
+        let label = format!("sw({},{})", assumed.name(), self.config.sampler.label());
+        Ok(SmallWorldNetwork::assemble_with_threads(
             placement,
             assumed,
             self.config,
             long,
             label,
+            self.parallelism,
         ))
     }
 }

@@ -65,6 +65,16 @@ pub enum LinkSampler {
     Harmonic,
 }
 
+impl LinkSampler {
+    /// Short lowercase label used in network display names.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkSampler::Exact => "exact",
+            LinkSampler::Harmonic => "harmonic",
+        }
+    }
+}
+
 /// Full construction configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmallWorldConfig {

@@ -1,25 +1,39 @@
 //! The constructed small-world overlay: placement + neighbour edges +
-//! long-range links, stored as flat CSR topologies.
+//! long-range links, stored as flat CSR topologies behind pluggable
+//! storage backends.
 
 use crate::config::SmallWorldConfig;
-use std::sync::Arc;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 use sw_graph::csr::Topology as CsrTopology;
+use sw_graph::store::{TopologyArena, TopologyStore};
 use sw_graph::{LinkTable, NodeId};
 use sw_keyspace::distribution::KeyDistribution;
-use sw_keyspace::{Rng, Topology};
-use sw_overlay::route::{RoutingSurvey, TargetModel};
+use sw_keyspace::{Key, Rng, Topology};
+use sw_overlay::route::{RouteOptions, RouteResult, RoutingSurvey, TargetModel};
+use sw_overlay::soa::{greedy_route_on, RouteTable};
 use sw_overlay::{Overlay, Placement};
+
+/// File holding the frozen contact CSR + per-edge ring-position lane +
+/// per-node keys inside a [`SmallWorldNetwork::freeze_to`] directory.
+const CONTACTS_FILE: &str = "contacts.swt";
+/// File holding the frozen long-link CSR.
+const LONG_FILE: &str = "long.swt";
 
 /// A small-world network per the paper's construction: every peer has its
 /// interval/ring neighbours (keeping the graph connected, §3) plus the
 /// sampled long-range links.
 ///
-/// Adjacency lives in two CSR [`Topology`](sw_graph::Topology) tables —
-/// `long` (just the sampled long links, with their incoming transpose)
-/// and `contact_table` (neighbour edges + long links, the rows greedy
-/// routing reads) — so neighbour access is a slice into one flat array
-/// rather than a per-peer heap allocation.
-#[derive(Clone)]
+/// The full contact table (neighbour edges + long links, the rows greedy
+/// routing reads) lives in a key-aligned SoA
+/// [`RouteTable`](sw_overlay::RouteTable): one flat CSR plus a per-edge
+/// ring-position lane, built once during construction and scanned by the
+/// chunked greedy kernels. A freshly built network keeps it on the heap;
+/// [`SmallWorldNetwork::open_from`] reopens a frozen network with the
+/// table backed by a flat file arena instead — same routing code, and
+/// the whole routing table loads as one allocation (or an mmap). The long-link CSR is kept separately (with its
+/// incoming transpose) for the maintenance/refresh APIs.
 pub struct SmallWorldNetwork {
     placement: Placement,
     /// The density used for link construction (the *assumed* `f̂`).
@@ -30,10 +44,30 @@ pub struct SmallWorldNetwork {
     /// Long-range links only (CSR, incoming transpose included).
     long: CsrTopology,
     /// Full routing table: neighbours + long links (+ incoming links when
-    /// `config.bidirectional`).
-    contact_table: CsrTopology,
+    /// `config.bidirectional`), with the key-aligned position lanes.
+    route_table: RouteTable,
+    /// Lazily materialized heap view of the contact CSR for arena-backed
+    /// (reopened) networks — [`Overlay::topology`] hands out a
+    /// `&CsrTopology`, and metrics consumers are not on the hot path.
+    contact_heap: OnceLock<CsrTopology>,
     /// Display label, e.g. `"sw(uniform,exact)"`.
     label: String,
+}
+
+impl Clone for SmallWorldNetwork {
+    fn clone(&self) -> Self {
+        SmallWorldNetwork {
+            placement: self.placement.clone(),
+            assumed: self.assumed.clone(),
+            cdf: self.cdf.clone(),
+            config: self.config,
+            long: self.long.clone(),
+            route_table: self.route_table.clone(),
+            // The cache is cheap to rebuild; don't clone a large CSR.
+            contact_heap: OnceLock::new(),
+            label: self.label.clone(),
+        }
+    }
 }
 
 impl std::fmt::Debug for SmallWorldNetwork {
@@ -56,26 +90,46 @@ impl SmallWorldNetwork {
         long: CsrTopology,
         label: String,
     ) -> Self {
+        Self::assemble_with_threads(placement, assumed, config, long, label, 0)
+    }
+
+    /// [`SmallWorldNetwork::assemble`] with an explicit worker-thread
+    /// count for the freeze-time SoA position gather (`0` = auto; the
+    /// gather is a pure per-edge function, so the table is bit-identical
+    /// for every thread count).
+    pub(crate) fn assemble_with_threads(
+        placement: Placement,
+        assumed: Arc<dyn KeyDistribution>,
+        config: SmallWorldConfig,
+        long: CsrTopology,
+        label: String,
+        threads: usize,
+    ) -> Self {
         let cdf = placement
             .keys()
             .iter()
             .map(|k| assumed.cdf(k.get()))
             .collect();
         let contact_table = build_contact_table(&placement, &long, config.bidirectional);
+        let route_table = build_route_table(&placement, contact_table, threads);
         SmallWorldNetwork {
             placement,
             assumed,
             cdf,
             config,
             long,
-            contact_table,
+            route_table,
+            contact_heap: OnceLock::new(),
             label,
         }
     }
 
-    /// Replaces the long-link topology and rebuilds the contact table.
+    /// Replaces the long-link topology and rebuilds the contact table
+    /// (and its SoA position lanes).
     fn set_long_topology(&mut self, long: CsrTopology) {
-        self.contact_table = build_contact_table(&self.placement, &long, self.config.bidirectional);
+        let contact_table = build_contact_table(&self.placement, &long, self.config.bidirectional);
+        self.route_table = build_route_table(&self.placement, contact_table, 0);
+        self.contact_heap = OnceLock::new();
         self.long = long;
     }
 
@@ -197,6 +251,120 @@ impl SmallWorldNetwork {
     pub fn routing_survey(&self, queries: usize, rng: &mut Rng) -> RoutingSurvey {
         RoutingSurvey::run(self, queries, TargetModel::MemberKeys, rng)
     }
+
+    /// The key-aligned SoA routing table greedy routing scans (shared by
+    /// `Arc` — cloning the handle shares the lanes).
+    pub fn route_table(&self) -> &RouteTable {
+        &self.route_table
+    }
+
+    /// The heap view of the full contact CSR. Direct for freshly built
+    /// networks; materialized once (and cached) for arena-backed ones.
+    fn contact_csr(&self) -> &CsrTopology {
+        match &**self.route_table.store() {
+            TopologyStore::Heap { topo, .. } => topo,
+            TopologyStore::Arena(_) => self
+                .contact_heap
+                .get_or_init(|| self.route_table.store().to_topology()),
+        }
+    }
+
+    /// Resident bytes of the routing state (contact CSR + position
+    /// lanes + long-link CSR) — the `bytes/peer` accounting E20 reports.
+    pub fn resident_bytes(&self) -> usize {
+        // Long-link CSR: two offset arrays (u32) + two edge arrays (u32).
+        let long_bytes = (self.long.len() + 1) * 8 + self.long.edge_count() * 8;
+        self.route_table.resident_bytes() + long_bytes
+    }
+
+    /// Freezes the overlay into flat arena files under `dir` (created if
+    /// missing): `contacts.swt` holds the contact CSR, the per-edge
+    /// ring-position lane and the per-node keys; `long.swt` holds the
+    /// long-link CSR. A 10⁷-peer overlay is built once, frozen, and
+    /// every later process reopens it with
+    /// [`SmallWorldNetwork::open_from`] without re-sampling a single
+    /// link (the routing table itself loads zero-copy).
+    ///
+    /// The construction *configuration* and the assumed density are not
+    /// serialized — the caller supplies the same ones on reopen (they
+    /// are code, not data).
+    pub fn freeze_to(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let node_pos: Vec<f64> = self.placement.keys().iter().map(|k| k.get()).collect();
+        self.route_table
+            .store()
+            .freeze_to(dir.join(CONTACTS_FILE), Some(&node_pos))?;
+        TopologyArena::build(&self.long, None, None).write_to(dir.join(LONG_FILE))?;
+        Ok(())
+    }
+
+    /// Reopens a network frozen with [`SmallWorldNetwork::freeze_to`].
+    ///
+    /// The contact table and its position lanes stay in the arena (one
+    /// bump allocation — or a lazy mapping under `sw-graph`'s `mmap`
+    /// feature — with zero per-edge work). The rest of the reopen is
+    /// O(n + m) but cheap and rebuild-free: the placement and its CDF
+    /// cache are rebuilt from the frozen per-node keys, and the
+    /// long-link CSR is unpacked onto the heap so the maintenance APIs
+    /// (refresh, link drops) keep working; none of the per-peer link
+    /// *sampling* reruns, which is why E20 measures reopen at a small
+    /// fraction of construction time. Routing over the reopened network
+    /// is bit-identical to routing over the original.
+    pub fn open_from(
+        dir: impl AsRef<Path>,
+        config: SmallWorldConfig,
+        assumed: Arc<dyn KeyDistribution>,
+    ) -> io::Result<SmallWorldNetwork> {
+        let dir = dir.as_ref();
+        // TopologyStore::open picks mmap when the feature is enabled.
+        let contacts = Arc::new(TopologyStore::open(dir.join(CONTACTS_FILE))?);
+        let node_pos = contacts.node_pos().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frozen overlay carries no per-node keys",
+            )
+        })?;
+        // Key::clamped is the identity on stored keys (they were valid
+        // [0, 1) values), so the placement is bit-identical.
+        let keys: Vec<Key> = node_pos.iter().map(|&p| Key::clamped(p)).collect();
+        let placement = Placement::from_keys(keys, config.topology, assumed.name())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let long = TopologyArena::open(dir.join(LONG_FILE))?.to_topology();
+        let cdf = placement
+            .keys()
+            .iter()
+            .map(|k| assumed.cdf(k.get()))
+            .collect();
+        let label = format!("sw({},{})", assumed.name(), config.sampler.label());
+        let route_table = RouteTable::from_store(contacts).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frozen overlay carries no per-edge position lane",
+            )
+        })?;
+        Ok(SmallWorldNetwork {
+            placement,
+            assumed,
+            cdf,
+            config,
+            long,
+            route_table,
+            contact_heap: OnceLock::new(),
+            label,
+        })
+    }
+}
+
+/// Builds the SoA routing table for a contact CSR: one parallel gather
+/// of each contact's ring position into the per-edge lane.
+fn build_route_table(
+    placement: &Placement,
+    contact_table: CsrTopology,
+    threads: usize,
+) -> RouteTable {
+    let node_pos: Vec<f64> = placement.keys().iter().map(|k| k.get()).collect();
+    RouteTable::build_parallel(contact_table, &node_pos, threads)
 }
 
 /// Builds the full routing table: topology neighbours first, then long
@@ -228,7 +396,20 @@ impl Overlay for SmallWorldNetwork {
     }
 
     fn topology(&self) -> &CsrTopology {
-        &self.contact_table
+        self.contact_csr()
+    }
+
+    /// Routes through whichever greedy kernel wins at this network's
+    /// size (the two are bit-identical, so this is pure perf policy —
+    /// see [`RouteTable::prefers_soa`]): the chunked SoA lanes for
+    /// arena-backed or ≥10⁶-peer tables, the slice-based reference
+    /// while the key array is still cache-resident.
+    fn route(&self, from: NodeId, target: Key, opts: &RouteOptions) -> RouteResult {
+        if self.route_table.prefers_soa() {
+            greedy_route_on(&self.placement, &self.route_table, from, target, opts)
+        } else {
+            sw_overlay::greedy_route(&self.placement, self.contact_csr(), from, target, opts)
+        }
     }
 }
 
@@ -295,6 +476,86 @@ mod tests {
         let p = net.placement();
         let d_key = (p.key(10).get() - p.key(90).get()).abs();
         assert!((net.mass_between(10, 90) - d_key).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freeze_open_round_trip_is_bit_identical() {
+        use sw_overlay::route::RouteOptions;
+        let mut rng = Rng::new(41);
+        let net = SmallWorldBuilder::new(512)
+            .distribution(Box::new(
+                sw_keyspace::distribution::TruncatedPareto::new(1.5, 0.02).unwrap(),
+            ))
+            .build(&mut rng)
+            .unwrap();
+        let dir = std::env::temp_dir().join("sw-core-freeze-test");
+        net.freeze_to(&dir).unwrap();
+        let reopened =
+            SmallWorldNetwork::open_from(&dir, *net.config(), net.assumed().clone()).unwrap();
+        // Placement keys, contact CSR, position lanes and long CSR all
+        // round-trip bit-for-bit.
+        assert_eq!(net.placement().keys(), reopened.placement().keys());
+        assert_eq!(net.topology(), reopened.topology());
+        assert_eq!(net.long_topology(), reopened.long_topology());
+        let a: Vec<u64> = net
+            .route_table()
+            .store()
+            .edge_pos()
+            .unwrap()
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        let b: Vec<u64> = reopened
+            .route_table()
+            .store()
+            .edge_pos()
+            .unwrap()
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        assert_eq!(a, b);
+        // And routes are hop-for-hop identical.
+        let opts = RouteOptions::for_n(512);
+        let workload = sw_overlay::route::survey_queries(
+            net.placement(),
+            300,
+            TargetModel::MemberKeys,
+            &mut rng,
+        );
+        for (from, target) in workload {
+            assert_eq!(
+                net.route(from, target, &opts),
+                reopened.route(from, target, &opts)
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_from_missing_dir_errors() {
+        let dir = std::env::temp_dir().join("sw-core-freeze-test-missing");
+        std::fs::remove_dir_all(&dir).ok();
+        let err = SmallWorldNetwork::open_from(
+            &dir,
+            SmallWorldConfig::default(),
+            Arc::new(sw_keyspace::distribution::Uniform),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn reopened_network_survey_matches_original() {
+        let mut rng = Rng::new(43);
+        let net = SmallWorldBuilder::new(256).build(&mut rng).unwrap();
+        let dir = std::env::temp_dir().join("sw-core-freeze-survey-test");
+        net.freeze_to(&dir).unwrap();
+        let reopened =
+            SmallWorldNetwork::open_from(&dir, *net.config(), net.assumed().clone()).unwrap();
+        let a = net.routing_survey(200, &mut Rng::new(9));
+        let b = reopened.routing_survey(200, &mut Rng::new(9));
+        assert_eq!(a.successes, b.successes);
+        assert_eq!(a.hop_samples, b.hop_samples);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

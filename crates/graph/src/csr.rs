@@ -25,6 +25,10 @@ pub struct Topology {
     in_offsets: Vec<u32>,
     /// All incoming edges, grouped by destination peer, in source order.
     in_edges: Vec<NodeId>,
+    /// True when every row is sorted ascending ([`Topology::has_edge`]
+    /// binary-searches instead of scanning). Derived from the data by
+    /// every constructor, so equal topologies always carry equal flags.
+    sorted: bool,
 }
 
 impl Topology {
@@ -35,6 +39,7 @@ impl Topology {
             edges: Vec::new(),
             in_offsets: vec![0; n + 1],
             in_edges: Vec::new(),
+            sorted: true,
         }
     }
 
@@ -70,11 +75,28 @@ impl Topology {
             "edge target in range"
         );
         let (in_offsets, in_edges) = transpose(n, &offsets, &edges);
+        Topology::from_parts(offsets, edges, in_offsets, in_edges)
+    }
+
+    /// Assembles a topology from already-built CSR arrays (the storage
+    /// backends unpack frozen arenas through this). The sorted-rows flag
+    /// is recomputed from the data, so a round-trip through an arena is
+    /// bit-identical, flag included.
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        edges: Vec<NodeId>,
+        in_offsets: Vec<u32>,
+        in_edges: Vec<NodeId>,
+    ) -> Topology {
+        debug_assert_eq!(offsets.len(), in_offsets.len());
+        debug_assert_eq!(edges.len(), in_edges.len());
+        let sorted = rows_sorted(&offsets, &edges);
         Topology {
             offsets,
             edges,
             in_offsets,
             in_edges,
+            sorted,
         }
     }
 
@@ -119,9 +141,47 @@ impl Topology {
         (self.in_offsets[u as usize + 1] - self.in_offsets[u as usize]) as usize
     }
 
-    /// True if the edge `u → v` exists.
+    /// True if the edge `u → v` exists. Rows frozen sorted (every
+    /// [`LinkTable::build`] output) are binary-searched; topologies
+    /// packed from unsorted rows fall back to the linear scan.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.neighbors(u).contains(&v)
+        if self.sorted {
+            self.neighbors(u).binary_search(&v).is_ok()
+        } else {
+            self.neighbors(u).contains(&v)
+        }
+    }
+
+    /// True when every edge row is sorted ascending (established at
+    /// freeze by [`LinkTable::build`] and preserved by the edge-filter
+    /// and storage paths).
+    pub fn rows_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Raw out-edge offsets (`n + 1` entries) — the flat arrays storage
+    /// backends and SoA routing kernels index directly.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Raw out-edge array, grouped by source peer.
+    #[inline]
+    pub fn edges(&self) -> &[NodeId] {
+        &self.edges
+    }
+
+    /// Raw in-edge offsets (`n + 1` entries).
+    #[inline]
+    pub fn in_offsets(&self) -> &[u32] {
+        &self.in_offsets
+    }
+
+    /// Raw in-edge array, grouped by destination peer.
+    #[inline]
+    pub fn in_edges(&self) -> &[NodeId] {
+        &self.in_edges
     }
 
     /// Mean out-degree.
@@ -167,12 +227,7 @@ impl Topology {
             offsets.push(edges.len() as u32);
         }
         let (in_offsets, in_edges) = transpose(n, &offsets, &edges);
-        Topology {
-            offsets,
-            edges,
-            in_offsets,
-            in_edges,
-        }
+        Topology::from_parts(offsets, edges, in_offsets, in_edges)
     }
 
     /// A copy with peer `u`'s row replaced (used by link refresh paths;
@@ -196,6 +251,15 @@ impl Topology {
         }
         g
     }
+}
+
+/// True if every CSR row is sorted ascending.
+fn rows_sorted(offsets: &[u32], edges: &[NodeId]) -> bool {
+    offsets.windows(2).all(|w| {
+        edges[w[0] as usize..w[1] as usize]
+            .windows(2)
+            .all(|e| e[0] <= e[1])
+    })
 }
 
 /// One counting-sort pass: out-CSR → in-CSR.
@@ -271,8 +335,16 @@ impl LinkTable {
         &self.rows[u as usize]
     }
 
-    /// Freezes the table into a CSR [`Topology`].
-    pub fn build(self) -> Topology {
+    /// Freezes the table into a CSR [`Topology`]. Every row is sorted
+    /// ascending at this point, so [`Topology::has_edge`] runs as a
+    /// binary search and frozen arenas inherit the invariant. (Row order
+    /// was never part of the routing contract — greedy selection ranks
+    /// by distance — so sorting here only changes which of two
+    /// *exactly* equidistant contacts wins a tie.)
+    pub fn build(mut self) -> Topology {
+        for row in &mut self.rows {
+            row.sort_unstable();
+        }
         Topology::from_rows(&self.rows)
     }
 }
@@ -358,6 +430,49 @@ mod tests {
         let t = lt.build();
         assert_eq!(t.edge_count(), 3);
         assert_eq!(t.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn link_table_freezes_sorted_rows() {
+        let mut lt = LinkTable::new(6);
+        lt.add_all(0, [5, 2, 4, 1]);
+        lt.add_all(3, [4, 0]);
+        let t = lt.build();
+        assert!(t.rows_sorted());
+        assert_eq!(t.neighbors(0), &[1, 2, 4, 5]);
+        assert_eq!(t.neighbors(3), &[0, 4]);
+        // Binary-search membership agrees with the linear contract.
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                assert_eq!(t.has_edge(u, v), t.neighbors(u).contains(&v), "{u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_on_unsorted_rows_still_scans() {
+        // from_rows preserves rows verbatim, so unsorted input must use
+        // the linear fallback.
+        let t = Topology::from_rows(&[vec![3, 1], vec![], vec![0], vec![]]);
+        assert!(!t.rows_sorted());
+        assert!(t.has_edge(0, 3));
+        assert!(t.has_edge(0, 1));
+        assert!(!t.has_edge(0, 2));
+    }
+
+    #[test]
+    fn sorted_flag_survives_filter_and_with_row() {
+        let mut lt = LinkTable::new(5);
+        lt.add_all(0, [4, 2, 1]);
+        lt.add_all(2, [3, 0]);
+        let t = lt.build();
+        let f = t.filter_edges(|_, v| v != 2);
+        assert!(f.rows_sorted(), "filtering a sorted topology stays sorted");
+        assert!(f.has_edge(0, 4));
+        assert!(!f.has_edge(0, 2));
+        let r = t.with_row(2, &[0, 1, 4]);
+        assert!(r.rows_sorted());
+        assert!(r.has_edge(2, 4));
     }
 
     #[test]

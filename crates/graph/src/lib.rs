@@ -1,12 +1,38 @@
 //! # sw-graph
 //!
-//! Directed-graph substrate and the two classic small-world constructions
-//! the paper builds on (systems S5–S7 of `DESIGN.md`):
+//! Graph substrate: adjacency *representations*, their *storage
+//! backends*, and the classic small-world constructions the paper builds
+//! on (systems S5–S7 of `DESIGN.md`).
 //!
-//! * [`csr`] — the flat CSR [`Topology`] (offsets + edges, plus an
-//!   incoming-edge CSR built by one counting-sort pass) that every
-//!   overlay stores its adjacency in, and the shared [`LinkTable`]
-//!   construction builder.
+//! ## Adjacency and storage layers
+//!
+//! Topology data moves through three layers, each frozen from the one
+//! above:
+//!
+//! 1. **Editing** — [`digraph::DiGraph`], a mutable adjacency-list
+//!    digraph for algorithms that insert/remove edges, and the shared
+//!    [`LinkTable`] construction builder that overlays append per-peer
+//!    contact rows into.
+//! 2. **Frozen heap CSR** — [`csr::Topology`]: all out-edges in one flat
+//!    `edges` array indexed by `offsets`, plus the incoming-edge CSR
+//!    built by one counting-sort pass. Rows are sorted ascending at
+//!    freeze ([`LinkTable::build`]), so membership tests binary-search.
+//!    This is what every overlay routes over at experiment scale.
+//! 3. **Storage backends** — [`store::TopologyStore`]: the heap CSR
+//!    *or* a [`store::TopologyArena`], a flat file-arena image (header +
+//!    `offsets`/`edges`/`in_offsets`/`in_edges` + optional per-edge and
+//!    per-node `f64` lanes) living in **one** 8-byte-aligned bump
+//!    allocation. The arena freezes to disk with a single write and
+//!    reopens with a single read — O(1) allocations for a 10⁷-peer
+//!    overlay — or memory-maps under the `mmap` feature. The per-edge
+//!    lane carries the key-aligned ring positions `sw-overlay`'s SoA
+//!    routing kernels scan.
+//!
+//! ## Modules
+//!
+//! * [`csr`] — flat CSR [`Topology`] + [`LinkTable`] builder.
+//! * [`store`] — pluggable topology storage: [`TopologyStore`] over the
+//!   heap CSR and the frozen [`TopologyArena`] file format.
 //! * [`par`] — deterministic fork/join helpers over scoped std threads
 //!   (the workspace builds offline, so no `rayon`): parallel per-peer
 //!   construction and batched routing build on these.
@@ -31,8 +57,10 @@ pub mod digraph;
 pub mod kleinberg;
 pub mod metrics;
 pub mod par;
+pub mod store;
 pub mod watts_strogatz;
 
 pub use csr::{LinkTable, Topology};
 pub use digraph::{DiGraph, NodeId};
 pub use metrics::GraphMetrics;
+pub use store::{TopologyArena, TopologyStore};

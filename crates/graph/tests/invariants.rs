@@ -198,3 +198,68 @@ proptest! {
         prop_assert_eq!(g.edge_count(), 2 * n * k);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arena freeze → file → open round-trips every CSR array and lane
+    /// bit-identically, for any row shape (sorted or not, with dups).
+    #[test]
+    fn arena_file_round_trip(n in 1usize..48, max_row in 0usize..10, seed in any::<u64>()) {
+        use sw_graph::TopologyArena;
+        let rows = random_rows(n, max_row, seed);
+        let topo = Topology::from_rows(&rows);
+        let m = topo.edge_count();
+        let edge_pos: Vec<f64> = (0..m).map(|e| (e as f64) / (m.max(1) as f64)).collect();
+        let node_pos: Vec<f64> = (0..n).map(|i| (i as f64) / (n as f64)).collect();
+        let arena = TopologyArena::build(&topo, Some(&edge_pos), Some(&node_pos));
+        let dir = std::env::temp_dir().join("sw-graph-invariants");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("arena-{seed}-{n}-{max_row}.swt"));
+        arena.write_to(&path).unwrap();
+        let opened = TopologyArena::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(opened.offsets(), topo.offsets());
+        prop_assert_eq!(opened.edges(), topo.edges());
+        prop_assert_eq!(opened.in_offsets(), topo.in_offsets());
+        prop_assert_eq!(opened.in_edges(), topo.in_edges());
+        prop_assert_eq!(opened.rows_sorted(), topo.rows_sorted());
+        let a: Vec<u64> = opened.edge_pos().unwrap().iter().map(|f| f.to_bits()).collect();
+        let b: Vec<u64> = edge_pos.iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(a, b);
+        let c: Vec<u64> = opened.node_pos().unwrap().iter().map(|f| f.to_bits()).collect();
+        let d: Vec<u64> = node_pos.iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(c, d);
+        // Full heap materialization is the identity.
+        prop_assert_eq!(opened.to_topology(), topo);
+    }
+
+    /// Sorted-at-freeze: `LinkTable::build` rows are sorted, `has_edge`
+    /// (binary search) agrees with membership, and the sorted flag
+    /// survives `filter_edges`.
+    #[test]
+    fn frozen_rows_sorted_and_searchable(n in 2usize..48, max_row in 0usize..10, seed in any::<u64>()) {
+        use sw_graph::LinkTable;
+        let rows = random_rows(n, max_row, seed);
+        let mut lt = LinkTable::new(n);
+        for (u, row) in rows.iter().enumerate() {
+            lt.add_all(u as NodeId, row.iter().copied().filter(|&v| v != u as NodeId));
+        }
+        let topo = lt.build();
+        prop_assert!(topo.rows_sorted());
+        for u in 0..n as NodeId {
+            let row = topo.neighbors(u);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            for v in 0..n as NodeId {
+                prop_assert_eq!(topo.has_edge(u, v), row.contains(&v));
+            }
+        }
+        let filtered = topo.filter_edges(|u, v| (u + v) % 3 != 0);
+        prop_assert!(filtered.rows_sorted());
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                prop_assert_eq!(filtered.has_edge(u, v), filtered.neighbors(u).contains(&v));
+            }
+        }
+    }
+}

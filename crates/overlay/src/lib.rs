@@ -33,13 +33,15 @@ pub mod pastry;
 pub mod pgrid;
 pub mod placement;
 pub mod route;
+pub mod soa;
 pub mod symphony;
 
 pub use placement::{Placement, PlacementError};
 pub use route::{
-    greedy_candidates, greedy_route, greedy_step, Overlay, RingView, RouteOptions, RouteResult,
-    RoutingSurvey,
+    greedy_candidates, greedy_candidates_soa, greedy_route, greedy_step, greedy_step_soa, Overlay,
+    RingView, RouteOptions, RouteResult, RoutingSurvey,
 };
+pub use soa::{greedy_route_on, RouteTable};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {

@@ -162,3 +162,101 @@ proptest! {
         prop_assert_eq!(g.max_depth(), want);
     }
 }
+
+/// Checks that every per-edge lane in `table` is exactly the key of the
+/// CSR edge it sits next to.
+fn assert_lanes_aligned(table: &sw_overlay::RouteTable, topo: &sw_graph::Topology, p: &Placement) {
+    assert_eq!(table.len(), topo.len());
+    assert_eq!(table.edge_count(), topo.edge_count());
+    for u in 0..topo.len() as u32 {
+        let (ids, pos) = table.row(u);
+        assert_eq!(ids, topo.neighbors(u), "row {u} ids");
+        for (&v, &q) in ids.iter().zip(pos) {
+            assert_eq!(q.to_bits(), p.key(v).get().to_bits(), "lane {u}->{v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The SoA position lanes stay exactly aligned with the CSR edges
+    /// through `filter_edges`, `with_row` and degraded views: rebuilding
+    /// the table from any derived topology yields lanes that are the
+    /// keys of the derived edges, index for index.
+    #[test]
+    fn soa_lanes_stay_aligned_through_topology_edits(
+        seed in any::<u64>(),
+        n in 24usize..96,
+        k in 1usize..4,
+        drop in 0.0f64..1.0,
+    ) {
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+        let o = Symphony::build(p.clone(), k, true, &mut rng);
+        let base = o.topology().clone();
+        let table = sw_overlay::RouteTable::build(base.clone(), |v| p.key(v).get());
+        assert_lanes_aligned(&table, &base, &p);
+
+        // filter_edges: drop a ~`drop` fraction via a hash predicate.
+        let filtered = base.filter_edges(|u, v| {
+            let h = (u ^ v.rotate_left(16)).wrapping_mul(2654435761) % 1000;
+            (h as f64 / 1000.0) >= drop
+        });
+        let ft = sw_overlay::RouteTable::build(filtered.clone(), |v| p.key(v).get());
+        assert_lanes_aligned(&ft, &filtered, &p);
+
+        // with_row: replace one peer's row.
+        let u = (seed % n as u64) as u32;
+        let new_row: Vec<u32> = (0..n as u32).filter(|&v| v != u && v % 7 == 0).collect();
+        let rewired = base.with_row(u, &new_row);
+        let rt = sw_overlay::RouteTable::build(rewired.clone(), |v| p.key(v).get());
+        assert_lanes_aligned(&rt, &rewired, &p);
+
+        // Degraded view: kill peers + drop long links, then rebuild.
+        let d = sw_overlay::degraded::DegradedOverlay::new(&o)
+            .kill_random(0.2, &mut rng)
+            .drop_long_links(drop, &mut rng);
+        let dt = sw_overlay::RouteTable::build(d.topology().clone(), |v| p.key(v).get());
+        assert_lanes_aligned(&dt, d.topology(), &p);
+
+        // And the chunked kernel agrees with the reference over the
+        // degraded rows (the bit-identity contract under degradation).
+        let opts = RouteOptions { max_hops: n as u32, record_path: true };
+        for _ in 0..16 {
+            let from = d.random_alive(&mut rng);
+            let target = p.key(d.random_alive(&mut rng));
+            let a = sw_overlay::greedy_route(&p, d.topology(), from, target, &opts);
+            let b = sw_overlay::greedy_route_on(&p, &dt, from, target, &opts);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// `freeze_to` → `open_from` round-trips the whole routing table —
+    /// CSR arrays and position lanes — bit-identically.
+    #[test]
+    fn route_table_freeze_open_round_trip(
+        seed in any::<u64>(),
+        n in 24usize..96,
+        k in 1usize..4,
+    ) {
+        let mut rng = Rng::new(seed);
+        let p = Placement::sample(n, &Uniform, Topology::Ring, &mut rng);
+        let o = Symphony::build(p.clone(), k, true, &mut rng);
+        let table = sw_overlay::RouteTable::build(o.topology().clone(), |v| p.key(v).get());
+        let dir = std::env::temp_dir().join("sw-overlay-invariants");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("rt-{seed}-{n}.swt"));
+        let keys: Vec<f64> = p.keys().iter().map(|x| x.get()).collect();
+        table.freeze_to(&path, Some(&keys)).unwrap();
+        let reopened = sw_overlay::RouteTable::open_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(reopened.store().to_topology(), o.topology().clone());
+        let a: Vec<u64> = table.store().edge_pos().unwrap().iter().map(|f| f.to_bits()).collect();
+        let b: Vec<u64> = reopened.store().edge_pos().unwrap().iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(a, b);
+        let nk: Vec<u64> = reopened.store().node_pos().unwrap().iter().map(|f| f.to_bits()).collect();
+        let ok: Vec<u64> = keys.iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(nk, ok);
+    }
+}

@@ -515,12 +515,16 @@ impl Simulator {
                 _ => break,
             }
         }
+        // One shared SoA snapshot for the whole batch: every worker
+        // scans the same Arc'd key-aligned lanes instead of re-walking
+        // per-node views (and re-filtering dead contacts) per probe.
+        let table = self.route_table_snapshot();
         let threads = self.cfg.parallelism;
         let this = &*self;
         let outcomes = par::par_map_grained(pairs.len(), threads, 64, |i| {
             let (from, target_id) = pairs[i];
             let target = this.nodes[target_id as usize].key;
-            let outcome = this.probe_walk(from, target);
+            let outcome = this.probe_walk(&table, from, target);
             (outcome.final_node == target_id, outcome.hops)
         });
         let mut hops = OnlineStats::new();
@@ -556,6 +560,17 @@ impl Simulator {
             lt.add_all(u, node.long.iter().filter(|v| alive(v)).copied());
         }
         lt.build()
+    }
+
+    /// [`Simulator::topology_snapshot`] plus the key-aligned SoA lanes:
+    /// the frozen live state as a [`RouteTable`](sw_overlay::RouteTable)
+    /// whose backing store is shared via `Arc` — measurement probes,
+    /// metrics readers and external consumers all scan the *same* frozen
+    /// lanes, none re-freezes its own copy.
+    pub fn route_table_snapshot(&self) -> sw_overlay::RouteTable {
+        let topo = self.topology_snapshot();
+        let nodes = &self.nodes;
+        sw_overlay::RouteTable::build(topo, |v| nodes[v as usize].key.get())
     }
 
     // ----- event dispatch -------------------------------------------
@@ -2565,40 +2580,27 @@ impl Simulator {
         links
     }
 
-    /// One *synchronous* greedy walk over current local views — the
+    /// One *synchronous* greedy walk over the frozen SoA snapshot — the
     /// measurement probe path only (probes freeze time; workload walks
-    /// go through the message plane). Shares the per-hop contact
-    /// selection with the async walks via [`sw_overlay::RingView`].
-    fn probe_walk(&self, from: u32, target: Key) -> WalkOutcome {
+    /// go through the message plane over live [`sw_overlay::RingView`]s).
+    ///
+    /// The snapshot already filters dead contacts and self-loops, so
+    /// scanning its key-aligned lanes selects exactly the contact the
+    /// old view-plus-exclusion walk selected (greedy over "view minus
+    /// dead" ≡ greedy over the alive-only row), without a `HashSet` or a
+    /// per-candidate key gather.
+    fn probe_walk(&self, table: &sw_overlay::RouteTable, from: u32, target: Key) -> WalkOutcome {
         let mut cur = from;
         let mut hops = 0u32;
-        let mut excluded: HashSet<u32> = HashSet::new();
         let max_hops = 64 + 8 * (self.alive.len().max(2) as f64).log2().ceil() as u32;
         loop {
             let cur_d = Metric::Ring.distance(self.nodes[cur as usize].key, target);
             if cur_d == 0.0 {
                 break;
             }
-            let node = &self.nodes[cur as usize];
-            let view = sw_overlay::RingView {
-                pred: node.pred,
-                succ: &node.succ,
-                long: &node.long,
+            let Some((next, _)) = table.step(Metric::Ring, cur, target, cur_d) else {
+                break; // local minimum in the frozen view
             };
-            let step = view.step(
-                Metric::Ring,
-                target,
-                cur_d,
-                |v| v == cur || excluded.contains(&v),
-                |v| self.nodes[v as usize].key,
-            );
-            let Some((next, _)) = step else {
-                break; // local minimum in the live view
-            };
-            if !self.nodes[next as usize].alive {
-                excluded.insert(next);
-                continue;
-            }
             hops += 1;
             cur = next;
             if hops >= max_hops {
@@ -2758,6 +2760,27 @@ mod tests {
         assert_eq!(sim.metrics().lookups, before);
         assert!(ok > 0.99);
         assert!(hops.mean() > 0.0);
+    }
+
+    #[test]
+    fn route_table_snapshot_lanes_align_with_topology() {
+        let cfg = SimConfig {
+            churn: ChurnConfig::symmetric(4.0),
+            ..quiet_config(12, 256)
+        };
+        let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+        sim.run_until(SimTime::from_secs(45));
+        let topo = sim.topology_snapshot();
+        let table = sim.route_table_snapshot();
+        assert_eq!(table.len(), topo.len());
+        assert_eq!(table.edge_count(), topo.edge_count());
+        for u in 0..topo.len() as u32 {
+            let (ids, pos) = table.row(u);
+            assert_eq!(ids, topo.neighbors(u));
+            for (&v, &p) in ids.iter().zip(pos) {
+                assert_eq!(p.to_bits(), sim.nodes[v as usize].key.get().to_bits());
+            }
+        }
     }
 
     #[test]

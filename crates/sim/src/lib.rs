@@ -133,8 +133,17 @@
 //!   how work is chunked, never what is computed.
 //!
 //! Measurement probes ([`Simulator::probe_lookups`],
-//! [`Simulator::topology_snapshot`]) read the *live* state at frozen
-//! time and never touch the plane or the workload metrics.
+//! [`Simulator::topology_snapshot`],
+//! [`Simulator::route_table_snapshot`]) read the *live* state at frozen
+//! time and never touch the plane or the workload metrics. A probe
+//! batch freezes the live contact state **once** into a key-aligned SoA
+//! [`sw_overlay::RouteTable`] (CSR rows + contiguous per-edge ring
+//! positions, shared via `Arc` with `topology_snapshot` consumers), and
+//! every probe walk scans those frozen lanes through the chunked greedy
+//! kernel — the same code path E20's large-`n` static routing uses. The
+//! in-flight plane walks keep routing over live [`sw_overlay::RingView`]s
+//! (their views mutate under churn mid-walk, which is the point), with
+//! contact selection bit-identical between the two paths.
 
 pub mod engine;
 pub mod latency;

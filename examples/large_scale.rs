@@ -1,0 +1,86 @@
+//! Large-scale overlay via the frozen-arena path: build a Pareto-skewed
+//! small-world network, freeze it to flat arena files, reopen it (the
+//! contact arena loads in one allocation, no link re-sampling), and
+//! route over the key-aligned SoA table — printing
+//! construction and routing throughput plus resident bytes/peer.
+//!
+//! ```text
+//! cargo run --release --example large_scale            # default n = 20 000
+//! cargo run --release --example large_scale -- 1000000 # the 10⁶-peer run
+//! ```
+//!
+//! The default `n` is small so the example stays fast; pass the peer
+//! count as the first argument for real scale (the 10⁶-peer build needs
+//! a few GB of RAM and, single-threaded, tens of seconds). E20 sweeps
+//! the same pipeline up to 10⁷ peers.
+
+use smallworld::core::prelude::*;
+use smallworld::keyspace::prelude::*;
+use smallworld::overlay::route::{route_batch, survey_queries, RouteOptions, TargetModel};
+use smallworld::overlay::Overlay;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let queries = 4096.min(n);
+    let mut rng = Rng::new(2005);
+
+    println!("building a {n}-peer Pareto overlay (harmonic sampler)…");
+    let t0 = Instant::now();
+    let net = SmallWorldBuilder::new(n)
+        .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid")))
+        .sampler(LinkSampler::Harmonic)
+        .build(&mut rng)
+        .expect("n >= 4");
+    let construct_s = t0.elapsed().as_secs_f64();
+    println!(
+        "  built in {construct_s:.2}s ({:.0} peers/s), {:.1} bytes/peer resident",
+        n as f64 / construct_s,
+        net.resident_bytes() as f64 / n as f64,
+    );
+
+    // Freeze the whole overlay to flat arena files…
+    let dir = std::env::temp_dir().join(format!("sw-large-scale-{n}"));
+    let t0 = Instant::now();
+    net.freeze_to(&dir).expect("freeze overlay");
+    println!(
+        "  frozen to {} in {:.2}s",
+        dir.display(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // …and reopen: one read per file, zero per-peer work.
+    let config = *net.config();
+    let assumed = net.assumed().clone();
+    drop(net);
+    let t0 = Instant::now();
+    let net = SmallWorldNetwork::open_from(&dir, config, assumed).expect("reopen overlay");
+    println!(
+        "  reopened in {:.3}s (contact arena in one allocation; no link re-sampling)",
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Route a member-lookup workload over the SoA table.
+    let workload = survey_queries(net.placement(), queries, TargetModel::MemberKeys, &mut rng);
+    let opts = RouteOptions {
+        record_path: false,
+        ..RouteOptions::for_n(n)
+    };
+    let t0 = Instant::now();
+    let results = route_batch(&net, &workload, &opts, 0);
+    let route_s = t0.elapsed().as_secs_f64();
+    let ok = results.iter().filter(|r| r.success).count();
+    let hops: f64 =
+        results.iter().map(|r| r.hops as f64).sum::<f64>() / results.len().max(1) as f64;
+    println!(
+        "  routed {queries} lookups in {route_s:.3}s ({:.0} routes/s), \
+         {ok}/{queries} delivered, {hops:.2} mean hops (log2 n = {:.1})",
+        queries as f64 / route_s,
+        (n as f64).log2(),
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
