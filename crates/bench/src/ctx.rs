@@ -83,9 +83,94 @@ pub fn write_snapshot(file: &str, contents: &str) {
     println!("  wrote {file}");
 }
 
+/// Merges rows into a repo-root snapshot that is a JSON array with one
+/// `{...}` object per line, each carrying an `"id"` field. Rows whose id
+/// already exists replace the old line in place (keeping the file's
+/// order); new ids append. This lets independent experiments (E20's
+/// `scale/*` rows, E21's `shard/*` rows) share one `BENCH_scale.json`
+/// without clobbering each other's cells.
+///
+/// `rows` pairs each id with its full object literal (no trailing
+/// comma, one line).
+///
+/// # Panics
+///
+/// Panics if the final write fails, like [`write_snapshot`].
+pub fn merge_snapshot(file: &str, rows: &[(String, String)]) {
+    let mut kept: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(snapshot_path(file)) {
+        for line in existing.lines() {
+            let obj = line.trim().trim_end_matches(',');
+            if !obj.starts_with('{') {
+                continue;
+            }
+            if let Some(id) = extract_id(obj) {
+                kept.push((id, obj.to_string()));
+            }
+        }
+    }
+    for (id, obj) in rows {
+        match kept.iter_mut().find(|(k, _)| k == id) {
+            Some(slot) => slot.1 = obj.clone(),
+            None => kept.push((id.clone(), obj.clone())),
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, (_, obj)) in kept.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(obj);
+        out.push_str(if i + 1 < kept.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    write_snapshot(file, &out);
+}
+
+/// Pulls the `"id"` value out of a single-line JSON object literal.
+fn extract_id(obj: &str) -> Option<String> {
+    let rest = obj.split("\"id\":").nth(1)?;
+    let start = rest.find('"')? + 1;
+    let end = start + rest[start..].find('"')?;
+    Some(rest[start..end].to_string())
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`, a
+/// lifetime high-water mark — monotone across cells), or `None` where
+/// `/proc` is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Scratch directory for large intermediate artifacts (frozen arenas,
+/// shard section files). `SW_BENCH_SCRATCH` overrides the system temp
+/// dir — point it at `/dev/shm` or a big disk for the 10⁷/10⁸ cells.
+pub fn scratch_dir() -> PathBuf {
+    std::env::var_os("SW_BENCH_SCRATCH")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extract_id_finds_the_id_field() {
+        assert_eq!(
+            extract_id("{\"id\": \"scale/uniform/100\", \"n\": 100}").as_deref(),
+            Some("scale/uniform/100")
+        );
+        assert_eq!(extract_id("{\"n\": 100}"), None);
+    }
 
     #[test]
     fn quick_scales_down_with_floors() {

@@ -3,14 +3,18 @@
 //! freeze → reopen path, swept over n × {uniform, Pareto}.
 //!
 //! This is the experiment behind the ROADMAP's ">10⁷ peers" open item:
-//! the overlay is built once (parallel per-peer sampling, harmonic rule
-//! — the exact rule is `O(N)` per peer and quadratic in total), routed
-//! with **both** greedy kernels over the same workload — the slice-based
-//! reference and the chunked key-aligned SoA kernel — with the hop
-//! sequences asserted bit-identical, then frozen to a flat arena,
-//! reopened (O(1) allocations) and routed again. Writes
+//! the overlay is built once through the allocation-free arena pipeline
+//! (`build_frozen` on unix — per-peer sampling with the harmonic rule
+//! straight into write-through mappings of the destination files, so
+//! `construct_secs` covers the whole pipeline and `freeze_secs` ≈ 0;
+//! E21 compares this against the old heap path), then routed with **both** greedy
+//! kernels over the same workload — the slice-based reference and the
+//! chunked key-aligned SoA kernel — with the hop sequences asserted
+//! bit-identical, reopened *trusted* (no O(m) validation scans; we froze
+//! the file ourselves) and routed again. Each row also records which
+//! kernel `route()` auto-selects at that scale (`kernel_used`). Writes
 //! `BENCH_scale.json` (repo root, CI artifact) alongside the table and
-//! CSV.
+//! CSV; rows merge by id so E21's `shard/*` rows persist.
 //!
 //! The full sweep is n ∈ {10⁵, 10⁶, 10⁷}; `--quick` (CI smoke) runs
 //! {10⁴, 4·10⁴}. Set `SW_E20_MAX_N` to cap the sweep (e.g.
@@ -80,6 +84,8 @@ struct ScaleRow {
     routes_per_s_ref: f64,
     routes_per_s_soa: f64,
     kernel_speedup: f64,
+    /// Which kernel `SmallWorldNetwork::route` picks at this scale.
+    kernel_used: &'static str,
     bytes_per_peer: f64,
     freeze_s: f64,
     open_s: f64,
@@ -113,6 +119,7 @@ pub fn e20_scale(ctx: &Ctx) {
             "routes/s (ref)",
             "routes/s (SoA)",
             "kernel speedup",
+            "kernel used",
             "bytes/peer",
             "freeze (s)",
             "open (s)",
@@ -141,6 +148,7 @@ pub fn e20_scale(ctx: &Ctx) {
                 format!("{:.0}", row.routes_per_s_ref),
                 format!("{:.0}", row.routes_per_s_soa),
                 f2(row.kernel_speedup),
+                row.kernel_used.to_string(),
                 format!("{:.1}", row.bytes_per_peer),
                 f2(row.freeze_s),
                 f2(row.open_s),
@@ -165,8 +173,9 @@ pub fn e20_scale(ctx: &Ctx) {
     );
 }
 
-/// One (n, distribution) cell: build, route both kernels, freeze,
-/// reopen, route again, verify bit-identity throughout.
+/// One (n, distribution) cell: build straight into the arena (the
+/// pipeline E21 dissects), route both kernels, freeze, reopen
+/// *trusted*, route again, verify bit-identity throughout.
 fn run_cell(
     ctx: &Ctx,
     n: usize,
@@ -176,14 +185,33 @@ fn run_cell(
 ) -> ScaleRow {
     println!("  [e20] {dname} n={n}: building…");
     let mut rng = Rng::new(ctx.seed ^ 20 ^ n as u64);
-    let t0 = Instant::now();
-    let net = SmallWorldBuilder::new(n)
+    let builder = SmallWorldBuilder::new(n)
         .distribution(make_dist())
         .sampler(LinkSampler::Harmonic)
-        .parallelism(0)
-        .build(&mut rng)
-        .expect("n >= 4");
-    let construct_s = t0.elapsed().as_secs_f64();
+        .parallelism(0);
+    let dir = ctx::scratch_dir().join(format!(
+        "sw-e20-{}-{n}",
+        dname.replace(['(', ')', ','], "-")
+    ));
+    let t0 = Instant::now();
+    // Write-through build: the arenas are assembled inside mappings of
+    // the destination files, so construct_secs covers the whole pipeline
+    // and the freeze column collapses to ~0 (there is nothing left to
+    // copy when the build seals).
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    let (build, construct_s, freeze_s) = {
+        let b = builder.build_frozen(&mut rng, &dir).expect("n >= 4");
+        (b, t0.elapsed().as_secs_f64(), 0.0)
+    };
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    let (build, construct_s, freeze_s) = {
+        let b = builder.build_to_arena(&mut rng).expect("n >= 4");
+        let construct_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        b.freeze_to(&dir).expect("freeze overlay");
+        (b, construct_s, t0.elapsed().as_secs_f64())
+    };
+    let net = build.into_network();
 
     let workload = survey_queries(net.placement(), queries, TargetModel::MemberKeys, &mut rng);
     let opts = RouteOptions {
@@ -192,6 +220,9 @@ fn run_cell(
     };
 
     // Old kernel: the slice-based reference over the same contact table.
+    // The arena-backed network materializes its heap CSR lazily — warm
+    // it here so the timing below measures routing, not unpacking.
+    let _ = net.topology();
     let t0 = Instant::now();
     let ref_results = route_batch(&ReferenceKernel(&net), &workload, &opts, 0);
     let ref_s = t0.elapsed().as_secs_f64();
@@ -206,22 +237,21 @@ fn run_cell(
     let hops_mean =
         soa_results.iter().map(|r| r.hops as f64).sum::<f64>() / soa_results.len().max(1) as f64;
 
+    let kernel_used = if net.route_table().prefers_soa() {
+        "soa"
+    } else {
+        "reference"
+    };
     let bytes_per_peer = net.resident_bytes() as f64 / n as f64;
 
-    // Freeze → reopen → route the same workload over the arena-backed
-    // table; results must not change.
-    let dir = std::env::temp_dir().join(format!(
-        "sw-e20-{}-{n}",
-        dname.replace(['(', ')', ','], "-")
-    ));
-    let t0 = Instant::now();
-    net.freeze_to(&dir).expect("freeze overlay");
-    let freeze_s = t0.elapsed().as_secs_f64();
+    // Reopen the frozen dir without the O(m) validation scans (we froze
+    // it ourselves two steps ago) and route the same workload over the
+    // arena-backed table; results must not change.
     let config = *net.config();
     drop(net);
     let t0 = Instant::now();
-    let reopened =
-        SmallWorldNetwork::open_from(&dir, config, Arc::from(make_dist())).expect("reopen overlay");
+    let reopened = SmallWorldNetwork::open_from_trusted(&dir, config, Arc::from(make_dist()))
+        .expect("reopen overlay");
     let open_s = t0.elapsed().as_secs_f64();
     let reopened_results = route_batch(&reopened, &workload, &opts, 0);
     assert_eq!(
@@ -238,6 +268,7 @@ fn run_cell(
         routes_per_s_ref: queries as f64 / ref_s,
         routes_per_s_soa: queries as f64 / soa_s,
         kernel_speedup: ref_s / soa_s,
+        kernel_used,
         bytes_per_peer,
         freeze_s,
         open_s,
@@ -245,31 +276,34 @@ fn run_cell(
     }
 }
 
-/// Hand-rolled JSON snapshot (the workspace builds offline — no serde),
-/// via the shared `ctx` snapshot writer.
+/// Hand-rolled JSON rows (the workspace builds offline — no serde),
+/// merged by id into the shared snapshot so E21's `shard/*` rows
+/// survive an E20 run and vice versa.
 fn write_snapshot(rows: &[ScaleRow]) {
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"id\": \"{}\", \"n\": {}, \"construct_secs\": {:.4}, \
-             \"peers_per_sec\": {:.1}, \"routes_per_sec_reference\": {:.1}, \
-             \"routes_per_sec_soa\": {:.1}, \"kernel_speedup\": {:.4}, \
-             \"bytes_per_peer\": {:.1}, \"freeze_secs\": {:.4}, \
-             \"open_secs\": {:.4}, \"hops_mean\": {:.4}}}{}\n",
-            r.id,
-            r.n,
-            r.construct_s,
-            r.peers_per_s,
-            r.routes_per_s_ref,
-            r.routes_per_s_soa,
-            r.kernel_speedup,
-            r.bytes_per_peer,
-            r.freeze_s,
-            r.open_s,
-            r.hops_mean,
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("]\n");
-    ctx::write_snapshot("BENCH_scale.json", &out);
+    let merged: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            let obj = format!(
+                "{{\"id\": \"{}\", \"n\": {}, \"construct_secs\": {:.4}, \
+                 \"peers_per_sec\": {:.1}, \"routes_per_sec_reference\": {:.1}, \
+                 \"routes_per_sec_soa\": {:.1}, \"kernel_speedup\": {:.4}, \
+                 \"kernel_used\": \"{}\", \"bytes_per_peer\": {:.1}, \
+                 \"freeze_secs\": {:.4}, \"open_secs\": {:.4}, \"hops_mean\": {:.4}}}",
+                r.id,
+                r.n,
+                r.construct_s,
+                r.peers_per_s,
+                r.routes_per_s_ref,
+                r.routes_per_s_soa,
+                r.kernel_speedup,
+                r.kernel_used,
+                r.bytes_per_peer,
+                r.freeze_s,
+                r.open_s,
+                r.hops_mean,
+            );
+            (r.id.clone(), obj)
+        })
+        .collect();
+    ctx::merge_snapshot("BENCH_scale.json", &merged);
 }

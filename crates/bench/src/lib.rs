@@ -132,5 +132,10 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Scale: construction + old-vs-new routing kernels + freeze/reopen at n up to 10^7 (writes BENCH_scale.json)",
             experiments::scale::e20_scale,
         ),
+        (
+            "e21",
+            "Sharded zero-copy construction: heap vs arena pipeline, in-process and multi-process shards stitched byte-identically (writes BENCH_scale.json)",
+            experiments::shard::e21_shard,
+        ),
     ]
 }

@@ -23,15 +23,46 @@
 //!     .unwrap();
 //! # let _ = (m2, naive);
 //! ```
+//!
+//! # Construction pipeline
+//!
+//! Two paths produce the same network, bit for bit:
+//!
+//! - **Heap path** ([`SmallWorldBuilder::build`]): per-peer long rows →
+//!   heap CSR → `LinkTable` union with ring/interval neighbours →
+//!   contact CSR → SoA lanes. Flexible (supports `bidirectional`, feeds
+//!   the maintenance APIs) but allocates every intermediate.
+//! - **Arena path** ([`SmallWorldBuilder::build_to_arena`]): one
+//!   sampling pass into flat scratch, then count-then-fill writes
+//!   straight into the final [`TopologyArena`] images via
+//!   [`sw_graph::writer::ArenaWriter`] — no intermediate CSR, no
+//!   `LinkTable`, no per-row `Vec`s. The images equal what the heap
+//!   path's [`SmallWorldNetwork::freeze_to`] writes, byte for byte.
+//!
+//! Identity holds because both paths draw peer `u`'s links from RNG
+//! stream `u` of one build seed, and both emit contact rows as the
+//! sorted deduplicated union of neighbours and long links. That same
+//! per-peer stream discipline makes construction *shardable*:
+//! [`SmallWorldBuilder::build_shard`] builds any peer range — in this
+//! process or another machine — into portable
+//! [`sw_graph::writer::ArenaSection`]s, and
+//! [`sw_graph::writer::stitch`] reassembles the monolithic image from
+//! any shard partition, in any completion order.
 
 use crate::config::{LinkSampler, MassThreshold, OutDegree, SmallWorldConfig};
 use crate::links::LinkSelector;
-use crate::network::SmallWorldNetwork;
+use crate::network::{SmallWorldNetwork, CONTACTS_FILE, LONG_FILE};
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use sw_graph::csr::Topology as CsrTopology;
 use sw_graph::par;
+use sw_graph::store::TopologyArena;
+use sw_graph::writer::{stitch, ArenaSection, ArenaWriter};
+use sw_graph::NodeId;
 use sw_keyspace::distribution::{KeyDistribution, Uniform};
-use sw_keyspace::{Rng, Topology};
+use sw_keyspace::{Key, Rng, Topology};
 use sw_overlay::Placement;
 
 /// Errors from [`SmallWorldBuilder::build`].
@@ -40,6 +71,13 @@ pub enum BuildError {
     /// Fewer than four peers: the `1/N` threshold leaves no admissible
     /// long-range candidates.
     TooFewNodes(usize),
+    /// The requested configuration cannot be built shard-by-shard
+    /// (currently: `bidirectional` contact tables, which need the global
+    /// long-link transpose before any contact row is final).
+    Unshardable(&'static str),
+    /// Assembling the arena image failed (edge totals past the `u32` id
+    /// space, or stitched sections that do not tile the peer range).
+    Arena(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -48,11 +86,19 @@ impl std::fmt::Display for BuildError {
             BuildError::TooFewNodes(n) => {
                 write!(f, "small-world network needs at least 4 peers, got {n}")
             }
+            BuildError::Unshardable(what) => write!(f, "cannot build in shards: {what}"),
+            BuildError::Arena(what) => write!(f, "arena construction failed: {what}"),
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+impl From<io::Error> for BuildError {
+    fn from(e: io::Error) -> Self {
+        BuildError::Arena(e.to_string())
+    }
+}
 
 /// Fluent builder for [`SmallWorldNetwork`].
 pub struct SmallWorldBuilder {
@@ -84,6 +130,13 @@ impl SmallWorldBuilder {
     pub fn config(mut self, config: SmallWorldConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// The configuration this builder will use — for drivers that must
+    /// hand the *same* config to [`ArenaBuild::from_stitched`] or
+    /// [`SmallWorldNetwork::open_from`].
+    pub fn config_ref(&self) -> &SmallWorldConfig {
+        &self.config
     }
 
     /// Sets the key-space topology (default: interval).
@@ -192,7 +245,7 @@ impl SmallWorldBuilder {
             let mut peer_rng = Rng::stream(build_seed, u as u64);
             selector.sample_links(u as u32, budget, &mut peer_rng)
         });
-        let long = CsrTopology::from_rows(&rows);
+        let long = CsrTopology::from_rows_with_threads(&rows, self.parallelism);
         let label = format!("sw({},{})", assumed.name(), self.config.sampler.label());
         Ok(SmallWorldNetwork::assemble_with_threads(
             placement,
@@ -203,6 +256,591 @@ impl SmallWorldBuilder {
             self.parallelism,
         ))
     }
+
+    /// Builds straight into the frozen arena image, skipping the heap
+    /// CSR / `LinkTable` intermediates entirely (see the module-level
+    /// *construction pipeline* notes). The resulting arenas are
+    /// **byte-identical** to what [`SmallWorldNetwork::freeze_to`] writes
+    /// for the same builder and RNG state, so
+    /// `build_to_arena(&mut Rng::new(s))` and
+    /// `build(&mut Rng::new(s))` + `freeze_to` produce the same images —
+    /// the fast path changes wall-clock and allocation, never bits.
+    ///
+    /// `bidirectional` networks fall back to the heap assembly (the
+    /// incoming-edge transpose needs every long row before any contact
+    /// row is final) and freeze the arenas from the finished network.
+    pub fn build_to_arena(&self, rng: &mut Rng) -> Result<ArenaBuild, BuildError> {
+        self.build_to_arena_at(rng, None)
+    }
+
+    /// [`build_to_arena`], except the two arena images are assembled
+    /// *inside write-through mappings* of `dir.join(CONTACTS_FILE)` /
+    /// `dir.join(LONG_FILE)`: every fill lands directly in the
+    /// destination files' pages, so sealing the writers **is** the
+    /// freeze — there is no separate [`ArenaBuild::freeze_to`] copy to
+    /// pay for, and the returned [`ArenaBuild`] routes straight off the
+    /// mapped files. The on-disk bytes are identical to
+    /// `build_to_arena` + `freeze_to` for the same RNG state.
+    ///
+    /// [`build_to_arena`]: SmallWorldBuilder::build_to_arena
+    #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+    pub fn build_frozen(
+        &self,
+        rng: &mut Rng,
+        dir: impl AsRef<Path>,
+    ) -> Result<ArenaBuild, BuildError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        self.build_to_arena_at(rng, Some(dir))
+    }
+
+    /// Shared core of [`SmallWorldBuilder::build_to_arena`] and
+    /// `build_frozen`: `dir` picks heap buffers (`None`) or
+    /// write-through file mappings (`Some`) for the arena images.
+    fn build_to_arena_at(
+        &self,
+        rng: &mut Rng,
+        dir: Option<&Path>,
+    ) -> Result<ArenaBuild, BuildError> {
+        if self.n < 4 {
+            return Err(BuildError::TooFewNodes(self.n));
+        }
+        let dist = self
+            .distribution
+            .clone()
+            .unwrap_or_else(|| Arc::new(Uniform));
+        let mut t = std::time::Instant::now();
+        let placement = Placement::sample(self.n, dist.as_ref(), self.config.topology, rng);
+        profile_stage("placement sample", &mut t);
+        if self.config.bidirectional {
+            // The transpose needs every row before any is final, so the
+            // bidirectional case assembles on the heap and freezes after.
+            let net = self.build_on_with(placement, dist, rng)?;
+            let build = ArenaBuild::from_network(&net);
+            if let Some(d) = dir {
+                build.freeze_to(d)?;
+            }
+            return Ok(build);
+        }
+        let n = placement.len();
+        let assumed = self.assumed.clone().unwrap_or(dist);
+        let min_mass = self.config.threshold.min_mass(n);
+        let budget = self.config.out_degree.links_for(n);
+        let selector =
+            LinkSelector::new(&placement, assumed.as_ref(), min_mass, self.config.sampler);
+        // Same RNG discipline as `build`: one seed draw, then per-peer
+        // streams — bit-identical links at any parallelism.
+        let build_seed = rng.next_u64();
+        let (contacts, long) = build_arena_parts(
+            &placement,
+            &selector,
+            build_seed,
+            budget,
+            self.parallelism,
+            dir,
+        )?;
+        drop(selector);
+        let label = format!("sw({},{})", assumed.name(), self.config.sampler.label());
+        Ok(ArenaBuild {
+            placement,
+            assumed,
+            config: self.config,
+            label,
+            contacts,
+            long,
+        })
+    }
+
+    /// Builds only the peers in `range` and packs their rows into
+    /// portable [`ArenaSection`]s — the unit of *distributed*
+    /// construction. `seed` is the root seed a monolithic
+    /// `build_to_arena(&mut Rng::new(seed))` would consume: the shard
+    /// re-derives the placement and the build seed from it, so any
+    /// process on any machine producing shard `[lo, hi)` writes exactly
+    /// the rows the monolithic build would have written for those peers.
+    /// Stitching every shard of a partition (in any completion order)
+    /// therefore reproduces the monolithic arena byte for byte.
+    pub fn build_shard(&self, seed: u64, range: Range<usize>) -> Result<ShardSections, BuildError> {
+        let (placement, assumed, build_seed) = self.derive_shard_inputs(seed)?;
+        let min_mass = self.config.threshold.min_mass(placement.len());
+        let budget = self.config.out_degree.links_for(placement.len());
+        let selector =
+            LinkSelector::new(&placement, assumed.as_ref(), min_mass, self.config.sampler);
+        shard_sections(
+            &placement,
+            &selector,
+            build_seed,
+            budget,
+            range,
+            self.parallelism,
+        )
+    }
+
+    /// In-process sharded build: derives the placement once, builds
+    /// `shards` consecutive sections, and stitches them back into one
+    /// [`ArenaBuild`]. Exists mostly to *prove* the sharding contract
+    /// (the result is byte-identical to [`SmallWorldBuilder::build_to_arena`]
+    /// with `Rng::new(seed)` for every shard count) and as the template
+    /// for multi-process drivers, which run [`SmallWorldBuilder::build_shard`]
+    /// per worker and stitch the section files.
+    pub fn build_sharded(&self, seed: u64, shards: usize) -> Result<ArenaBuild, BuildError> {
+        let (placement, assumed, build_seed) = self.derive_shard_inputs(seed)?;
+        let n = placement.len();
+        let min_mass = self.config.threshold.min_mass(n);
+        let budget = self.config.out_degree.links_for(n);
+        let selector =
+            LinkSelector::new(&placement, assumed.as_ref(), min_mass, self.config.sampler);
+        let mut contact_secs = Vec::new();
+        let mut long_secs = Vec::new();
+        for range in shard_ranges(n, shards) {
+            let s = shard_sections(
+                &placement,
+                &selector,
+                build_seed,
+                budget,
+                range,
+                self.parallelism,
+            )?;
+            contact_secs.push(s.contacts);
+            long_secs.push(s.long);
+        }
+        drop(selector);
+        let contacts = stitch(&contact_secs, self.parallelism)?;
+        drop(contact_secs);
+        let long = stitch(&long_secs, self.parallelism)?;
+        drop(long_secs);
+        let label = format!("sw({},{})", assumed.name(), self.config.sampler.label());
+        Ok(ArenaBuild {
+            placement,
+            assumed,
+            config: self.config,
+            label,
+            contacts,
+            long,
+        })
+    }
+
+    /// The deterministic preamble every shard repeats: `Rng::new(seed)`,
+    /// placement sample, then the build-seed draw — the exact RNG
+    /// consumption order of `build`/`build_to_arena`.
+    fn derive_shard_inputs(
+        &self,
+        seed: u64,
+    ) -> Result<(Placement, Arc<dyn KeyDistribution>, u64), BuildError> {
+        if self.n < 4 {
+            return Err(BuildError::TooFewNodes(self.n));
+        }
+        if self.config.bidirectional {
+            return Err(BuildError::Unshardable(
+                "bidirectional contact tables need the global long-link transpose",
+            ));
+        }
+        let mut rng = Rng::new(seed);
+        let dist = self
+            .distribution
+            .clone()
+            .unwrap_or_else(|| Arc::new(Uniform));
+        let placement = Placement::sample(self.n, dist.as_ref(), self.config.topology, &mut rng);
+        let assumed = self.assumed.clone().unwrap_or(dist);
+        let build_seed = rng.next_u64();
+        Ok((placement, assumed, build_seed))
+    }
+}
+
+/// A network frozen at birth: the two arena images the construction
+/// pipeline writes directly (contacts with per-edge/per-node key lanes,
+/// long links bare), plus everything needed to either persist them
+/// ([`ArenaBuild::freeze_to`]) or route over them right away
+/// ([`ArenaBuild::into_network`]).
+pub struct ArenaBuild {
+    placement: Placement,
+    assumed: Arc<dyn KeyDistribution>,
+    config: SmallWorldConfig,
+    label: String,
+    contacts: TopologyArena,
+    long: TopologyArena,
+}
+
+impl ArenaBuild {
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// True if the build covers no peers (never — builds reject `n < 4`).
+    pub fn is_empty(&self) -> bool {
+        self.placement.len() == 0
+    }
+
+    /// The frozen contact-table arena (carries edge and node key lanes).
+    pub fn contacts(&self) -> &TopologyArena {
+        &self.contacts
+    }
+
+    /// The frozen long-link arena (no lanes).
+    pub fn long(&self) -> &TopologyArena {
+        &self.long
+    }
+
+    /// The placement the build sampled (or re-derived from the lanes).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Writes both images into `dir` under the same file names — and
+    /// with the same bytes — as [`SmallWorldNetwork::freeze_to`], so
+    /// [`SmallWorldNetwork::open_from`] reopens them unchanged.
+    pub fn freeze_to(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        self.contacts.write_to(dir.join(CONTACTS_FILE))?;
+        self.long.write_to(dir.join(LONG_FILE))?;
+        Ok(())
+    }
+
+    /// Converts into a routable [`SmallWorldNetwork`] without touching
+    /// the contact arena (routing runs on its SoA lanes); the long CSR
+    /// is unpacked onto the heap so the maintenance APIs keep working.
+    pub fn into_network(self) -> SmallWorldNetwork {
+        let long = self.long.to_topology();
+        SmallWorldNetwork::from_contact_arena(
+            self.placement,
+            self.assumed,
+            self.config,
+            self.contacts,
+            long,
+            self.label,
+        )
+    }
+
+    /// Reassembles an [`ArenaBuild`] from stitched arenas (the
+    /// multi-process driver's last step, after
+    /// [`sw_graph::writer::stitch_files`]). The placement is rebuilt
+    /// from the contact arena's per-node key lane — bit-identical to the
+    /// sampled one, exactly as [`SmallWorldNetwork::open_from`] does.
+    pub fn from_stitched(
+        config: SmallWorldConfig,
+        assumed: Arc<dyn KeyDistribution>,
+        contacts: TopologyArena,
+        long: TopologyArena,
+    ) -> io::Result<ArenaBuild> {
+        let node_pos = contacts.node_pos().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stitched contact arena carries no per-node keys",
+            )
+        })?;
+        let keys: Vec<Key> = node_pos.iter().map(|&p| Key::clamped(p)).collect();
+        let placement = Placement::from_keys(keys, config.topology, assumed.name())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let label = format!("sw({},{})", assumed.name(), config.sampler.label());
+        Ok(ArenaBuild {
+            placement,
+            assumed,
+            config,
+            label,
+            contacts,
+            long,
+        })
+    }
+
+    /// Freezes an already-assembled network's tables into arenas — the
+    /// `bidirectional` fallback. Writes the same bytes
+    /// [`SmallWorldNetwork::freeze_to`] would.
+    fn from_network(net: &SmallWorldNetwork) -> ArenaBuild {
+        use sw_overlay::Overlay;
+        let keys: Vec<f64> = net.placement().keys().iter().map(|k| k.get()).collect();
+        let store = net.route_table().store();
+        let contacts = TopologyArena::build(&store.to_topology(), store.edge_pos(), Some(&keys));
+        let long = TopologyArena::build(net.long_topology(), None, None);
+        let label = format!(
+            "sw({},{})",
+            net.assumed().name(),
+            net.config().sampler.label()
+        );
+        ArenaBuild {
+            placement: net.placement().clone(),
+            assumed: net.assumed().clone(),
+            config: *net.config(),
+            label,
+            contacts,
+            long,
+        }
+    }
+}
+
+/// One shard's output: matching contact and long-link sections covering
+/// the same peer range, ready to ship to the stitcher.
+pub struct ShardSections {
+    /// Contact rows (with key lanes) for the shard's peers.
+    pub contacts: ArenaSection,
+    /// Long-link rows (no lanes) for the shard's peers.
+    pub long: ArenaSection,
+}
+
+impl ShardSections {
+    /// The peer range both sections cover.
+    pub fn range(&self) -> Range<usize> {
+        self.contacts.range()
+    }
+
+    /// The canonical on-disk names for a shard covering `range`
+    /// (`(contacts, long)`), zero-padded so lexicographic order is range
+    /// order. Drivers and workers agree on file names through this.
+    pub fn file_names(range: &Range<usize>) -> (String, String) {
+        (
+            format!("shard-{:010}-{:010}-contacts.sws", range.start, range.end),
+            format!("shard-{:010}-{:010}-long.sws", range.start, range.end),
+        )
+    }
+
+    /// Writes both sections into `dir` under their canonical names and
+    /// returns the paths (`(contacts, long)`).
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> io::Result<(PathBuf, PathBuf)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let (c, l) = Self::file_names(&self.range());
+        let contacts_path = dir.join(c);
+        let long_path = dir.join(l);
+        self.contacts.write_to(&contacts_path)?;
+        self.long.write_to(&long_path)?;
+        Ok((contacts_path, long_path))
+    }
+}
+
+/// Splits `0..n` into `shards` contiguous ranges (the last may be
+/// shorter). Every sharded driver — in-process, multi-process, or remote
+/// — derives its partition from this so shard boundaries always agree.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(n.max(1));
+    let chunk = n.div_ceil(shards);
+    (0..shards)
+        .map(|i| (i * chunk).min(n)..((i + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Per-peer long rows in peer order: `degrees[i]` rows concatenated in
+/// `links` — the exact row layout of the long arena's edge section.
+struct SampledRows {
+    degrees: Vec<u32>,
+    links: Vec<NodeId>,
+}
+
+/// Samples the long rows for peers in `range`, fanning peers across
+/// workers. Peer `u` always draws from stream `u` of `build_seed`, so
+/// the output is a pure function of `(build_seed, range)` — independent
+/// of thread count, chunking, or which process runs it.
+fn sample_rows(
+    selector: &LinkSelector<'_>,
+    build_seed: u64,
+    budget: usize,
+    range: Range<usize>,
+    threads: usize,
+) -> SampledRows {
+    let span = range.len();
+    let base = range.start;
+    let parts = par::par_chunks(span, threads, |r| {
+        let mut degrees = Vec::with_capacity(r.len());
+        let mut links = Vec::with_capacity(r.len() * budget);
+        let mut row: Vec<NodeId> = Vec::with_capacity(budget);
+        for i in r {
+            let u = (base + i) as NodeId;
+            let mut peer_rng = Rng::stream(build_seed, u as u64);
+            selector.sample_links_into(u, budget, &mut peer_rng, &mut row);
+            degrees.push(row.len() as u32);
+            links.extend_from_slice(&row);
+        }
+        (degrees, links)
+    });
+    let total: usize = parts.iter().map(|(_, l)| l.len()).sum();
+    let mut degrees = Vec::with_capacity(span);
+    let mut links = Vec::with_capacity(total);
+    for (d, l) in parts {
+        degrees.extend_from_slice(&d);
+        links.extend_from_slice(&l);
+    }
+    SampledRows { degrees, links }
+}
+
+/// The sorted, deduplicated union of a peer's ring/interval neighbours
+/// and its long row — exactly the row `LinkTable` produces on the heap
+/// path (same element set, same sort, same dedup), without the table.
+fn merge_contact_row(placement: &Placement, u: NodeId, row: &[NodeId], out: &mut Vec<NodeId>) {
+    out.clear();
+    out.extend_from_slice(row);
+    out.extend(placement.topology_neighbors(u));
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Prints per-stage wall-clock when `SW_BUILD_PROFILE` is set, and
+/// resets the stopwatch either way. Costs one env lookup per stage —
+/// nothing on the per-peer paths.
+fn profile_stage(label: &str, t: &mut std::time::Instant) {
+    if std::env::var_os("SW_BUILD_PROFILE").is_some() {
+        eprintln!(
+            "  [build profile] {label}: {:.2}s",
+            t.elapsed().as_secs_f64()
+        );
+    }
+    *t = std::time::Instant::now();
+}
+
+/// Opens an [`ArenaWriter`] over a heap buffer (`dir: None`) or over a
+/// write-through mapping of the named file inside `dir` — the
+/// build-direct-to-disk path of `build_frozen`.
+fn writer_at(
+    dir: Option<&Path>,
+    file: &str,
+    degrees: &[u32],
+    edge_pos: bool,
+    node_pos: bool,
+) -> io::Result<ArenaWriter> {
+    match dir {
+        #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+        Some(d) => ArenaWriter::create_at(d.join(file), degrees, edge_pos, node_pos),
+        #[cfg(not(all(feature = "mmap", unix, target_pointer_width = "64")))]
+        Some(_) => unreachable!("mapped builds exist only behind the mmap feature"),
+        None => {
+            let _ = file;
+            ArenaWriter::from_degrees(degrees, edge_pos, node_pos)
+        }
+    }
+}
+
+/// The monolithic fast path: one sampling pass into flat scratch, then
+/// two count-then-fill arena writes (long by straight copy, contacts by
+/// per-peer neighbour merge with key lanes gathered in place).
+fn build_arena_parts(
+    placement: &Placement,
+    selector: &LinkSelector<'_>,
+    build_seed: u64,
+    budget: usize,
+    threads: usize,
+    dir: Option<&Path>,
+) -> io::Result<(TopologyArena, TopologyArena)> {
+    let n = placement.len();
+    let keys = placement.keys();
+    let mut t = std::time::Instant::now();
+    let sampled = sample_rows(selector, build_seed, budget, 0..n, threads);
+    profile_stage("sample long rows", &mut t);
+    let fill_ranges = shard_ranges(n, par::effective_threads(n, threads, 1024));
+    // The scratch is rows concatenated in peer order — the long arena's
+    // own edge layout — so the long fill is a straight copy.
+    let mut writer = writer_at(dir, LONG_FILE, &sampled.degrees, false, false)?;
+    writer.fill_shards(&fill_ranges, threads, |_, slots| {
+        let lo = slots.edge_base;
+        slots
+            .edges
+            .copy_from_slice(&sampled.links[lo..lo + slots.edges.len()]);
+    });
+    profile_stage("long fill", &mut t);
+    let long = writer.finish(threads)?;
+    profile_stage("long finish", &mut t);
+    // The finished arena's offset table doubles as the scratch row
+    // index for the contact pass — no separate prefix sum.
+    let offs = long.offsets();
+    let contact_degrees: Vec<u32> = par::par_map(n, threads, |u| {
+        let row = &sampled.links[offs[u] as usize..offs[u + 1] as usize];
+        let mut deg = row.len() as u32;
+        for v in placement.topology_neighbors(u as NodeId) {
+            if !row.contains(&v) {
+                deg += 1;
+            }
+        }
+        deg
+    });
+    profile_stage("contact degree count", &mut t);
+    let mut writer = writer_at(dir, CONTACTS_FILE, &contact_degrees, true, true)?;
+    drop(contact_degrees);
+    writer.fill_shards(&fill_ranges, threads, |_, mut slots| {
+        let mut merged: Vec<NodeId> = Vec::with_capacity(budget + 2);
+        let node_pos = slots.node_pos.take().expect("contacts carry node keys");
+        let edge_pos = slots.edge_pos.take().expect("contacts carry edge keys");
+        // The key gathers below are random DRAM reads at 10⁷ peers;
+        // prefetching a few edges ahead keeps several misses in flight.
+        const PF: usize = 8;
+        for u in slots.range.clone() {
+            let row = &sampled.links[offs[u] as usize..offs[u + 1] as usize];
+            merge_contact_row(placement, u as NodeId, row, &mut merged);
+            let r = slots.row_bounds(u);
+            debug_assert_eq!(merged.len(), r.len(), "counted degree matches merge");
+            for &v in merged.iter().take(PF) {
+                crate::links::prefetch_read(&keys[v as usize]);
+            }
+            for (k, &v) in merged.iter().enumerate() {
+                if let Some(&w) = merged.get(k + PF) {
+                    crate::links::prefetch_read(&keys[w as usize]);
+                }
+                slots.edges[r.start + k] = v;
+                edge_pos[r.start + k] = keys[v as usize].get();
+            }
+            node_pos[u - slots.range.start] = keys[u].get();
+        }
+    });
+    profile_stage("contact fill", &mut t);
+    let contacts = writer.finish(threads)?;
+    profile_stage("contact finish", &mut t);
+    Ok((contacts, long))
+}
+
+/// One shard of the distributed build: sample the range's long rows,
+/// pack them into a long section, and derive the contact section by the
+/// same neighbour merge the monolithic fill uses.
+fn shard_sections(
+    placement: &Placement,
+    selector: &LinkSelector<'_>,
+    build_seed: u64,
+    budget: usize,
+    range: Range<usize>,
+    threads: usize,
+) -> Result<ShardSections, BuildError> {
+    let n = placement.len();
+    if range.start > range.end || range.end > n {
+        return Err(BuildError::Arena(format!(
+            "shard range {}..{} outside 0..{n}",
+            range.start, range.end
+        )));
+    }
+    let keys = placement.keys();
+    let sampled = sample_rows(selector, build_seed, budget, range.clone(), threads);
+    let long = ArenaSection::build(
+        n,
+        range.clone(),
+        &sampled.degrees,
+        &sampled.links,
+        None,
+        None,
+    );
+    let span = range.len();
+    let mut contact_degrees: Vec<u32> = Vec::with_capacity(span);
+    let mut edges: Vec<NodeId> = Vec::with_capacity(sampled.links.len() + 2 * span);
+    let mut edge_pos: Vec<f64> = Vec::with_capacity(sampled.links.len() + 2 * span);
+    let mut node_pos: Vec<f64> = Vec::with_capacity(span);
+    let mut merged: Vec<NodeId> = Vec::with_capacity(budget + 2);
+    let mut off = 0usize;
+    for (i, &d) in sampled.degrees.iter().enumerate() {
+        let u = (range.start + i) as NodeId;
+        let row = &sampled.links[off..off + d as usize];
+        off += d as usize;
+        merge_contact_row(placement, u, row, &mut merged);
+        contact_degrees.push(merged.len() as u32);
+        for &v in &merged {
+            edges.push(v);
+            edge_pos.push(keys[v as usize].get());
+        }
+        node_pos.push(keys[u as usize].get());
+    }
+    let contacts = ArenaSection::build(
+        n,
+        range,
+        &contact_degrees,
+        &edges,
+        Some(&edge_pos),
+        Some(&node_pos),
+    );
+    Ok(ShardSections { contacts, long })
 }
 
 #[cfg(test)]
@@ -346,5 +984,205 @@ mod tests {
         let c = net.contacts(0);
         assert!(c.contains(&255), "ring wraps");
         assert!(c.contains(&1));
+    }
+
+    /// The heap path's freeze images, computed without touching disk —
+    /// exactly what `SmallWorldNetwork::freeze_to` writes.
+    fn heap_freeze_images(net: &SmallWorldNetwork) -> (TopologyArena, TopologyArena) {
+        let keys: Vec<f64> = net.placement().keys().iter().map(|k| k.get()).collect();
+        let store = net.route_table().store();
+        let contacts = TopologyArena::build(&store.to_topology(), store.edge_pos(), Some(&keys));
+        let long = TopologyArena::build(net.long_topology(), None, None);
+        (contacts, long)
+    }
+
+    #[test]
+    fn arena_build_matches_heap_freeze_bytes() {
+        let builder = SmallWorldBuilder::new(3000)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.02).unwrap()))
+            .sampler(LinkSampler::Harmonic);
+        let net = builder.build(&mut Rng::new(99)).unwrap();
+        let fast = builder.build_to_arena(&mut Rng::new(99)).unwrap();
+        let (contacts, long) = heap_freeze_images(&net);
+        assert_eq!(contacts.as_bytes(), fast.contacts().as_bytes());
+        assert_eq!(long.as_bytes(), fast.long().as_bytes());
+    }
+
+    #[test]
+    fn arena_build_matches_heap_on_ring_with_exact_sampler() {
+        // Ring neighbours of peer 0 arrive as {n-1, 1}: the merge must
+        // still produce sorted rows. Exact sampler covers the other
+        // sampling branch.
+        let builder = SmallWorldBuilder::new(512).topology(Topology::Ring);
+        let net = builder.build(&mut Rng::new(13)).unwrap();
+        let fast = builder.build_to_arena(&mut Rng::new(13)).unwrap();
+        let (contacts, long) = heap_freeze_images(&net);
+        assert_eq!(contacts.as_bytes(), fast.contacts().as_bytes());
+        assert_eq!(long.as_bytes(), fast.long().as_bytes());
+    }
+
+    /// `build_frozen` must leave on disk exactly what
+    /// `build_to_arena` + `freeze_to` writes, and the returned build
+    /// must route off the same bytes.
+    #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+    #[test]
+    fn build_frozen_matches_build_then_freeze() {
+        use crate::network::{CONTACTS_FILE, LONG_FILE};
+        let builder = SmallWorldBuilder::new(3000)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.02).unwrap()))
+            .sampler(LinkSampler::Harmonic);
+        let reference = builder.build_to_arena(&mut Rng::new(99)).unwrap();
+        let dir = std::env::temp_dir().join("sw-core-build-frozen");
+        let frozen = builder.build_frozen(&mut Rng::new(99), &dir).unwrap();
+        assert_eq!(
+            reference.contacts().as_bytes(),
+            frozen.contacts().as_bytes()
+        );
+        assert_eq!(reference.long().as_bytes(), frozen.long().as_bytes());
+        drop(frozen);
+        let contacts = TopologyArena::open(dir.join(CONTACTS_FILE)).unwrap();
+        let long = TopologyArena::open(dir.join(LONG_FILE)).unwrap();
+        assert_eq!(reference.contacts().as_bytes(), contacts.as_bytes());
+        assert_eq!(reference.long().as_bytes(), long.as_bytes());
+        let net = SmallWorldNetwork::open_from(
+            &dir,
+            *builder.config_ref(),
+            Arc::new(TruncatedPareto::new(1.5, 0.02).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(net.len(), 3000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical_to_monolithic() {
+        let builder = SmallWorldBuilder::new(2048)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.02).unwrap()))
+            .sampler(LinkSampler::Harmonic);
+        let mono = builder.build_to_arena(&mut Rng::new(1234)).unwrap();
+        for shards in [1, 2, 3, 7] {
+            let sharded = builder.build_sharded(1234, shards).unwrap();
+            assert_eq!(
+                mono.contacts().as_bytes(),
+                sharded.contacts().as_bytes(),
+                "contacts, shards={shards}"
+            );
+            assert_eq!(
+                mono.long().as_bytes(),
+                sharded.long().as_bytes(),
+                "long, shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_stitch_in_any_order_through_files() {
+        use sw_graph::writer::stitch_files;
+        let builder = SmallWorldBuilder::new(1000)
+            .distribution(Box::new(TruncatedPareto::new(1.5, 0.02).unwrap()))
+            .sampler(LinkSampler::Harmonic);
+        let mono = builder.build_to_arena(&mut Rng::new(7)).unwrap();
+        let dir = std::env::temp_dir().join("sw-core-shard-files-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Build and land the shards in *reverse* range order, as if the
+        // last worker finished first; stitch_files must not care.
+        let mut contact_paths = Vec::new();
+        let mut long_paths = Vec::new();
+        for range in shard_ranges(1000, 3).into_iter().rev() {
+            let s = builder.build_shard(7, range).unwrap();
+            let (c, l) = s.write_to(&dir).unwrap();
+            contact_paths.push(c);
+            long_paths.push(l);
+        }
+        let contacts = stitch_files(&contact_paths, 0).unwrap();
+        let long = stitch_files(&long_paths, 0).unwrap();
+        assert_eq!(mono.contacts().as_bytes(), contacts.as_bytes());
+        assert_eq!(mono.long().as_bytes(), long.as_bytes());
+        // The driver's last step: placement re-derived from the lanes.
+        let rebuilt = ArenaBuild::from_stitched(
+            builder.config,
+            Arc::new(TruncatedPareto::new(1.5, 0.02).unwrap()),
+            contacts,
+            long,
+        )
+        .unwrap();
+        assert_eq!(
+            rebuilt.placement().keys(),
+            mono.placement().keys(),
+            "placement survives the stitch bit-for-bit"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bidirectional_falls_back_and_cannot_shard() {
+        let builder = SmallWorldBuilder::new(512).bidirectional(true);
+        let net = builder.build(&mut Rng::new(11)).unwrap();
+        let fast = builder.build_to_arena(&mut Rng::new(11)).unwrap();
+        let (contacts, long) = heap_freeze_images(&net);
+        assert_eq!(contacts.as_bytes(), fast.contacts().as_bytes());
+        assert_eq!(long.as_bytes(), fast.long().as_bytes());
+        assert!(matches!(
+            builder.build_shard(11, 0..10),
+            Err(BuildError::Unshardable(_))
+        ));
+        assert!(matches!(
+            builder.build_sharded(11, 2),
+            Err(BuildError::Unshardable(_))
+        ));
+    }
+
+    #[test]
+    fn arena_network_matches_heap_network() {
+        let builder = SmallWorldBuilder::new(2048).sampler(LinkSampler::Harmonic);
+        let heap = builder.build(&mut Rng::new(5)).unwrap();
+        let fast = builder
+            .build_to_arena(&mut Rng::new(5))
+            .unwrap()
+            .into_network();
+        for u in (0..2048u32).step_by(97) {
+            assert_eq!(heap.contacts(u), fast.contacts(u));
+            assert_eq!(heap.long_links(u), fast.long_links(u));
+        }
+        assert_eq!(heap.long_topology(), fast.long_topology());
+    }
+
+    #[test]
+    fn arena_freeze_matches_network_freeze_on_disk() {
+        let builder = SmallWorldBuilder::new(800).sampler(LinkSampler::Harmonic);
+        let net = builder.build(&mut Rng::new(21)).unwrap();
+        let fast = builder.build_to_arena(&mut Rng::new(21)).unwrap();
+        let base = std::env::temp_dir().join("sw-core-arena-freeze-test");
+        let _ = std::fs::remove_dir_all(&base);
+        let (heap_dir, fast_dir) = (base.join("heap"), base.join("fast"));
+        net.freeze_to(&heap_dir).unwrap();
+        fast.freeze_to(&fast_dir).unwrap();
+        for file in ["contacts.swt", "long.swt"] {
+            let a = std::fs::read(heap_dir.join(file)).unwrap();
+            let b = std::fs::read(fast_dir.join(file)).unwrap();
+            assert_eq!(a, b, "{file} differs between freeze paths");
+        }
+        // And the frozen dir reopens — validated or trusted — into a
+        // network with the same tables.
+        let reopened =
+            SmallWorldNetwork::open_from_trusted(&fast_dir, *net.config(), net.assumed().clone())
+                .unwrap();
+        for u in (0..800u32).step_by(41) {
+            assert_eq!(net.contacts(u), reopened.contacts(u));
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_peer_space() {
+        for (n, k) in [(10, 3), (1000, 7), (5, 8), (4, 1), (1024, 16)] {
+            let ranges = shard_ranges(n, k);
+            assert!(ranges.len() <= k);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous tiling");
+            }
+        }
     }
 }

@@ -21,6 +21,14 @@ pub struct LinkSelector<'a> {
     /// CDF of the *assumed* density at every peer key (normalized-space
     /// positions `F̂(key_i)`).
     cdf: Vec<f64>,
+    /// Bucket rank index over `cdf`: `bounds[j]` is the first peer with
+    /// normalized position ≥ `j / buckets` (`bounds[buckets] == n`).
+    /// When the assumed density matches the key distribution the `cdf`
+    /// values are ≈ U[0, 1], so fixed-width buckets stay balanced for
+    /// *any* key skew — this is what turns the harmonic sampler's
+    /// nearest-peer lookup from a full `log2 n` cache-missing binary
+    /// search into a ~O(1) bracketed probe (see [`Placement::nearest_bracketed`]).
+    bounds: Vec<u32>,
     assumed: &'a dyn KeyDistribution,
     min_mass: f64,
     sampler: LinkSampler,
@@ -36,18 +44,43 @@ impl<'a> LinkSelector<'a> {
         min_mass: f64,
         sampler: LinkSampler,
     ) -> Self {
-        let cdf = placement
+        let cdf: Vec<f64> = placement
             .keys()
             .iter()
             .map(|k| assumed.cdf(k.get()))
             .collect();
+        // One bucket per peer; one ascending pass fills the bounds.
+        let n = cdf.len();
+        let buckets = n.max(1);
+        let mut bounds = vec![n as u32; buckets + 1];
+        bounds[0] = 0;
+        let mut j = 1usize;
+        for (i, &c) in cdf.iter().enumerate() {
+            while j < buckets && c >= j as f64 / buckets as f64 {
+                bounds[j] = i as u32;
+                j += 1;
+            }
+        }
         LinkSelector {
             placement,
             cdf,
+            bounds,
             assumed,
             min_mass,
             sampler,
         }
+    }
+
+    /// The rank-index bucket of a normalized position. The bucket's
+    /// `bounds[j]..bounds[j + 1]` entries bracket every peer whose
+    /// assumed-CDF value lies inside it; the bracket is a *hint* —
+    /// [`Placement::nearest_bracketed`] re-verifies it against the actual
+    /// keys (the `cdf`/`quantile` float round-trip is not exactly
+    /// monotone), so lookups stay bit-identical to the full search.
+    #[inline]
+    fn bucket_of(&self, target_pos: f64) -> usize {
+        let buckets = self.bounds.len() - 1;
+        ((target_pos * buckets as f64) as usize).min(buckets - 1)
     }
 
     /// Mass distance between two peers in the assumed normalized space,
@@ -68,15 +101,28 @@ impl<'a> LinkSelector<'a> {
     /// than `count` only when the admissible candidate set itself is
     /// smaller (tiny networks).
     pub fn sample_links(&self, u: NodeId, count: usize, rng: &mut Rng) -> Vec<NodeId> {
+        let mut links = Vec::with_capacity(count);
+        self.sample_links_into(u, count, rng, &mut links);
+        links
+    }
+
+    /// [`sample_links`] into a caller-owned buffer (cleared first), so
+    /// bulk construction reuses one row buffer per worker instead of
+    /// allocating one `Vec` per peer. Draw-for-draw identical to
+    /// [`sample_links`].
+    ///
+    /// [`sample_links`]: LinkSelector::sample_links
+    pub fn sample_links_into(&self, u: NodeId, count: usize, rng: &mut Rng, out: &mut Vec<NodeId>) {
+        out.clear();
         match self.sampler {
-            LinkSampler::Exact => self.sample_exact(u, count, rng),
-            LinkSampler::Harmonic => self.sample_harmonic(u, count, rng),
+            LinkSampler::Exact => self.sample_exact(u, count, rng, out),
+            LinkSampler::Harmonic => self.sample_harmonic(u, count, rng, out),
         }
     }
 
     /// Exact discrete sampling: cumulative weights `1/mass(u, v)` over all
     /// admissible `v`.
-    fn sample_exact(&self, u: NodeId, count: usize, rng: &mut Rng) -> Vec<NodeId> {
+    fn sample_exact(&self, u: NodeId, count: usize, rng: &mut Rng, links: &mut Vec<NodeId>) {
         let n = self.placement.len();
         let mut cum = Vec::with_capacity(n);
         let mut acc = 0.0;
@@ -90,9 +136,8 @@ impl<'a> LinkSelector<'a> {
             cum.push(acc);
         }
         if acc <= 0.0 {
-            return Vec::new();
+            return;
         }
-        let mut links: Vec<NodeId> = Vec::with_capacity(count);
         let mut tries = 0;
         while links.len() < count && tries < 16 * count + 64 {
             tries += 1;
@@ -106,11 +151,19 @@ impl<'a> LinkSelector<'a> {
                 links.push(v);
             }
         }
-        links
     }
 
     /// Continuous harmonic sampling in the normalized space.
-    fn sample_harmonic(&self, u: NodeId, count: usize, rng: &mut Rng) -> Vec<NodeId> {
+    ///
+    /// Candidates are drawn in small batches from a *clone* of the
+    /// caller's generator so the bucket/key/cdf cache lines they will
+    /// touch can all be prefetched before the sequential accept loop
+    /// runs — at 10⁷ peers those three dependent misses per candidate
+    /// dominate construction. The caller's generator is then advanced by
+    /// exactly the draws the accept loop consumed, so the draw sequence
+    /// (and therefore every sampled link and the generator's final
+    /// state) is bit-identical to the one-candidate-at-a-time loop.
+    fn sample_harmonic(&self, u: NodeId, count: usize, rng: &mut Rng, links: &mut Vec<NodeId>) {
         let pos = self.cdf[u as usize];
         // Available mass on each side of u in normalized space.
         let (left_mass, right_mass) = match self.placement.topology() {
@@ -131,38 +184,87 @@ impl<'a> LinkSelector<'a> {
             0.0
         };
         if wl + wr <= 0.0 {
-            return Vec::new();
+            return;
         }
-        let mut links = Vec::with_capacity(count);
+        const BATCH: usize = 32;
+        let keys = self.placement.keys();
+        let cap = 16 * count + 64;
         let mut tries = 0;
-        while links.len() < count && tries < 16 * count + 64 {
-            tries += 1;
-            let go_left = rng.f64() * (wl + wr) < wl;
-            let (side_mass, sign) = if go_left {
-                (left_mass, -1.0)
+        let mut target_key = [Key::clamped(0.0); BATCH];
+        let mut bucket = [0usize; BATCH];
+        let mut bracket = [(0usize, 0usize); BATCH];
+        while links.len() < count && tries < cap {
+            let want = BATCH.min(cap - tries);
+            let mut probe = rng.clone();
+            for i in 0..want {
+                let go_left = probe.f64() * (wl + wr) < wl;
+                let (side_mass, sign) = if go_left {
+                    (left_mass, -1.0)
+                } else {
+                    (right_mass, 1.0)
+                };
+                // Log-uniform mass offset in [tau, side_mass].
+                let m = tau * ((side_mass / tau).ln() * probe.f64()).exp();
+                let target_pos = match self.placement.topology() {
+                    Topology::Interval => (pos + sign * m).clamp(0.0, 1.0),
+                    Topology::Ring => (pos + sign * m).rem_euclid(1.0),
+                };
+                let j = self.bucket_of(target_pos);
+                bucket[i] = j;
+                prefetch_read(&self.bounds[j]);
+                target_key[i] = Key::clamped(self.assumed.quantile(target_pos));
+            }
+            for i in 0..want {
+                let j = bucket[i];
+                let (blo, bhi) = (self.bounds[j] as usize, self.bounds[j + 1] as usize);
+                bracket[i] = (blo, bhi);
+                if blo < keys.len() {
+                    prefetch_read(&keys[blo]);
+                    prefetch_read(&self.cdf[blo]);
+                }
+            }
+            let mut consumed = want;
+            for (i, &(blo, bhi)) in bracket.iter().enumerate().take(want) {
+                tries += 1;
+                let v = self.placement.nearest_bracketed(target_key[i], blo, bhi);
+                if v == u || links.contains(&v) {
+                    continue;
+                }
+                // Snapping to the nearest peer can land below the
+                // threshold; honour the paper's restriction.
+                if self.mass_between(u, v) < self.min_mass {
+                    continue;
+                }
+                links.push(v);
+                if links.len() == count {
+                    consumed = i + 1;
+                    break;
+                }
+            }
+            if consumed == want {
+                // The probe consumed exactly the batch — adopt its state.
+                *rng = probe;
             } else {
-                (right_mass, 1.0)
-            };
-            // Log-uniform mass offset in [tau, side_mass].
-            let m = tau * ((side_mass / tau).ln() * rng.f64()).exp();
-            let target_pos = match self.placement.topology() {
-                Topology::Interval => (pos + sign * m).clamp(0.0, 1.0),
-                Topology::Ring => (pos + sign * m).rem_euclid(1.0),
-            };
-            let target_key = Key::clamped(self.assumed.quantile(target_pos));
-            let v = self.placement.nearest(target_key);
-            if v == u || links.contains(&v) {
-                continue;
+                for _ in 0..2 * consumed {
+                    rng.f64();
+                }
             }
-            // Snapping to the nearest peer can land below the threshold;
-            // honour the paper's restriction.
-            if self.mass_between(u, v) < self.min_mass {
-                continue;
-            }
-            links.push(v);
         }
-        links
     }
+}
+
+/// Hints the CPU to pull the cache line holding `p` (no-op architectures
+/// without a stable prefetch intrinsic). Purely a performance hint — safe
+/// for any pointer, never dereferenced.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // Safety: prefetch never faults and reads nothing architecturally.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
 }
 
 #[cfg(test)]
@@ -238,6 +340,89 @@ mod tests {
                 (0.5..2.0).contains(&ratio),
                 "{sampler:?}: median {median:.5}, expected ~{expect:.5}"
             );
+        }
+    }
+
+    /// The pre-index harmonic loop, verbatim (full binary search per
+    /// attempt): the oracle the bucket-bracketed fast path must match
+    /// draw-for-draw.
+    fn sample_harmonic_reference(
+        sel: &LinkSelector<'_>,
+        u: NodeId,
+        count: usize,
+        rng: &mut Rng,
+    ) -> Vec<NodeId> {
+        let pos = sel.cdf[u as usize];
+        let (left_mass, right_mass) = match sel.placement.topology() {
+            Topology::Interval => (pos, 1.0 - pos),
+            Topology::Ring => (0.5, 0.5),
+        };
+        let tau = sel.min_mass.max(1e-12);
+        let wl = if left_mass > tau {
+            (left_mass / tau).ln()
+        } else {
+            0.0
+        };
+        let wr = if right_mass > tau {
+            (right_mass / tau).ln()
+        } else {
+            0.0
+        };
+        if wl + wr <= 0.0 {
+            return Vec::new();
+        }
+        let mut links = Vec::with_capacity(count);
+        let mut tries = 0;
+        while links.len() < count && tries < 16 * count + 64 {
+            tries += 1;
+            let go_left = rng.f64() * (wl + wr) < wl;
+            let (side_mass, sign) = if go_left {
+                (left_mass, -1.0)
+            } else {
+                (right_mass, 1.0)
+            };
+            let m = tau * ((side_mass / tau).ln() * rng.f64()).exp();
+            let target_pos = match sel.placement.topology() {
+                Topology::Interval => (pos + sign * m).clamp(0.0, 1.0),
+                Topology::Ring => (pos + sign * m).rem_euclid(1.0),
+            };
+            let target_key = Key::clamped(sel.assumed.quantile(target_pos));
+            let v = sel.placement.nearest(target_key);
+            if v == u || links.contains(&v) {
+                continue;
+            }
+            if sel.mass_between(u, v) < sel.min_mass {
+                continue;
+            }
+            links.push(v);
+        }
+        links
+    }
+
+    #[test]
+    fn bracketed_harmonic_sampling_is_bit_identical() {
+        // Matched and mis-specified densities, both topologies: the rank
+        // index may bracket well or terribly, but results (and the rng
+        // draw sequence) must equal the reference loop exactly.
+        let pareto = TruncatedPareto::new(1.5, 0.01).unwrap();
+        let uni = Uniform;
+        let cases: [(
+            &dyn sw_keyspace::distribution::KeyDistribution,
+            &dyn sw_keyspace::distribution::KeyDistribution,
+        ); 3] = [(&uni, &uni), (&pareto, &pareto), (&pareto, &uni)];
+        for topology in [Topology::Interval, Topology::Ring] {
+            for (actual, assumed) in cases {
+                let mut rng = Rng::new(21);
+                let p = Placement::sample(700, actual, topology, &mut rng);
+                let sel = LinkSelector::new(&p, assumed, 1.0 / 700.0, LinkSampler::Harmonic);
+                for u in (0..700).step_by(13) {
+                    let mut a = Rng::stream(99, u as u64);
+                    let mut b = Rng::stream(99, u as u64);
+                    let fast = sel.sample_links(u as NodeId, 10, &mut a);
+                    let refr = sample_harmonic_reference(&sel, u as NodeId, 10, &mut b);
+                    assert_eq!(fast, refr, "topology={topology:?} u={u}");
+                }
+            }
         }
     }
 

@@ -17,9 +17,9 @@ use sw_overlay::{Overlay, Placement};
 
 /// File holding the frozen contact CSR + per-edge ring-position lane +
 /// per-node keys inside a [`SmallWorldNetwork::freeze_to`] directory.
-const CONTACTS_FILE: &str = "contacts.swt";
+pub(crate) const CONTACTS_FILE: &str = "contacts.swt";
 /// File holding the frozen long-link CSR.
-const LONG_FILE: &str = "long.swt";
+pub(crate) const LONG_FILE: &str = "long.swt";
 
 /// A small-world network per the paper's construction: every peer has its
 /// interval/ring neighbours (keeping the graph connected, §3) plus the
@@ -110,8 +110,44 @@ impl SmallWorldNetwork {
             .iter()
             .map(|k| assumed.cdf(k.get()))
             .collect();
-        let contact_table = build_contact_table(&placement, &long, config.bidirectional);
+        let contact_table = build_contact_table(&placement, &long, config.bidirectional, threads);
         let route_table = build_route_table(&placement, contact_table, threads);
+        SmallWorldNetwork {
+            placement,
+            assumed,
+            cdf,
+            config,
+            long,
+            route_table,
+            contact_heap: OnceLock::new(),
+            label,
+        }
+    }
+
+    /// Assembles a network whose contact table is *already* a frozen
+    /// arena (the [`crate::builder::ArenaBuild`] fast path): no per-edge
+    /// work happens here — the arena carries the position lanes — and
+    /// routing is bit-identical to a heap-assembled network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena carries no per-edge position lane (the
+    /// construction pipeline always writes one).
+    pub(crate) fn from_contact_arena(
+        placement: Placement,
+        assumed: Arc<dyn KeyDistribution>,
+        config: SmallWorldConfig,
+        contacts: TopologyArena,
+        long: CsrTopology,
+        label: String,
+    ) -> Self {
+        let cdf = placement
+            .keys()
+            .iter()
+            .map(|k| assumed.cdf(k.get()))
+            .collect();
+        let route_table = RouteTable::from_store(Arc::new(TopologyStore::Arena(contacts)))
+            .unwrap_or_else(|_| panic!("contact arena carries no per-edge position lane"));
         SmallWorldNetwork {
             placement,
             assumed,
@@ -127,7 +163,8 @@ impl SmallWorldNetwork {
     /// Replaces the long-link topology and rebuilds the contact table
     /// (and its SoA position lanes).
     fn set_long_topology(&mut self, long: CsrTopology) {
-        let contact_table = build_contact_table(&self.placement, &long, self.config.bidirectional);
+        let contact_table =
+            build_contact_table(&self.placement, &long, self.config.bidirectional, 0);
         self.route_table = build_route_table(&self.placement, contact_table, 0);
         self.contact_heap = OnceLock::new();
         self.long = long;
@@ -316,9 +353,38 @@ impl SmallWorldNetwork {
         config: SmallWorldConfig,
         assumed: Arc<dyn KeyDistribution>,
     ) -> io::Result<SmallWorldNetwork> {
+        Self::open_from_opts(dir, config, assumed, true)
+    }
+
+    /// [`open_from`] for *trusted* directories (ones this process — or a
+    /// pipeline step it controls — froze itself): skips the `O(m)`
+    /// structural validation scans on the contact arena, so reopening a
+    /// 10⁷-peer overlay costs one read/mapping. See
+    /// [`sw_graph::store::TopologyArena::open_unvalidated`] for the exact
+    /// trust contract.
+    ///
+    /// [`open_from`]: SmallWorldNetwork::open_from
+    pub fn open_from_trusted(
+        dir: impl AsRef<Path>,
+        config: SmallWorldConfig,
+        assumed: Arc<dyn KeyDistribution>,
+    ) -> io::Result<SmallWorldNetwork> {
+        Self::open_from_opts(dir, config, assumed, false)
+    }
+
+    fn open_from_opts(
+        dir: impl AsRef<Path>,
+        config: SmallWorldConfig,
+        assumed: Arc<dyn KeyDistribution>,
+        validate: bool,
+    ) -> io::Result<SmallWorldNetwork> {
         let dir = dir.as_ref();
         // TopologyStore::open picks mmap when the feature is enabled.
-        let contacts = Arc::new(TopologyStore::open(dir.join(CONTACTS_FILE))?);
+        let contacts = Arc::new(if validate {
+            TopologyStore::open(dir.join(CONTACTS_FILE))?
+        } else {
+            TopologyStore::open_unvalidated(dir.join(CONTACTS_FILE))?
+        });
         let node_pos = contacts.node_pos().ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -330,7 +396,12 @@ impl SmallWorldNetwork {
         let keys: Vec<Key> = node_pos.iter().map(|&p| Key::clamped(p)).collect();
         let placement = Placement::from_keys(keys, config.topology, assumed.name())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let long = TopologyArena::open(dir.join(LONG_FILE))?.to_topology();
+        let long = if validate {
+            TopologyArena::open(dir.join(LONG_FILE))?
+        } else {
+            TopologyArena::open_unvalidated(dir.join(LONG_FILE))?
+        }
+        .to_topology();
         let cdf = placement
             .keys()
             .iter()
@@ -369,10 +440,13 @@ fn build_route_table(
 
 /// Builds the full routing table: topology neighbours first, then long
 /// links, then (optionally) incoming long links, deduplicated per row.
+/// The freeze (per-row sort + CSR pack + in-edge transpose) fans out
+/// over `threads` workers; the result is identical at any thread count.
 fn build_contact_table(
     placement: &Placement,
     long: &CsrTopology,
     bidirectional: bool,
+    threads: usize,
 ) -> CsrTopology {
     let n = placement.len();
     let mut lt = LinkTable::new(n);
@@ -383,7 +457,7 @@ fn build_contact_table(
             lt.add_all(u, long.incoming(u).iter().copied());
         }
     }
-    lt.build()
+    lt.build_with_threads(threads)
 }
 
 impl Overlay for SmallWorldNetwork {

@@ -13,6 +13,19 @@
 //! filtering) in any order and then freeze the table into a [`Topology`].
 
 use crate::digraph::{DiGraph, NodeId};
+use crate::par;
+
+/// Hints the CPU to pull the line holding `p` toward L1. Purely a
+/// performance hint: never dereferences, never faults, no-op off x86-64.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
 
 /// Flat CSR adjacency: outgoing and incoming edges of a fixed peer set.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -54,8 +67,27 @@ impl Topology {
         Self::from_row_slices(rows.len(), |u| &rows[u])
     }
 
+    /// [`from_rows`] with the in-edge transpose fanned out over
+    /// `threads` workers (`0` = auto); results are identical at any
+    /// thread count.
+    ///
+    /// [`from_rows`]: Topology::from_rows
+    pub fn from_rows_with_threads(rows: &[Vec<NodeId>], threads: usize) -> Topology {
+        Self::from_row_slices_with_threads(rows.len(), threads, |u| &rows[u])
+    }
+
     /// Generalized CSR packing: `row(u)` yields peer `u`'s out-edges.
     pub fn from_row_slices<'a, F>(n: usize, row: F) -> Topology
+    where
+        F: Fn(usize) -> &'a [NodeId],
+    {
+        Self::from_row_slices_with_threads(n, 1, row)
+    }
+
+    /// [`from_row_slices`] with a parallel transpose (`0` = auto).
+    ///
+    /// [`from_row_slices`]: Topology::from_row_slices
+    pub fn from_row_slices_with_threads<'a, F>(n: usize, threads: usize, row: F) -> Topology
     where
         F: Fn(usize) -> &'a [NodeId],
     {
@@ -74,7 +106,9 @@ impl Topology {
             edges.iter().all(|&v| (v as usize) < n),
             "edge target in range"
         );
-        let (in_offsets, in_edges) = transpose(n, &offsets, &edges);
+        let mut in_offsets = vec![0u32; n + 1];
+        let mut in_edges = vec![0 as NodeId; edges.len()];
+        transpose_into(n, &offsets, &edges, &mut in_offsets, &mut in_edges, threads);
         Topology::from_parts(offsets, edges, in_offsets, in_edges)
     }
 
@@ -264,24 +298,155 @@ fn rows_sorted(offsets: &[u32], edges: &[NodeId]) -> bool {
 
 /// One counting-sort pass: out-CSR → in-CSR.
 fn transpose(n: usize, offsets: &[u32], edges: &[NodeId]) -> (Vec<u32>, Vec<NodeId>) {
-    let mut in_counts = vec![0u32; n + 1];
-    for &v in edges {
-        in_counts[v as usize + 1] += 1;
-    }
-    for i in 0..n {
-        in_counts[i + 1] += in_counts[i];
-    }
-    let in_offsets = in_counts.clone();
-    let mut cursor = in_counts;
+    let mut in_offsets = vec![0u32; n + 1];
     let mut in_edges = vec![0 as NodeId; edges.len()];
-    for u in 0..n {
-        let (a, b) = (offsets[u] as usize, offsets[u + 1] as usize);
-        for &v in &edges[a..b] {
-            in_edges[cursor[v as usize] as usize] = u as NodeId;
-            cursor[v as usize] += 1;
+    transpose_into(n, offsets, edges, &mut in_offsets, &mut in_edges, 1);
+    (in_offsets, in_edges)
+}
+
+/// Builds the in-edge CSR of `(offsets, edges)` into caller-provided
+/// buffers — the shared transpose every freeze path (heap topologies,
+/// [`crate::store::ArenaWriter::finish`]) runs through.
+///
+/// With `threads > 1` the destination id space is split into contiguous
+/// ranges, one per worker: a counting pass tallies each range's
+/// in-degrees, a sequential exclusive scan fixes the global offsets, and
+/// a fill pass has each worker scan the edge array in source order while
+/// writing only its own destination range — a disjoint contiguous slice
+/// of `in_edges`, since in-edges are grouped by destination. Every
+/// destination's sources therefore land in ascending source order,
+/// exactly as the sequential counting sort emits them: **output is
+/// bit-identical at any thread count**.
+///
+/// # Panics
+///
+/// Panics if `in_offsets.len() != n + 1` or
+/// `in_edges.len() != edges.len()`.
+pub fn transpose_into(
+    n: usize,
+    offsets: &[u32],
+    edges: &[NodeId],
+    in_offsets: &mut [u32],
+    in_edges: &mut [NodeId],
+    threads: usize,
+) {
+    assert_eq!(in_offsets.len(), n + 1, "in_offsets holds n + 1 entries");
+    assert_eq!(in_edges.len(), edges.len(), "one in-edge per out-edge");
+    let m = edges.len();
+    // Each worker re-scans the whole edge array (O(threads · m) reads),
+    // so fan out only when rows are big enough to amortize that.
+    let workers = par::effective_threads(m, threads, 1 << 16);
+    if workers <= 1 {
+        // Both passes are random scatters over arrays far larger than
+        // cache at 10⁷ peers; a lookahead prefetch keeps several misses
+        // in flight instead of serializing on each one. Prefetching is a
+        // hint — the output is the plain counting sort's, bit for bit.
+        const PF: usize = 16;
+        in_offsets.fill(0);
+        for (k, &v) in edges.iter().enumerate() {
+            if let Some(&w) = edges.get(k + PF) {
+                prefetch_read(&in_offsets[w as usize + 1]);
+            }
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.to_vec();
+        for u in 0..n {
+            let (a, b) = (offsets[u] as usize, offsets[u + 1] as usize);
+            for k in a..b {
+                // Two-stage lookahead across the flat edge array: warm
+                // the cursor slot first, then the write target it names.
+                // A cursor slot may advance between prefetch and use
+                // (repeated destination), drifting the second hint by a
+                // few entries — same line in practice, and harmless.
+                if let Some(&w) = edges.get(k + 2 * PF) {
+                    prefetch_read(&cursor[w as usize]);
+                }
+                if let Some(&w) = edges.get(k + PF) {
+                    let slot = cursor[w as usize] as usize;
+                    // `slot` can be one past the end mid-sort only for
+                    // ids whose rows are complete; stay on a raw pointer
+                    // (never dereferenced) to avoid a bounds panic.
+                    unsafe { prefetch_read(in_edges.as_ptr().add(slot)) };
+                }
+                let v = edges[k] as usize;
+                in_edges[cursor[v] as usize] = u as NodeId;
+                cursor[v] += 1;
+            }
+        }
+        return;
+    }
+    // Destination ranges, one per worker.
+    let chunk = n.div_ceil(workers);
+    let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+        .map(|t| (t * chunk).min(n)..((t + 1) * chunk).min(n))
+        .collect();
+    // Count pass: per-range in-degree tallies.
+    let counts: Vec<Vec<u32>> = {
+        let mut out = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    scope.spawn(move || {
+                        let mut c = vec![0u32; r.len()];
+                        for &v in edges {
+                            let v = v as usize;
+                            if r.contains(&v) {
+                                c[v - r.start] += 1;
+                            }
+                        }
+                        c
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("transpose count worker panicked"));
+            }
+        });
+        out
+    };
+    // Sequential exclusive scan over all destinations.
+    in_offsets[0] = 0;
+    let mut total = 0u32;
+    for (r, c) in ranges.iter().zip(&counts) {
+        for (i, &k) in c.iter().enumerate() {
+            total += k;
+            in_offsets[r.start + i + 1] = total;
         }
     }
-    (in_offsets, in_edges)
+    debug_assert_eq!(total as usize, m);
+    // Fill pass: split `in_edges` at the range boundaries — disjoint
+    // contiguous slices — and let each worker scan sources in order.
+    let in_offsets: &[u32] = in_offsets;
+    std::thread::scope(|scope| {
+        let mut rest: &mut [NodeId] = in_edges;
+        let mut base = 0usize;
+        for r in &ranges {
+            let hi = in_offsets[r.end] as usize;
+            let (mine, tail) = rest.split_at_mut(hi - base);
+            rest = tail;
+            let r = r.clone();
+            scope.spawn(move || {
+                let mut cursor: Vec<u32> = r.clone().map(|v| in_offsets[v] - base as u32).collect();
+                for u in 0..n {
+                    let (a, b) = (offsets[u] as usize, offsets[u + 1] as usize);
+                    for &v in &edges[a..b] {
+                        let v = v as usize;
+                        if r.contains(&v) {
+                            let slot = &mut cursor[v - r.start];
+                            mine[*slot as usize] = u as NodeId;
+                            *slot += 1;
+                        }
+                    }
+                }
+            });
+            base = hi;
+        }
+    });
 }
 
 /// Construction-time contact-table builder shared by every overlay.
@@ -341,11 +506,36 @@ impl LinkTable {
     /// was never part of the routing contract — greedy selection ranks
     /// by distance — so sorting here only changes which of two
     /// *exactly* equidistant contacts wins a tie.)
-    pub fn build(mut self) -> Topology {
-        for row in &mut self.rows {
-            row.sort_unstable();
+    pub fn build(self) -> Topology {
+        self.build_with_threads(1)
+    }
+
+    /// [`build`] with per-row sorting and the in-edge transpose fanned
+    /// out over `threads` workers (`0` = auto). Each row is sorted
+    /// independently and the transpose is thread-count invariant, so the
+    /// result is identical to the sequential [`build`].
+    ///
+    /// [`build`]: LinkTable::build
+    pub fn build_with_threads(mut self, threads: usize) -> Topology {
+        let n = self.rows.len();
+        let workers = par::effective_threads(n, threads, 1 << 14);
+        if workers <= 1 {
+            for row in &mut self.rows {
+                row.sort_unstable();
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for rows in self.rows.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for row in rows {
+                            row.sort_unstable();
+                        }
+                    });
+                }
+            });
         }
-        Topology::from_rows(&self.rows)
+        Topology::from_rows_with_threads(&self.rows, threads)
     }
 }
 
@@ -473,6 +663,59 @@ mod tests {
         let r = t.with_row(2, &[0, 1, 4]);
         assert!(r.rows_sorted());
         assert!(r.has_edge(2, 4));
+    }
+
+    /// A deterministic pseudo-random link table big enough that the
+    /// parallel transpose / row-sort paths actually fan out.
+    fn big_scrambled_table(n: usize, avg_deg: usize) -> LinkTable {
+        let mut lt = LinkTable::new(n);
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for u in 0..n as NodeId {
+            let deg = (next() as usize) % (2 * avg_deg + 1);
+            for _ in 0..deg {
+                lt.add(u, (next() % n as u64) as NodeId);
+            }
+        }
+        lt
+    }
+
+    #[test]
+    fn parallel_transpose_matches_sequential() {
+        // ~20k peers × ~8 edges ≈ 160k edges: past the 2^16 fan-out
+        // threshold, so threads > 1 takes the chunked dest-range path.
+        let t = big_scrambled_table(20_000, 8).build();
+        let n = t.len();
+        assert!(t.edge_count() > 1 << 16, "must exercise the parallel path");
+        for threads in [2, 3, 7] {
+            let mut in_offsets = vec![0u32; n + 1];
+            let mut in_edges = vec![0 as NodeId; t.edge_count()];
+            transpose_into(
+                n,
+                t.offsets(),
+                t.edges(),
+                &mut in_offsets,
+                &mut in_edges,
+                threads,
+            );
+            assert_eq!(in_offsets.as_slice(), t.in_offsets(), "threads={threads}");
+            assert_eq!(in_edges.as_slice(), t.in_edges(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let seq = big_scrambled_table(20_000, 8).build();
+        for threads in [2, 4] {
+            let par = big_scrambled_table(20_000, 8).build_with_threads(threads);
+            assert_eq!(par, seq, "threads={threads}");
+            assert!(par.rows_sorted());
+        }
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //! * [`csr`] — flat CSR [`Topology`] + [`LinkTable`] builder.
 //! * [`store`] — pluggable topology storage: [`TopologyStore`] over the
 //!   heap CSR and the frozen [`TopologyArena`] file format.
+//! * [`writer`] — build-direct-to-arena construction: [`ArenaWriter`]
+//!   fills the final arena image in place (count-then-fill, disjoint
+//!   peer-range shards concurrently), [`ArenaSection`] + [`writer::stitch`]
+//!   let independent processes each build a shard file and concatenate
+//!   them into one valid arena, byte-identical to a monolithic freeze.
 //! * [`par`] — deterministic fork/join helpers over scoped std threads
 //!   (the workspace builds offline, so no `rayon`): parallel per-peer
 //!   construction and batched routing build on these.
@@ -59,8 +64,10 @@ pub mod metrics;
 pub mod par;
 pub mod store;
 pub mod watts_strogatz;
+pub mod writer;
 
 pub use csr::{LinkTable, Topology};
 pub use digraph::{DiGraph, NodeId};
 pub use metrics::GraphMetrics;
 pub use store::{TopologyArena, TopologyStore};
+pub use writer::{ArenaSection, ArenaWriter};

@@ -99,7 +99,12 @@ where
 /// Spawn overhead dominates below ~1k cheap items per worker.
 const DEFAULT_MIN_PER_THREAD: usize = 1024;
 
-fn effective_threads(n: usize, threads: usize, min_per_thread: usize) -> usize {
+/// The worker count a `(n, threads)` request actually fans out to:
+/// `0` resolves to the machine's parallelism, and tiny inputs collapse
+/// to one worker so spawn overhead never dominates. Exposed so callers
+/// that hand-partition mutable state (the arena writer, in-place row
+/// sorting) agree with the mapping helpers about when to stay inline.
+pub fn effective_threads(n: usize, threads: usize, min_per_thread: usize) -> usize {
     let t = if threads == 0 {
         default_parallelism()
     } else {

@@ -22,46 +22,56 @@
 //! The format is native-endian by design (the arena is a memory image);
 //! a file written on a foreign-endian machine fails the magic check
 //! instead of decoding garbage.
+//!
+//! Arenas do not have to be built whole: [`crate::writer`] defines the
+//! companion *section* format (`ArenaSection`, magic `SWSECT`) carrying
+//! one contiguous peer-range's rows and lanes as a standalone file, plus
+//! `stitch`/`stitch_files` to rebase any number of sections — built in
+//! any order, by any mix of threads and processes — into one arena
+//! byte-identical to a monolithic [`TopologyArena::build`] image. The
+//! `ArenaWriter` in the same module fills a single image in place
+//! (count-then-fill) without an intermediate heap CSR.
 
 use crate::csr::Topology;
 use crate::digraph::NodeId;
+use crate::par;
 use std::io;
 use std::path::Path;
 
 /// Magic-plus-version word. Incompatible layout changes bump the last
 /// byte. Read back swapped on a foreign-endian machine, so it doubles as
 /// an endianness check.
-const MAGIC: u64 = 0x5357_544F_504F_0001; // "SWTOPO" + version 1
+pub(crate) const MAGIC: u64 = 0x5357_544F_504F_0001; // "SWTOPO" + version 1
 
 /// Header words before the first section.
-const HEADER_WORDS: usize = 4;
+pub(crate) const HEADER_WORDS: usize = 4;
 
 /// Flag bit: the per-edge `f64` position lane is present.
-const FLAG_EDGE_POS: u64 = 1;
+pub(crate) const FLAG_EDGE_POS: u64 = 1;
 /// Flag bit: the per-node `f64` position lane is present.
-const FLAG_NODE_POS: u64 = 1 << 1;
+pub(crate) const FLAG_NODE_POS: u64 = 1 << 1;
 /// Flag bit: every edge row is sorted ascending (binary-search safe).
-const FLAG_SORTED: u64 = 1 << 2;
+pub(crate) const FLAG_SORTED: u64 = 1 << 2;
 
 /// Word offsets of each section for a given `(n, m, flags)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Layout {
-    offsets: usize,
-    edges: usize,
-    in_offsets: usize,
-    in_edges: usize,
-    edge_pos: usize,
-    node_pos: usize,
-    total_words: usize,
+pub(crate) struct Layout {
+    pub(crate) offsets: usize,
+    pub(crate) edges: usize,
+    pub(crate) in_offsets: usize,
+    pub(crate) in_edges: usize,
+    pub(crate) edge_pos: usize,
+    pub(crate) node_pos: usize,
+    pub(crate) total_words: usize,
 }
 
 /// `u32` elements per section, padded up to whole `u64` words so every
 /// section starts 8-byte aligned.
-fn u32_words(len: usize) -> usize {
+pub(crate) fn u32_words(len: usize) -> usize {
     len.div_ceil(2)
 }
 
-fn layout(n: usize, m: usize, flags: u64) -> Layout {
+pub(crate) fn layout(n: usize, m: usize, flags: u64) -> Layout {
     let offsets = HEADER_WORDS;
     let edges = offsets + u32_words(n + 1);
     let in_offsets = edges + u32_words(m);
@@ -81,8 +91,9 @@ fn layout(n: usize, m: usize, flags: u64) -> Layout {
 }
 
 /// The arena's backing memory: an owned bump allocation, or (with the
-/// `mmap` feature) a read-only file mapping.
-enum ArenaBuf {
+/// `mmap` feature) a file mapping — read-only when opened, write-through
+/// when the image was built in place by an `ArenaWriter`.
+pub(crate) enum ArenaBuf {
     Owned(Box<[u64]>),
     #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
     Mapped(mapping::Mapping),
@@ -124,24 +135,24 @@ impl std::fmt::Debug for TopologyArena {
 /// Safety: `u64` is 8-byte aligned, so any word start is valid for
 /// `u32`; callers pass ranges produced by [`layout`], which stay in
 /// bounds (asserted here again).
-fn u32_section(buf: &[u64], word: usize, len: usize) -> &[u32] {
+pub(crate) fn u32_section(buf: &[u64], word: usize, len: usize) -> &[u32] {
     assert!(word + u32_words(len) <= buf.len(), "section out of bounds");
     unsafe { std::slice::from_raw_parts(buf[word..].as_ptr() as *const u32, len) }
 }
 
 /// Casts a word range of the arena to an `f64` section (same alignment
 /// argument as [`u32_section`]; `f64` words map 1:1 onto `u64` words).
-fn f64_section(buf: &[u64], word: usize, len: usize) -> &[f64] {
+pub(crate) fn f64_section(buf: &[u64], word: usize, len: usize) -> &[f64] {
     assert!(word + len <= buf.len(), "section out of bounds");
     unsafe { std::slice::from_raw_parts(buf[word..].as_ptr() as *const f64, len) }
 }
 
-fn u32_section_mut(buf: &mut [u64], word: usize, len: usize) -> &mut [u32] {
+pub(crate) fn u32_section_mut(buf: &mut [u64], word: usize, len: usize) -> &mut [u32] {
     assert!(word + u32_words(len) <= buf.len(), "section out of bounds");
     unsafe { std::slice::from_raw_parts_mut(buf[word..].as_mut_ptr() as *mut u32, len) }
 }
 
-fn f64_section_mut(buf: &mut [u64], word: usize, len: usize) -> &mut [f64] {
+pub(crate) fn f64_section_mut(buf: &mut [u64], word: usize, len: usize) -> &mut [f64] {
     assert!(word + len <= buf.len(), "section out of bounds");
     unsafe { std::slice::from_raw_parts_mut(buf[word..].as_mut_ptr() as *mut f64, len) }
 }
@@ -196,17 +207,29 @@ impl TopologyArena {
     /// Writes the arena image to `path` (a single `write` — the memory
     /// image *is* the file format).
     pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let words: &[u64] = &self.buf;
-        // Safety: any initialized &[u64] is valid as bytes.
-        let bytes = unsafe {
-            std::slice::from_raw_parts(words.as_ptr() as *const u8, std::mem::size_of_val(words))
-        };
-        std::fs::write(path, bytes)
+        std::fs::write(path, self.as_bytes())
     }
 
     /// Reopens a frozen arena: the whole file lands in **one** bump
     /// allocation and every section is a zero-copy view into it.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_opts(path, true)
+    }
+
+    /// [`open`] minus the `O(m)` structural scans (offset monotonicity,
+    /// edge-target range checks): only the constant-size header and file
+    /// length are verified. For trusted inputs — typically a file this
+    /// process just wrote — where the 10⁷-peer validation pass costs
+    /// whole seconds. Malformed *untrusted* files opened this way can
+    /// make accessors panic on out-of-bounds rows; they cannot read
+    /// outside the arena allocation.
+    ///
+    /// [`open`]: TopologyArena::open
+    pub fn open_unvalidated(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_opts(path, false)
+    }
+
+    fn open_opts(path: impl AsRef<Path>, validate: bool) -> io::Result<Self> {
         use std::io::Read as _;
         let mut file = std::fs::File::open(path)?;
         let len = file.metadata()?.len() as usize;
@@ -222,7 +245,7 @@ impl TopologyArena {
             )
         };
         file.read_exact(bytes)?;
-        Self::from_buf(ArenaBuf::Owned(buf))
+        Self::from_buf_opts(ArenaBuf::Owned(buf), validate)
     }
 
     /// Memory-maps a frozen arena read-only instead of reading it
@@ -230,17 +253,48 @@ impl TopologyArena {
     /// size and cold edge rows are paged in on first touch.
     #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
     pub fn open_mmap(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_mmap_opts(path, true)
+    }
+
+    /// [`open_mmap`] without the `O(m)` structural scans (which would
+    /// also fault every page in, defeating the lazy mapping). Same trust
+    /// contract as [`TopologyArena::open_unvalidated`].
+    ///
+    /// [`open_mmap`]: TopologyArena::open_mmap
+    #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+    pub fn open_mmap_unvalidated(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_mmap_opts(path, false)
+    }
+
+    #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+    fn open_mmap_opts(path: impl AsRef<Path>, validate: bool) -> io::Result<Self> {
         let file = std::fs::File::open(path)?;
         let len = file.metadata()?.len() as usize;
         if !len.is_multiple_of(8) || len < HEADER_WORDS * 8 {
             return Err(bad_format("file length is not a whole arena"));
         }
         let map = mapping::Mapping::map(&file, len)?;
-        Self::from_buf(ArenaBuf::Mapped(map))
+        Self::from_buf_opts(ArenaBuf::Mapped(map), validate)
+    }
+
+    /// Assembles an arena around an image built in place by
+    /// [`ArenaWriter`](crate::store::ArenaWriter): header and length are
+    /// always checked; the `O(m)` structural scans run in debug builds
+    /// only (the writer establishes the invariants by construction).
+    pub(crate) fn from_image(buf: Box<[u64]>) -> io::Result<Self> {
+        Self::from_buf_opts(ArenaBuf::Owned(buf), cfg!(debug_assertions))
+    }
+
+    /// [`from_image`](Self::from_image) over a write-through file mapping
+    /// an `ArenaWriter` filled in place — the backing file already *is*
+    /// the frozen arena, no separate write step.
+    #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+    pub(crate) fn from_image_map(map: mapping::Mapping) -> io::Result<Self> {
+        Self::from_buf_opts(ArenaBuf::Mapped(map), cfg!(debug_assertions))
     }
 
     /// Validates a loaded buffer and assembles the arena around it.
-    fn from_buf(buf: ArenaBuf) -> io::Result<Self> {
+    fn from_buf_opts(buf: ArenaBuf, validate: bool) -> io::Result<Self> {
         if buf.len() < HEADER_WORDS {
             return Err(bad_format("truncated header"));
         }
@@ -281,22 +335,32 @@ impl TopologyArena {
             buf,
         };
         // Structural validation: offsets must be monotone and end at m,
-        // edge targets in range. One pass each — still O(1) allocations.
-        for (name, offs) in [
-            ("offsets", arena.offsets()),
-            ("in_offsets", arena.in_offsets()),
-        ] {
-            if offs.first() != Some(&0) || offs.last() != Some(&(m as u32)) {
-                return Err(bad_format(name));
+        // edge targets in range. One pass each — still O(1) allocations,
+        // fanned out over the machine's cores (the scans dominated the
+        // 18–23 s reopen cost at 10⁷ peers when run sequentially).
+        if validate {
+            for (name, offs) in [
+                ("offsets", arena.offsets()),
+                ("in_offsets", arena.in_offsets()),
+            ] {
+                if offs.first() != Some(&0) || offs.last() != Some(&(m as u32)) {
+                    return Err(bad_format(name));
+                }
+                let monotone = par::par_chunks(offs.len() - 1, 0, |r| {
+                    offs[r.start..r.end + 1].windows(2).all(|w| w[0] <= w[1])
+                });
+                if monotone.into_iter().any(|ok| !ok) {
+                    return Err(bad_format(name));
+                }
             }
-            if offs.windows(2).any(|w| w[0] > w[1]) {
-                return Err(bad_format(name));
+            for edges in [arena.edges(), arena.in_edges()] {
+                let in_range = par::par_chunks(edges.len(), 0, |r| {
+                    edges[r].iter().all(|&v| (v as usize) < n)
+                });
+                if in_range.into_iter().any(|ok| !ok) {
+                    return Err(bad_format("edge target out of range"));
+                }
             }
-        }
-        if arena.edges().iter().any(|&v| v as usize >= n)
-            || arena.in_edges().iter().any(|&v| v as usize >= n)
-        {
-            return Err(bad_format("edge target out of range"));
         }
         Ok(arena)
     }
@@ -321,6 +385,17 @@ impl TopologyArena {
     /// Size of the whole arena image in bytes.
     pub fn byte_len(&self) -> usize {
         self.buf.len() * 8
+    }
+
+    /// The raw arena image — exactly the bytes [`TopologyArena::write_to`]
+    /// puts on disk, so two arenas are interchangeable iff their
+    /// `as_bytes` agree (the sharded-build identity tests compare this).
+    pub fn as_bytes(&self) -> &[u8] {
+        let words: &[u64] = &self.buf;
+        // Safety: any initialized &[u64] is valid as bytes.
+        unsafe {
+            std::slice::from_raw_parts(words.as_ptr() as *const u8, std::mem::size_of_val(words))
+        }
     }
 
     /// True if every edge row is sorted ascending.
@@ -387,7 +462,7 @@ impl TopologyArena {
     }
 }
 
-fn bad_format(what: &str) -> io::Error {
+pub(crate) fn bad_format(what: &str) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
         format!("invalid topology arena: {what}"),
@@ -398,12 +473,14 @@ fn bad_format(what: &str) -> io::Error {
 /// offline, so the `libc` crate is not available; `mmap`/`munmap` are
 /// always present in the C runtime every unix Rust binary links.
 #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
-mod mapping {
+pub(crate) mod mapping {
     use std::ffi::c_void;
     use std::io;
     use std::os::unix::io::AsRawFd;
 
     const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const MAP_SHARED: i32 = 1;
     const MAP_PRIVATE: i32 = 2;
 
     extern "C" {
@@ -416,29 +493,62 @@ mod mapping {
             offset: i64,
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> i32;
+        fn posix_fallocate(fd: i32, offset: i64, len: i64) -> i32;
     }
 
-    /// A read-only whole-file mapping, unmapped on drop.
+    /// Preallocates the file's blocks so that first-touch faults through
+    /// a write-through mapping skip per-page block accounting — on ext4
+    /// this is the difference between ~10⁸ and ~10⁹·5 bytes/s of fill
+    /// bandwidth. Best-effort: a filesystem without fast preallocation
+    /// still works, just faults slower.
+    pub(crate) fn preallocate(file: &std::fs::File, len_bytes: usize) {
+        use std::os::fd::AsRawFd;
+        if len_bytes > 0 {
+            unsafe { posix_fallocate(file.as_raw_fd(), 0, len_bytes as i64) };
+        }
+    }
+
+    /// A whole-file mapping, unmapped on drop: read-only/private when
+    /// opening a frozen arena, write-through/shared when an
+    /// `ArenaWriter` builds the image directly in the destination file.
     pub struct Mapping {
-        ptr: *const u64,
+        ptr: *mut u64,
         len_bytes: usize,
+        writable: bool,
     }
 
-    // Safety: the mapping is read-only and immutable for its lifetime.
+    // Safety: mutable access goes through `words_mut(&mut self)` only,
+    // so aliasing is governed by the usual borrow rules.
     unsafe impl Send for Mapping {}
     unsafe impl Sync for Mapping {}
 
     impl Mapping {
+        /// Read-only private mapping of an existing file.
         pub fn map(file: &std::fs::File, len_bytes: usize) -> io::Result<Mapping> {
+            Self::map_opts(file, len_bytes, false)
+        }
+
+        /// Write-through shared mapping: stores land in the page cache
+        /// and reach the file without a separate write pass.
+        pub fn map_rw(file: &std::fs::File, len_bytes: usize) -> io::Result<Mapping> {
+            Self::map_opts(file, len_bytes, true)
+        }
+
+        fn map_opts(file: &std::fs::File, len_bytes: usize, writable: bool) -> io::Result<Mapping> {
             if len_bytes == 0 {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "empty file"));
             }
+            let (prot, flags) = if writable {
+                (PROT_READ | PROT_WRITE, MAP_SHARED)
+            } else {
+                (PROT_READ, MAP_PRIVATE)
+            };
             let ptr = unsafe {
                 mmap(
                     std::ptr::null_mut(),
                     len_bytes,
-                    PROT_READ,
-                    MAP_PRIVATE,
+                    prot,
+                    flags,
                     file.as_raw_fd(),
                     0,
                 )
@@ -448,14 +558,21 @@ mod mapping {
             }
             // Page alignment (>= 8) guarantees the u64 view is aligned.
             Ok(Mapping {
-                ptr: ptr as *const u64,
+                ptr: ptr as *mut u64,
                 len_bytes,
+                writable,
             })
         }
 
         pub fn words(&self) -> &[u64] {
-            // Safety: mapped read-only for self's lifetime, 8-aligned.
+            // Safety: mapped for self's lifetime, 8-aligned.
             unsafe { std::slice::from_raw_parts(self.ptr, self.len_bytes / 8) }
+        }
+
+        pub fn words_mut(&mut self) -> &mut [u64] {
+            assert!(self.writable, "read-only mapping");
+            // Safety: PROT_WRITE mapping, exclusive via &mut self.
+            unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len_bytes / 8) }
         }
     }
 
@@ -526,6 +643,25 @@ impl TopologyStore {
         #[cfg(not(all(feature = "mmap", unix, target_pointer_width = "64")))]
         {
             Ok(TopologyStore::Arena(TopologyArena::open(path)?))
+        }
+    }
+
+    /// [`open`] for *trusted* files (ones this process wrote): skips the
+    /// `O(m)` structural scans, so reopening a 10⁷-peer overlay costs
+    /// one read — see [`TopologyArena::open_unvalidated`] for the exact
+    /// contract.
+    ///
+    /// [`open`]: TopologyStore::open
+    pub fn open_unvalidated(path: impl AsRef<Path>) -> io::Result<Self> {
+        #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+        {
+            Ok(TopologyStore::Arena(TopologyArena::open_mmap_unvalidated(
+                path,
+            )?))
+        }
+        #[cfg(not(all(feature = "mmap", unix, target_pointer_width = "64")))]
+        {
+            Ok(TopologyStore::Arena(TopologyArena::open_unvalidated(path)?))
         }
     }
 

@@ -166,6 +166,39 @@ impl Placement {
     /// The peer whose key is nearest to `target` (ties: lower id).
     pub fn nearest(&self, target: Key) -> NodeId {
         let idx = self.keys.partition_point(|&k| k < target);
+        self.nearest_at(idx, target)
+    }
+
+    /// [`nearest`] with the binary search bracketed to `[lo, hi]` —
+    /// for callers holding an index (e.g. the link sampler's bucket rank
+    /// index) that localizes the insertion point. The bracket is
+    /// *verified* against the keys before being trusted: if it provably
+    /// contains the insertion point (`keys[lo - 1] < target <= keys[hi]`,
+    /// boundaries aside) the search runs inside it, otherwise the full
+    /// search runs — so the result is **bit-identical to [`nearest`]**
+    /// for any bracket, valid or not.
+    ///
+    /// [`nearest`]: Placement::nearest
+    #[inline]
+    pub fn nearest_bracketed(&self, target: Key, lo: usize, hi: usize) -> NodeId {
+        let n = self.keys.len();
+        let (lo, hi) = (lo.min(n), hi.min(n));
+        let idx = if lo <= hi
+            && (lo == 0 || self.keys[lo - 1] < target)
+            && (hi == n || self.keys[hi] >= target)
+        {
+            lo + self.keys[lo..hi].partition_point(|&k| k < target)
+        } else {
+            self.keys.partition_point(|&k| k < target)
+        };
+        self.nearest_at(idx, target)
+    }
+
+    /// Shared candidate check of the `nearest*` family: given the
+    /// insertion point of `target`, picks the closest of the insertion
+    /// neighbours (plus the ring wrap-arounds), ties to the lower id.
+    #[inline]
+    fn nearest_at(&self, idx: usize, target: Key) -> NodeId {
         let mut best: NodeId = 0;
         let mut best_d = f64::INFINITY;
         let n = self.keys.len();
@@ -345,6 +378,40 @@ mod tests {
         assert_eq!(p.nearest(key(0.02)), 0);
         // 0.97 equidistant-ish: |0.97-0.9|=0.07 < wrap to 0.1 (0.13).
         assert_eq!(p.nearest(key(0.97)), 2);
+    }
+
+    #[test]
+    fn nearest_bracketed_matches_nearest_for_any_bracket() {
+        let mut rng = Rng::new(17);
+        for topology in [Topology::Interval, Topology::Ring] {
+            let p = Placement::sample(257, &Uniform, topology, &mut rng);
+            let n = p.len();
+            let mut probe_rng = Rng::new(18);
+            for _ in 0..2000 {
+                let target = Key::clamped(probe_rng.f64() * 1.2 - 0.1);
+                let expect = p.nearest(target);
+                // Brackets of every flavour: exact, loose, wrong, empty,
+                // inverted, out of range — all must agree with nearest().
+                let idx = p.keys().partition_point(|&k| k < target);
+                for (lo, hi) in [
+                    (idx, idx),
+                    (idx.saturating_sub(1), (idx + 1).min(n)),
+                    (0, n),
+                    (n / 2, n / 2),
+                    (n, 0),
+                    (idx + 3, idx + 9),
+                    (idx.saturating_sub(9), idx.saturating_sub(3)),
+                    (n + 5, n + 9),
+                ] {
+                    assert_eq!(
+                        p.nearest_bracketed(target, lo, hi),
+                        expect,
+                        "topology={topology:?} target={} lo={lo} hi={hi}",
+                        target.get()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

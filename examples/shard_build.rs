@@ -1,0 +1,147 @@
+//! Sharded construction end to end: build a small-world overlay as N
+//! independent shards — in this process or in N spawned worker
+//! processes — stitch the sections back together, and verify the result
+//! is **byte-identical** to the monolithic `build_to_arena` image.
+//!
+//! ```text
+//! cargo run --release --example shard_build                  # 20 000 peers, 4 shards, in-process
+//! cargo run --release --example shard_build -- 100000 8      # n and shard count
+//! cargo run --release --example shard_build -- 100000 8 --spawn   # one worker process per shard
+//! ```
+//!
+//! The only things a worker needs are the root seed and its peer range:
+//! it re-derives the placement deterministically, samples its peers'
+//! links from their per-peer RNG streams, and writes two section files.
+//! The driver stitches the files (any completion order) and reopens the
+//! result as a routable network. This is the template for building
+//! 10⁸-peer overlays across machines; E21 measures the same pipeline.
+
+use smallworld::core::prelude::*;
+use smallworld::graph::writer::stitch_files;
+use smallworld::keyspace::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 2005;
+
+/// One shard's builder — driver and workers must agree on this exactly.
+fn builder(n: usize) -> SmallWorldBuilder {
+    SmallWorldBuilder::new(n)
+        .distribution(Box::new(TruncatedPareto::new(1.5, 0.01).expect("valid")))
+        .sampler(LinkSampler::Harmonic)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden worker mode: `shard_build worker <n> <shards> <index> <dir>`.
+    if args.first().map(String::as_str) == Some("worker") {
+        let n: usize = args[1].parse().expect("worker n");
+        let shards: usize = args[2].parse().expect("worker shards");
+        let index: usize = args[3].parse().expect("worker index");
+        let range = shard_ranges(n, shards)[index].clone();
+        let sections = builder(n).build_shard(SEED, range).expect("build shard");
+        sections.write_to(&args[4]).expect("write sections");
+        return;
+    }
+
+    let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let shards: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let spawn = args.iter().any(|a| a == "--spawn");
+
+    println!("monolithic build_to_arena of {n} peers (the reference image)…");
+    let t0 = Instant::now();
+    let mono = builder(n)
+        .build_to_arena(&mut Rng::new(SEED))
+        .expect("n >= 4");
+    println!("  built in {:.2}s", t0.elapsed().as_secs_f64());
+
+    let net = if spawn {
+        println!("building {shards} shards in {shards} spawned worker processes…");
+        let exe = std::env::current_exe().expect("current exe");
+        let dir = std::env::temp_dir().join(format!("sw-shard-build-{n}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let t0 = Instant::now();
+        let children: Vec<_> = (0..shards)
+            .map(|i| {
+                std::process::Command::new(&exe)
+                    .args([
+                        "worker",
+                        &n.to_string(),
+                        &shards.to_string(),
+                        &i.to_string(),
+                        dir.to_str().expect("utf8 dir"),
+                    ])
+                    .spawn()
+                    .expect("spawn worker")
+            })
+            .collect();
+        for mut child in children {
+            assert!(
+                child.wait().expect("wait worker").success(),
+                "worker failed"
+            );
+        }
+        println!("  workers finished in {:.2}s", t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let mut contact_paths: Vec<PathBuf> = Vec::new();
+        let mut long_paths: Vec<PathBuf> = Vec::new();
+        for range in shard_ranges(n, shards) {
+            let (c, l) = ShardSections::file_names(&range);
+            contact_paths.push(dir.join(c));
+            long_paths.push(dir.join(l));
+        }
+        let contacts = stitch_files(&contact_paths, 0).expect("stitch contacts");
+        let long = stitch_files(&long_paths, 0).expect("stitch long");
+        println!(
+            "  stitched section files in {:.2}s",
+            t0.elapsed().as_secs_f64()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            mono.contacts().as_bytes(),
+            contacts.as_bytes(),
+            "stitched contact arena must equal the monolithic image"
+        );
+        assert_eq!(
+            mono.long().as_bytes(),
+            long.as_bytes(),
+            "stitched long arena must equal the monolithic image"
+        );
+        println!("byte-identity: stitched worker sections == monolithic images ✓");
+        // Reassemble a routable network from the stitched arenas alone —
+        // the placement comes back out of the node-position lane.
+        let assumed: Arc<dyn KeyDistribution> =
+            Arc::new(TruncatedPareto::new(1.5, 0.01).expect("valid"));
+        ArenaBuild::from_stitched(*builder(n).config_ref(), assumed, contacts, long)
+            .expect("stitched arenas carry the key lanes")
+            .into_network()
+    } else {
+        println!("building {shards} shards in-process and stitching…");
+        let t0 = Instant::now();
+        let sharded = builder(n).build_sharded(SEED, shards).expect("shardable");
+        println!("  built + stitched in {:.2}s", t0.elapsed().as_secs_f64());
+        assert_eq!(
+            mono.contacts().as_bytes(),
+            sharded.contacts().as_bytes(),
+            "stitched contact arena must equal the monolithic image"
+        );
+        assert_eq!(
+            mono.long().as_bytes(),
+            sharded.long().as_bytes(),
+            "stitched long arena must equal the monolithic image"
+        );
+        println!("byte-identity: stitched shards == monolithic images ✓");
+        sharded.into_network()
+    };
+
+    let mut rng = Rng::new(SEED ^ 1);
+    let stats = net.routing_survey(512.min(n), &mut rng);
+    println!(
+        "routing over the stitched network: {:.1}% delivered, {:.2} mean hops (log2 n = {:.1})",
+        stats.success_rate() * 100.0,
+        stats.hops.mean(),
+        (n as f64).log2(),
+    );
+}
