@@ -11,11 +11,15 @@
 //!   `median_secs`/`mean_secs` carry the p50/p99 end-to-end lookup
 //!   latency in (virtual) seconds under churn, not a wall-clock timing.
 //!
+//! Every row carries an explicit `unit` field (`"wall_secs"` vs
+//! `"sim_secs"`) so trajectory tooling never has to infer which clock a
+//! row was measured on from its id.
+//!
 //! Pass `--quick` for the CI smoke profile.
 
 use std::hint::black_box;
 use std::sync::Arc;
-use sw_bench::microbench::{to_json, Bencher, Measurement};
+use sw_bench::microbench::{to_merge_rows, Bencher, Measurement, UNIT_SIM_SECS};
 use sw_keyspace::distribution::{KeyDistribution, TruncatedPareto, Uniform};
 use sw_keyspace::stats::quantile_sorted;
 use sw_sim::{ChurnConfig, SimConfig, SimTime, Simulator, StorageConfig, WorkloadConfig};
@@ -107,6 +111,7 @@ fn main() {
                 mean_secs: v,
                 items_per_iter: None,
                 samples: lat.len(),
+                unit: UNIT_SIM_SECS,
             });
         }
         let m = sim.metrics();
@@ -149,5 +154,7 @@ fn main() {
     all.push(m);
 
     println!();
-    sw_bench::ctx::write_snapshot("BENCH_sim.json", &to_json(&all));
+    // Merge by id so E22's `sim-scale/*` rows survive a bench run and
+    // vice versa — the two producers share one BENCH_sim.json.
+    sw_bench::ctx::merge_snapshot("BENCH_sim.json", &to_merge_rows(&all));
 }

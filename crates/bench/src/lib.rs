@@ -137,5 +137,10 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Sharded zero-copy construction: heap vs arena pipeline, in-process and multi-process shards stitched byte-identically (writes BENCH_scale.json)",
             experiments::shard::e21_shard,
         ),
+        (
+            "e22",
+            "Simulator at scale: timing-wheel vs heap plane events/s + peak RSS from frozen preloads at n up to 10^6 (writes BENCH_sim.json)",
+            experiments::sim_scale::e22_sim_scale,
+        ),
     ]
 }

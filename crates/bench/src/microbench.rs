@@ -9,6 +9,14 @@
 
 use std::time::Instant;
 
+/// Unit tag for real wall-clock rows ([`Measurement::unit`]).
+pub const UNIT_WALL_SECS: &str = "wall_secs";
+
+/// Unit tag for virtual-time rows — `median_secs`/`mean_secs` carry a
+/// quantity measured on the simulator clock, not a timing of this
+/// machine ([`Measurement::unit`]).
+pub const UNIT_SIM_SECS: &str = "sim_secs";
+
 /// One measured benchmark.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -22,6 +30,11 @@ pub struct Measurement {
     pub items_per_iter: Option<f64>,
     /// Number of measured samples.
     pub samples: usize,
+    /// What the `*_secs` fields measure: [`UNIT_WALL_SECS`] for timings
+    /// of this machine, [`UNIT_SIM_SECS`] for virtual-time quantities
+    /// (e.g. lookup latency on the simulator clock). Trajectory tooling
+    /// must not compare rows across units.
+    pub unit: &'static str,
 }
 
 impl Measurement {
@@ -109,6 +122,7 @@ impl Bencher {
             mean_secs,
             items_per_iter,
             samples: times.len(),
+            unit: UNIT_WALL_SECS,
         };
         match m.throughput() {
             Some(tp) => println!(
@@ -141,16 +155,8 @@ pub fn format_secs(s: f64) -> String {
 pub fn to_json(measurements: &[Measurement]) -> String {
     let mut out = String::from("[\n");
     for (i, m) in measurements.iter().enumerate() {
-        out.push_str("  {");
-        out.push_str(&format!("\"id\": \"{}\", ", escape(&m.id)));
-        out.push_str(&format!("\"median_secs\": {:.9}, ", m.median_secs));
-        out.push_str(&format!("\"mean_secs\": {:.9}, ", m.mean_secs));
-        match m.items_per_iter {
-            Some(k) => out.push_str(&format!("\"items_per_iter\": {k}, ")),
-            None => out.push_str("\"items_per_iter\": null, "),
-        }
-        out.push_str(&format!("\"samples\": {}", m.samples));
-        out.push('}');
+        out.push_str("  ");
+        out.push_str(&row_object(m));
         if i + 1 < measurements.len() {
             out.push(',');
         }
@@ -158,6 +164,32 @@ pub fn to_json(measurements: &[Measurement]) -> String {
     }
     out.push(']');
     out.push('\n');
+    out
+}
+
+/// One measurement as a single-line JSON object literal — the shape
+/// [`crate::ctx::merge_snapshot`] consumes, so bench binaries and
+/// experiments can share a `BENCH_*.json` without clobbering each
+/// other's rows.
+pub fn to_merge_rows(measurements: &[Measurement]) -> Vec<(String, String)> {
+    measurements
+        .iter()
+        .map(|m| (m.id.clone(), row_object(m)))
+        .collect()
+}
+
+fn row_object(m: &Measurement) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"id\": \"{}\", ", escape(&m.id)));
+    out.push_str(&format!("\"median_secs\": {:.9}, ", m.median_secs));
+    out.push_str(&format!("\"mean_secs\": {:.9}, ", m.mean_secs));
+    match m.items_per_iter {
+        Some(k) => out.push_str(&format!("\"items_per_iter\": {k}, ")),
+        None => out.push_str("\"items_per_iter\": null, "),
+    }
+    out.push_str(&format!("\"samples\": {}, ", m.samples));
+    out.push_str(&format!("\"unit\": \"{}\"", escape(m.unit)));
+    out.push('}');
     out
 }
 
@@ -203,6 +235,7 @@ mod tests {
                 mean_secs: 0.6,
                 items_per_iter: Some(10.0),
                 samples: 3,
+                unit: UNIT_WALL_SECS,
             },
             Measurement {
                 id: "b/2".into(),
@@ -210,6 +243,7 @@ mod tests {
                 mean_secs: 0.1,
                 items_per_iter: None,
                 samples: 3,
+                unit: UNIT_SIM_SECS,
             },
         ];
         let j = to_json(&ms);
@@ -217,6 +251,14 @@ mod tests {
         assert!(j.trim_end().ends_with(']'));
         assert!(j.contains("\"id\": \"a/1\""));
         assert!(j.contains("\"items_per_iter\": null"));
+        assert!(j.contains("\"unit\": \"wall_secs\""));
+        assert!(j.contains("\"unit\": \"sim_secs\""));
+        // Merge rows carry the same objects, one line each, keyed by id.
+        let rows = to_merge_rows(&ms);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "a/1");
+        assert!(!rows[0].1.contains('\n'));
+        assert!(rows[1].1.contains("\"unit\": \"sim_secs\""));
     }
 
     #[test]

@@ -33,6 +33,9 @@
 //! * [`csr`] — flat CSR [`Topology`] + [`LinkTable`] builder.
 //! * [`store`] — pluggable topology storage: [`TopologyStore`] over the
 //!   heap CSR and the frozen [`TopologyArena`] file format.
+//! * [`delta`] — [`DeltaStore`]: per-peer edge mutations layered over an
+//!   immutable base store (LSM-style), with compaction back into a
+//!   fresh arena; what lets the simulator churn a frozen 10⁷-peer image.
 //! * [`writer`] — build-direct-to-arena construction: [`ArenaWriter`]
 //!   fills the final arena image in place (count-then-fill, disjoint
 //!   peer-range shards concurrently), [`ArenaSection`] + [`writer::stitch`]
@@ -58,6 +61,7 @@ pub mod bfs;
 pub mod clustering;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod digraph;
 pub mod kleinberg;
 pub mod metrics;
@@ -67,6 +71,7 @@ pub mod watts_strogatz;
 pub mod writer;
 
 pub use csr::{LinkTable, Topology};
+pub use delta::DeltaStore;
 pub use digraph::{DiGraph, NodeId};
 pub use metrics::GraphMetrics;
 pub use store::{TopologyArena, TopologyStore};

@@ -23,6 +23,17 @@
 //! a file written on a foreign-endian machine fails the magic check
 //! instead of decoding garbage.
 //!
+//! Frozen does not mean static: [`crate::delta::DeltaStore`] layers
+//! per-peer edge mutations over an immutable `TopologyStore` base,
+//! LSM-style — untouched rows read straight out of the base (arena or
+//! heap), touched rows live in a small side table, and compaction folds
+//! the delta back into a fresh arena built in place by the
+//! `ArenaWriter`. That lifecycle — `build_frozen` image → `open` →
+//! wrap in a `DeltaStore` → churn mutates the delta → compact — is how
+//! the simulator runs dynamic scenarios over 10⁶–10⁷-peer overlays
+//! without ever materializing per-peer link `Vec`s for the whole
+//! network.
+//!
 //! Arenas do not have to be built whole: [`crate::writer`] defines the
 //! companion *section* format (`ArenaSection`, magic `SWSECT`) carrying
 //! one contiguous peer-range's rows and lanes as a standalone file, plus

@@ -234,6 +234,87 @@ proptest! {
         prop_assert_eq!(opened.to_topology(), topo);
     }
 
+    /// Delta-overlay contract: a `DeltaStore` driven through an
+    /// arbitrary add/remove/replace/join sequence tracks a set-of-edges
+    /// reference model exactly, and compaction folds it into an arena
+    /// base bit-identical to the heap CSR `LinkTable::build` freezes
+    /// from the same final edge set — at any compaction thread count.
+    #[test]
+    fn delta_store_matches_final_edge_set(n in 2usize..40, max_row in 0usize..8, seed in any::<u64>(), threads in 1usize..4) {
+        use std::collections::BTreeSet;
+        use sw_graph::{DeltaStore, LinkTable, TopologyStore};
+        let mut rng = Rng::new(seed);
+        let rows = random_rows(n, max_row, seed);
+        let mut lt = LinkTable::new(n);
+        for (u, row) in rows.iter().enumerate() {
+            lt.add_all(u as NodeId, row.iter().copied());
+        }
+        let mut store = DeltaStore::new(TopologyStore::heap(lt.build()));
+        let mut model: Vec<BTreeSet<NodeId>> = (0..n as NodeId)
+            .map(|u| store.row_slice(u).unwrap().iter().copied().collect())
+            .collect();
+        // No self-loops anywhere (the link samplers never draw them,
+        // and `LinkTable::add_all` — the compaction reference — filters
+        // them), so every op keeps the model loop-free.
+        for _ in 0..200 {
+            let u = rng.index(model.len());
+            match rng.index(8) {
+                0..=2 => {
+                    let v = rng.index(model.len()) as NodeId;
+                    if v as usize != u {
+                        prop_assert_eq!(store.add_edge(u as NodeId, v), model[u].insert(v));
+                    }
+                }
+                3..=5 => {
+                    let v = rng.index(model.len()) as NodeId;
+                    prop_assert_eq!(store.remove_edge(u as NodeId, v), model[u].remove(&v));
+                }
+                6 => {
+                    let row: BTreeSet<NodeId> = (0..rng.index(max_row + 1))
+                        .map(|_| rng.index(model.len()) as NodeId)
+                        .filter(|&v| v as usize != u)
+                        .collect();
+                    store.set_row(u as NodeId, row.iter().copied().collect());
+                    model[u] = row;
+                }
+                _ => {
+                    if model.len() < 48 {
+                        let row: BTreeSet<NodeId> = (0..rng.index(max_row + 1))
+                            .map(|_| rng.index(model.len()) as NodeId)
+                            .collect();
+                        let id = store.push_node(row.iter().copied().collect());
+                        prop_assert_eq!(id as usize, model.len());
+                        model.push(row);
+                    }
+                }
+            }
+        }
+        // Pre-compaction reads agree with the model (as edge sets).
+        prop_assert_eq!(store.len(), model.len());
+        prop_assert_eq!(
+            store.edge_count(),
+            model.iter().map(BTreeSet::len).sum::<usize>()
+        );
+        let mut buf = Vec::new();
+        for (u, expect) in model.iter().enumerate() {
+            prop_assert_eq!(store.degree(u as NodeId), expect.len());
+            store.row_into(u as NodeId, &mut buf);
+            let got: BTreeSet<NodeId> = buf.iter().copied().collect();
+            prop_assert_eq!(got.len(), buf.len(), "row holds duplicates");
+            prop_assert_eq!(&got, expect);
+        }
+        // Compaction canonicalizes to exactly the LinkTable freeze.
+        store.compact(threads).unwrap();
+        prop_assert_eq!(store.delta_rows(), 0);
+        let mut lt = LinkTable::new(model.len());
+        for (u, row) in model.iter().enumerate() {
+            lt.add_all(u as NodeId, row.iter().copied());
+        }
+        let reference = lt.build();
+        prop_assert_eq!(store.base().to_topology(), reference.clone());
+        prop_assert_eq!(store.edge_count(), reference.edge_count());
+    }
+
     /// Sorted-at-freeze: `LinkTable::build` rows are sorted, `has_edge`
     /// (binary search) agrees with membership, and the sorted flag
     /// survives `filter_edges`.

@@ -38,8 +38,8 @@ pub mod symphony;
 
 pub use placement::{Placement, PlacementError};
 pub use route::{
-    greedy_candidates, greedy_candidates_soa, greedy_route, greedy_step, greedy_step_soa, Overlay,
-    RingView, RouteOptions, RouteResult, RoutingSurvey,
+    greedy_candidates, greedy_candidates_into, greedy_candidates_soa, greedy_route, greedy_step,
+    greedy_step_soa, Overlay, RingView, RouteOptions, RouteResult, RoutingSurvey,
 };
 pub use soa::{greedy_route_on, RouteTable};
 

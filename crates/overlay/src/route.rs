@@ -173,6 +173,22 @@ pub fn greedy_candidates(
     candidates: impl IntoIterator<Item = (NodeId, Key)>,
 ) -> Vec<(NodeId, f64)> {
     let mut out: Vec<(NodeId, f64)> = Vec::new();
+    greedy_candidates_into(metric, target, cur_d, candidates, &mut out);
+    out
+}
+
+/// [`greedy_candidates`] into a caller-owned buffer (cleared first), so
+/// per-hop ladder construction — the hottest allocation site of the
+/// simulator's iterative mode — can reuse one buffer across calls.
+/// Result-identical to [`greedy_candidates`].
+pub fn greedy_candidates_into(
+    metric: sw_keyspace::Topology,
+    target: Key,
+    cur_d: f64,
+    candidates: impl IntoIterator<Item = (NodeId, Key)>,
+    out: &mut Vec<(NodeId, f64)>,
+) {
+    out.clear();
     for (v, k) in candidates {
         let d = metric.distance(k, target);
         if d < cur_d && !out.iter().any(|&(u, _)| u == v) {
@@ -180,7 +196,6 @@ pub fn greedy_candidates(
         }
     }
     out.sort_by(|a, b| a.1.total_cmp(&b.1));
-    out
 }
 
 /// Lane width of the chunked SoA kernels: 8 `f64`s — one 64-byte cache
@@ -340,6 +355,28 @@ impl RingView<'_> {
             self.contacts()
                 .filter(|&v| !skip(v))
                 .map(|v| (v, key_of(v))),
+        )
+    }
+
+    /// [`RingView::candidates`] into a caller-owned buffer (cleared
+    /// first) — see [`greedy_candidates_into`].
+    pub fn candidates_into(
+        &self,
+        metric: sw_keyspace::Topology,
+        target: Key,
+        cur_d: f64,
+        mut skip: impl FnMut(NodeId) -> bool,
+        mut key_of: impl FnMut(NodeId) -> Key,
+        out: &mut Vec<(NodeId, f64)>,
+    ) {
+        greedy_candidates_into(
+            metric,
+            target,
+            cur_d,
+            self.contacts()
+                .filter(|&v| !skip(v))
+                .map(|v| (v, key_of(v))),
+            out,
         )
     }
 }

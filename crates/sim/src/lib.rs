@@ -23,7 +23,11 @@
 //!   [`plane::Envelope`] is delivered in ascending `(time, seq)` order;
 //!   `seq` is the global send counter, so messages scheduled for the
 //!   same instant are delivered **FIFO in send order**. The plane draws
-//!   no randomness and never rewinds the clock.
+//!   no randomness and never rewinds the clock. Two interchangeable
+//!   backends ([`plane::PlaneBackend`]) deliver the exact same envelope
+//!   sequence: a hierarchical timing wheel (default — O(1) schedule/pop
+//!   against millions of pending timers) and the reference binary heap
+//!   (the property-test oracle and scale-benchmark baseline).
 //! * [`protocol`] — the message vocabulary ([`protocol::Msg`]) and the
 //!   per-operation state machines: a [`protocol::Walk`] for every routed
 //!   query (lookup / join-point search / long-link probe / storage
@@ -32,7 +36,12 @@
 //!   range queries (clockwise fragment sweep).
 //! * [`engine`] — ground truth (`alive` index, per-node local views,
 //!   the sharded stores) plus the handlers that advance the state
-//!   machines on each delivery.
+//!   machines on each delivery. Long-link rows live in a
+//!   [`sw_graph::DeltaStore`]: an LSM-style per-peer edge-log overlay
+//!   on an immutable [`sw_graph::TopologyStore`] base, so a churn run
+//!   can preload from a frozen arena image
+//!   ([`Simulator::from_frozen`] / [`Simulator::with_store`]) and only
+//!   the peers the run actually rewires cost heap memory.
 //!
 //! ## The repair plane
 //!
@@ -158,6 +167,8 @@ pub use engine::{
 };
 pub use latency::LatencyModel;
 pub use metrics::SimMetrics;
-pub use plane::{Envelope, MessagePlane};
-pub use protocol::{LookupRecord, Msg, Purpose, QueryId, RoutingMode, StorageOp, Walk, WalkEnd};
+pub use plane::{Envelope, MessagePlane, PlaneBackend};
+pub use protocol::{
+    LookupRecord, Msg, Purpose, QueryId, RoutingMode, StorageOp, Walk, WalkEnd, WalkScratch,
+};
 pub use time::SimTime;

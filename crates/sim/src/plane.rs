@@ -1,4 +1,5 @@
-//! The deterministic in-memory message plane.
+//! The deterministic in-memory message plane: a hierarchical timing
+//! wheel with the old binary heap kept as the property-test reference.
 //!
 //! Every protocol action in the simulator — a lookup hop, a replica
 //! write, a stabilize ping round, a churn/workload generator tick — is
@@ -15,6 +16,46 @@
 //! * the plane itself draws no randomness — senders sample delays from
 //!   their own RNG streams, so the schedule is a pure function of the
 //!   seed.
+//!
+//! ## Backends
+//!
+//! Two queue implementations sit behind one API, selected by
+//! [`PlaneBackend`] and required to deliver **byte-identical** envelope
+//! sequences (property-tested under randomized schedules):
+//!
+//! * [`PlaneBackend::Wheel`] (the default) — a hierarchical timing
+//!   wheel: [`WHEEL_LEVELS`] levels of 64 one-µs-granule slots, level
+//!   `k` spanning `64^(k+1)` µs, plus a far-future overflow list beyond
+//!   the wheel's ~51-day range. `send` is O(1) (a shift/xor level pick
+//!   and a push); `deliver` advances a cursor through occupancy
+//!   bitmasks, cascading a higher-level slot down at most once per
+//!   level per event — O(levels) ≈ O(1) amortized, against the heap's
+//!   O(log n) comparisons (and cache misses) per operation with
+//!   millions of envelopes in flight.
+//! * [`PlaneBackend::Heap`] — the original
+//!   `BinaryHeap<Reverse<Envelope>>`. It stays compiled both as the
+//!   oracle the wheel is property-tested against and as the honest
+//!   baseline E22's scale rows measure. Building `sw-sim` with the
+//!   `heap-plane` cfg feature flips [`MessagePlane::new`]'s default
+//!   back to the heap, so any seeded run can be replayed on the
+//!   reference backend without code changes.
+//!
+//! ## How the wheel preserves the exact heap order
+//!
+//! The wheel's cursor (`elapsed`) only ever advances to the start of
+//! the slot range it is about to open, so an envelope is filed at the
+//! highest level where its delivery time still shares a slot path with
+//! the cursor (`level = msb(at ^ elapsed) / 6`) and re-files strictly
+//! downward as the cursor approaches. A level-0 slot therefore holds
+//! envelopes for exactly one microsecond of virtual time; harvesting it
+//! sorts the batch by `seq` (cheap: batches are same-instant ties) into
+//! a tiny `ready` heap, which restores FIFO send order even across
+//! overflow rebasing. Envelopes sent *behind* the cursor (possible only
+//! through the raw plane API: a `deliver_before` that found nothing may
+//! leave the cursor ahead of a caller who never called
+//! [`MessagePlane::advance_to`]) go straight into `ready`, which always
+//! wins ties against the wheel — so the merged stream is exactly the
+//! heap's `(at, seq)` order in every case.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -51,14 +92,267 @@ impl<M> PartialOrd for Envelope<M> {
     }
 }
 
+/// Which queue implementation a [`MessagePlane`] runs on. Both deliver
+/// byte-identical sequences; they differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneBackend {
+    /// Hierarchical timing wheel — O(1) amortized send/deliver.
+    Wheel,
+    /// `BinaryHeap` reference — O(log n) per operation; the oracle the
+    /// wheel is property-tested against and E22's measured baseline.
+    Heap,
+}
+
+impl PlaneBackend {
+    /// The build's default backend: the wheel, unless the `heap-plane`
+    /// cfg feature pins the reference implementation.
+    pub fn default_backend() -> PlaneBackend {
+        if cfg!(feature = "heap-plane") {
+            PlaneBackend::Heap
+        } else {
+            PlaneBackend::Wheel
+        }
+    }
+}
+
+impl Default for PlaneBackend {
+    fn default() -> Self {
+        PlaneBackend::default_backend()
+    }
+}
+
+/// log2 of the slots per wheel level.
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels. Level `k` slots are `64^k` µs wide, so the wheel spans
+/// `64^WHEEL_LEVELS` µs ≈ 51 days of virtual time; envelopes beyond
+/// that go to the overflow list and rebase when the cursor catches up.
+pub const WHEEL_LEVELS: usize = 7;
+
+/// One wheel level: 64 slots plus an occupancy bitmask so the cursor
+/// finds the next non-empty slot with a single `trailing_zeros`.
+#[derive(Debug)]
+struct Level<M> {
+    occupied: u64,
+    slots: [Vec<Envelope<M>>; SLOTS],
+}
+
+impl<M> Level<M> {
+    fn new() -> Level<M> {
+        Level {
+            occupied: 0,
+            slots: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+
+    /// First occupied slot index ≥ `from`, if any.
+    #[inline]
+    fn next_occupied(&self, from: u64) -> Option<usize> {
+        let masked = self.occupied & (u64::MAX << from);
+        (masked != 0).then(|| masked.trailing_zeros() as usize)
+    }
+
+    #[inline]
+    fn take(&mut self, slot: usize) -> Vec<Envelope<M>> {
+        self.occupied &= !(1u64 << slot);
+        std::mem::take(&mut self.slots[slot])
+    }
+}
+
+/// What the wheel cursor sees next (see [`Wheel::front`]).
+enum Front {
+    /// A level-0 slot: exact delivery time, ready to harvest.
+    Exact { at: u64, slot: usize },
+    /// A higher-level slot: every envelope in it is due at or after the
+    /// slot's range start; cascade it down before delivering.
+    Range {
+        level: usize,
+        slot: usize,
+        start: u64,
+    },
+    /// Only the far-future overflow list holds envelopes.
+    Overflow,
+    /// The wheel is empty.
+    Empty,
+}
+
+/// The hierarchical timing wheel backend.
+#[derive(Debug)]
+struct Wheel<M> {
+    levels: Vec<Level<M>>,
+    /// The wheel cursor, in µs: every envelope filed in the levels is
+    /// due at or after it. It trails the envelope stream (advancing to
+    /// each opened slot's range start), never leads it.
+    elapsed: u64,
+    /// Harvested same-instant batches plus the rare behind-cursor
+    /// sends; tiny, and always wins ties against the levels.
+    ready: BinaryHeap<Reverse<Envelope<M>>>,
+    /// Envelopes beyond the wheel's range; rebased when reached.
+    overflow: Vec<Envelope<M>>,
+    /// Minimum delivery time in `overflow` (`u64::MAX` when empty).
+    overflow_min: u64,
+}
+
+impl<M> Wheel<M> {
+    fn new() -> Wheel<M> {
+        Wheel {
+            levels: (0..WHEEL_LEVELS).map(|_| Level::new()).collect(),
+            elapsed: 0,
+            ready: BinaryHeap::new(),
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+        }
+    }
+
+    /// Files an envelope (already clamped to `at >= clock`).
+    fn push(&mut self, env: Envelope<M>) {
+        let at = env.at.as_micros();
+        if at < self.elapsed {
+            // Sent behind the cursor (raw-API pattern: deliver_before
+            // advanced the cursor hunting, the caller never advanced
+            // the clock). `ready` keeps these exactly ordered.
+            self.ready.push(Reverse(env));
+            return;
+        }
+        let diff = at ^ self.elapsed;
+        let level = if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        };
+        if level >= WHEEL_LEVELS {
+            self.overflow_min = self.overflow_min.min(at);
+            self.overflow.push(env);
+            return;
+        }
+        let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[level].slots[slot].push(env);
+        self.levels[level].occupied |= 1u64 << slot;
+    }
+
+    /// The cursor's next stop. Levels are scanned lowest-first: level-0
+    /// slots all live in the cursor's current 64-µs window, which ends
+    /// before any higher-level slot's range begins, and the same
+    /// argument orders the higher levels among themselves — so the
+    /// first hit *is* the earliest.
+    fn front(&self) -> Front {
+        for (level, lv) in self.levels.iter().enumerate() {
+            let shift = SLOT_BITS * level as u32;
+            let cur = (self.elapsed >> shift) & (SLOTS as u64 - 1);
+            if let Some(slot) = lv.next_occupied(cur) {
+                if level == 0 {
+                    let at = (self.elapsed & !(SLOTS as u64 - 1)) + slot as u64;
+                    return Front::Exact { at, slot };
+                }
+                let window = SLOT_BITS * (level as u32 + 1);
+                let start = (self.elapsed >> window << window) + ((slot as u64) << shift);
+                return Front::Range { level, slot, start };
+            }
+        }
+        if self.overflow.is_empty() {
+            Front::Empty
+        } else {
+            Front::Overflow
+        }
+    }
+
+    /// Pops the globally earliest `(at, seq)` envelope due at or before
+    /// `until`. Cascades and harvests lazily; the cursor never advances
+    /// past `until`, so the horizon in `deliver_before` is exact.
+    fn pop_before(&mut self, until: SimTime) -> Option<Envelope<M>> {
+        let until = until.as_micros();
+        loop {
+            let ready_at = self.ready.peek().map(|Reverse(e)| e.at.as_micros());
+            // `ready` wins every tie: its envelopes were filed for this
+            // instant strictly before anything still out in the levels,
+            // so their seqs are strictly smaller.
+            let ready_due = |bound: u64| ready_at.is_some_and(|r| r <= bound);
+            match self.front() {
+                Front::Exact { at, slot } => {
+                    if ready_due(at) {
+                        break;
+                    }
+                    if at > until {
+                        return None;
+                    }
+                    self.elapsed = at;
+                    let mut batch = self.levels[0].take(slot);
+                    // One slot = one µs of virtual time; seq order is
+                    // FIFO send order. Sorting (a no-op for in-order
+                    // batches) also repairs the interleavings overflow
+                    // rebasing can produce.
+                    batch.sort_unstable_by_key(|e| e.seq);
+                    self.ready.extend(batch.into_iter().map(Reverse));
+                }
+                Front::Range { level, slot, start } => {
+                    if ready_due(start) {
+                        break;
+                    }
+                    if start > until {
+                        return None;
+                    }
+                    // Open the slot: advance to its range start and
+                    // re-file its envelopes, which all land at lower
+                    // levels (their times now share this slot path).
+                    self.elapsed = start;
+                    for env in self.levels[level].take(slot) {
+                        self.push(env);
+                    }
+                }
+                Front::Overflow => {
+                    if ready_due(self.overflow_min) {
+                        break;
+                    }
+                    if self.overflow_min > until {
+                        return None;
+                    }
+                    // Rebase: the wheel proper is empty, so the cursor
+                    // may jump to the overflow minimum and everything
+                    // re-files relative to it.
+                    self.elapsed = self.overflow_min;
+                    self.overflow_min = u64::MAX;
+                    for env in std::mem::take(&mut self.overflow) {
+                        self.push(env);
+                    }
+                }
+                Front::Empty => {
+                    ready_at?;
+                    break;
+                }
+            }
+        }
+        // The wheel's next stop can't beat `ready`'s head; deliver it —
+        // unless even that head is past the horizon.
+        let due = self
+            .ready
+            .peek()
+            .is_some_and(|Reverse(e)| e.at.as_micros() <= until);
+        if !due {
+            return None;
+        }
+        let Reverse(env) = self.ready.pop().expect("peeked");
+        self.elapsed = self.elapsed.max(env.at.as_micros());
+        Some(env)
+    }
+}
+
+/// The backend storage of a [`MessagePlane`].
+#[derive(Debug)]
+enum Queue<M> {
+    Wheel(Box<Wheel<M>>),
+    Heap(BinaryHeap<Reverse<Envelope<M>>>),
+}
+
 /// The queue + clock. Generic in the message type so it can be tested
 /// (and reused) independently of the protocol.
 #[derive(Debug)]
 pub struct MessagePlane<M> {
-    queue: BinaryHeap<Reverse<Envelope<M>>>,
+    queue: Queue<M>,
     clock: SimTime,
     seq: u64,
     delivered: u64,
+    in_flight: usize,
 }
 
 impl<M> Default for MessagePlane<M> {
@@ -68,13 +362,31 @@ impl<M> Default for MessagePlane<M> {
 }
 
 impl<M> MessagePlane<M> {
-    /// An empty plane at time zero.
+    /// An empty plane at time zero, on the build's default backend
+    /// (the wheel; the `heap-plane` cfg feature flips it).
     pub fn new() -> MessagePlane<M> {
+        Self::with_backend(PlaneBackend::default_backend())
+    }
+
+    /// An empty plane at time zero on an explicit backend.
+    pub fn with_backend(backend: PlaneBackend) -> MessagePlane<M> {
         MessagePlane {
-            queue: BinaryHeap::new(),
+            queue: match backend {
+                PlaneBackend::Wheel => Queue::Wheel(Box::new(Wheel::new())),
+                PlaneBackend::Heap => Queue::Heap(BinaryHeap::new()),
+            },
             clock: SimTime::ZERO,
             seq: 0,
             delivered: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// Which backend this plane runs on.
+    pub fn backend(&self) -> PlaneBackend {
+        match self.queue {
+            Queue::Wheel(_) => PlaneBackend::Wheel,
+            Queue::Heap(_) => PlaneBackend::Heap,
         }
     }
 
@@ -96,7 +408,7 @@ impl<M> MessagePlane<M> {
 
     /// Messages currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.queue.len()
+        self.in_flight
     }
 
     /// Sends `msg` for delivery `delay` after now.
@@ -114,20 +426,31 @@ impl<M> MessagePlane<M> {
             msg,
         };
         self.seq += 1;
-        self.queue.push(Reverse(env));
+        self.in_flight += 1;
+        match &mut self.queue {
+            Queue::Wheel(w) => w.push(env),
+            Queue::Heap(h) => h.push(Reverse(env)),
+        }
     }
 
     /// Delivers the next envelope due at or before `until`, advancing
     /// the clock to its delivery time. `None` once nothing is due.
     pub fn deliver_before(&mut self, until: SimTime) -> Option<Envelope<M>> {
-        let due = self.queue.peek().is_some_and(|Reverse(e)| e.at <= until);
-        if !due {
-            return None;
-        }
-        let Reverse(env) = self.queue.pop().expect("peeked");
+        let env = match &mut self.queue {
+            Queue::Wheel(w) => w.pop_before(until)?,
+            Queue::Heap(h) => {
+                let due = h.peek().is_some_and(|Reverse(e)| e.at <= until);
+                if !due {
+                    return None;
+                }
+                let Reverse(env) = h.pop().expect("peeked");
+                env
+            }
+        };
         debug_assert!(env.at >= self.clock, "plane clock must be monotone");
         self.clock = env.at;
         self.delivered += 1;
+        self.in_flight -= 1;
         Some(env)
     }
 
@@ -140,53 +463,180 @@ impl<M> MessagePlane<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use sw_keyspace::Rng;
+
+    fn both() -> [MessagePlane<u32>; 2] {
+        [
+            MessagePlane::with_backend(PlaneBackend::Wheel),
+            MessagePlane::with_backend(PlaneBackend::Heap),
+        ]
+    }
 
     #[test]
     fn delivers_in_time_order() {
-        let mut p: MessagePlane<&str> = MessagePlane::new();
-        p.send(SimTime::from_millis(30), "c");
-        p.send(SimTime::from_millis(10), "a");
-        p.send(SimTime::from_millis(20), "b");
-        let mut got = Vec::new();
-        while let Some(e) = p.deliver_before(SimTime::from_secs(1)) {
-            got.push(e.msg);
+        for mut p in [
+            MessagePlane::<&str>::with_backend(PlaneBackend::Wheel),
+            MessagePlane::<&str>::with_backend(PlaneBackend::Heap),
+        ] {
+            p.send(SimTime::from_millis(30), "c");
+            p.send(SimTime::from_millis(10), "a");
+            p.send(SimTime::from_millis(20), "b");
+            let mut got = Vec::new();
+            while let Some(e) = p.deliver_before(SimTime::from_secs(1)) {
+                got.push(e.msg);
+            }
+            assert_eq!(got, vec!["a", "b", "c"]);
+            assert_eq!(p.now(), SimTime::from_millis(30));
+            assert_eq!(p.delivered(), 3);
         }
-        assert_eq!(got, vec!["a", "b", "c"]);
-        assert_eq!(p.now(), SimTime::from_millis(30));
-        assert_eq!(p.delivered(), 3);
     }
 
     #[test]
     fn equal_times_deliver_fifo_in_send_order() {
-        let mut p: MessagePlane<u32> = MessagePlane::new();
-        for i in 0..100 {
-            p.send(SimTime::from_millis(5), i);
+        for mut p in both() {
+            for i in 0..100 {
+                p.send(SimTime::from_millis(5), i);
+            }
+            let mut got = Vec::new();
+            while let Some(e) = p.deliver_before(SimTime::from_secs(1)) {
+                got.push(e.msg);
+            }
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
         }
-        let mut got = Vec::new();
-        while let Some(e) = p.deliver_before(SimTime::from_secs(1)) {
-            got.push(e.msg);
-        }
-        assert_eq!(got, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn past_sends_clamp_to_now() {
-        let mut p: MessagePlane<&str> = MessagePlane::new();
-        p.send(SimTime::from_millis(50), "later");
-        p.deliver_before(SimTime::from_secs(1)).unwrap();
-        p.send_at(SimTime::from_millis(10), "expired timeout");
-        let e = p.deliver_before(SimTime::from_secs(1)).unwrap();
-        assert_eq!(e.at, SimTime::from_millis(50), "clamped to now");
+        for mut p in [
+            MessagePlane::<&str>::with_backend(PlaneBackend::Wheel),
+            MessagePlane::<&str>::with_backend(PlaneBackend::Heap),
+        ] {
+            p.send(SimTime::from_millis(50), "later");
+            p.deliver_before(SimTime::from_secs(1)).unwrap();
+            p.send_at(SimTime::from_millis(10), "expired timeout");
+            let e = p.deliver_before(SimTime::from_secs(1)).unwrap();
+            assert_eq!(e.at, SimTime::from_millis(50), "clamped to now");
+        }
     }
 
     #[test]
     fn horizon_is_respected() {
-        let mut p: MessagePlane<&str> = MessagePlane::new();
-        p.send(SimTime::from_millis(100), "beyond");
-        assert!(p.deliver_before(SimTime::from_millis(99)).is_none());
-        assert_eq!(p.in_flight(), 1);
-        p.advance_to(SimTime::from_millis(99));
-        assert_eq!(p.now(), SimTime::from_millis(99));
-        assert!(p.deliver_before(SimTime::from_millis(100)).is_some());
+        for mut p in [
+            MessagePlane::<&str>::with_backend(PlaneBackend::Wheel),
+            MessagePlane::<&str>::with_backend(PlaneBackend::Heap),
+        ] {
+            p.send(SimTime::from_millis(100), "beyond");
+            assert!(p.deliver_before(SimTime::from_millis(99)).is_none());
+            assert_eq!(p.in_flight(), 1);
+            p.advance_to(SimTime::from_millis(99));
+            assert_eq!(p.now(), SimTime::from_millis(99));
+            assert!(p.deliver_before(SimTime::from_millis(100)).is_some());
+        }
+    }
+
+    #[test]
+    fn far_future_sends_cross_the_overflow_level() {
+        for mut p in both() {
+            // Beyond the wheel's 64^WHEEL_LEVELS µs range from time 0.
+            let far = SimTime(1 << (SLOT_BITS as u64 * WHEEL_LEVELS as u64 + 3));
+            p.send_at(far, 1);
+            p.send_at(far, 2);
+            p.send_at(far + SimTime(1), 3);
+            p.send(SimTime::from_millis(1), 0);
+            let mut got = Vec::new();
+            while let Some(e) = p.deliver_before(SimTime(u64::MAX)) {
+                got.push(e.msg);
+            }
+            assert_eq!(got, vec![0, 1, 2, 3]);
+            assert_eq!(p.now(), far + SimTime(1));
+        }
+    }
+
+    // The backend contract, stated as code: a randomized schedule of
+    // sends (including same-instant ties, past sends that clamp, and
+    // far-future overflow hits), horizon-bounded delivery slices, and
+    // idle advances produces byte-identical envelope sequences on the
+    // wheel and on the heap reference.
+    proptest! {
+        #[test]
+        fn wheel_matches_heap_reference(seed in 0u64..64) {
+            let mut rng = Rng::new(seed ^ 0x57EE_1CA5);
+            let [mut wheel, mut heap] = both();
+            let mut tag = 0u32;
+            let mut delivered = 0usize;
+            for _round in 0..40 {
+                // A burst of sends against both planes.
+                for _ in 0..rng.bounded_u64(20) {
+                    tag += 1;
+                    let at = match rng.bounded_u64(10) {
+                        // Same-instant tie bursts.
+                        0 | 1 => wheel.now(),
+                        // Past send: clamps to now.
+                        2 => SimTime(wheel.now().0 / 2),
+                        // Far future: crosses the overflow level.
+                        3 => wheel.now() + SimTime(1 << 45) + SimTime(rng.bounded_u64(1 << 13)),
+                        // Mixed scales, from µs to minutes.
+                        _ => {
+                            let scale = 10u64.pow(rng.bounded_u64(8) as u32);
+                            wheel.now() + SimTime(rng.bounded_u64(scale.max(1)))
+                        }
+                    };
+                    wheel.send_at(at, tag);
+                    heap.send_at(at, tag);
+                }
+                // A delivery slice up to a random horizon, sometimes
+                // re-sending mid-slice (the engine's handler pattern).
+                let horizon = wheel.now() + SimTime(rng.bounded_u64(1 << 22));
+                loop {
+                    let (a, b) = (wheel.deliver_before(horizon), heap.deliver_before(horizon));
+                    match (a, b) {
+                        (Some(x), Some(y)) => {
+                            prop_assert_eq!(x.at, y.at);
+                            prop_assert_eq!(x.seq, y.seq);
+                            prop_assert_eq!(x.msg, y.msg);
+                            delivered += 1;
+                            if rng.chance(0.2) {
+                                tag += 1;
+                                let dt = SimTime(rng.bounded_u64(1 << 20));
+                                wheel.send(dt, tag);
+                                heap.send(dt, tag);
+                            }
+                        }
+                        (None, None) => break,
+                        (a, b) => prop_assert!(
+                            false,
+                            "backends disagree on due envelopes: wheel={:?} heap={:?}",
+                            a.map(|e| (e.at, e.seq)),
+                            b.map(|e| (e.at, e.seq))
+                        ),
+                    }
+                }
+                prop_assert_eq!(wheel.now(), heap.now());
+                prop_assert_eq!(wheel.in_flight(), heap.in_flight());
+                if rng.chance(0.5) {
+                    // Idle to the drained horizon (the engine's
+                    // `run_until` pattern — never past pending work).
+                    wheel.advance_to(horizon);
+                    heap.advance_to(horizon);
+                }
+            }
+            // Drain fully; the tails must agree too.
+            loop {
+                match (
+                    wheel.deliver_before(SimTime(u64::MAX)),
+                    heap.deliver_before(SimTime(u64::MAX)),
+                ) {
+                    (Some(x), Some(y)) => {
+                        prop_assert_eq!((x.at, x.seq, x.msg), (y.at, y.seq, y.msg));
+                        delivered += 1;
+                    }
+                    (None, None) => break,
+                    _ => prop_assert!(false, "backends disagree while draining"),
+                }
+            }
+            prop_assert_eq!(wheel.in_flight(), 0);
+            prop_assert!(delivered > 0, "schedule exercised nothing");
+        }
     }
 }

@@ -228,6 +228,11 @@ pub struct Walk {
     /// candidates from *earlier* frontiers, which a recursive hand-off
     /// has irrevocably left behind.
     pub alternates: Vec<u32>,
+    /// Consumption cursor into `alternates`: entries before it have been
+    /// popped by [`Walk::next_alternate`]. A cursor instead of
+    /// `Vec::remove(0)` keeps consumption O(1) and lets the buffer be
+    /// recycled through [`WalkScratch`].
+    pub alt_head: usize,
     /// Nodes this walk has already queried (iterative mode): never
     /// re-queried, never re-admitted to the pool.
     pub seen: Vec<u32>,
@@ -260,13 +265,32 @@ impl Walk {
     /// requester already timed out on. `None` means the ladder is dry
     /// ([`WalkEnd::Exhausted`] if a candidate had existed).
     pub fn next_alternate(&mut self) -> Option<u32> {
-        while !self.alternates.is_empty() {
-            let v = self.alternates.remove(0);
+        while self.alt_head < self.alternates.len() {
+            let v = self.alternates[self.alt_head];
+            self.alt_head += 1;
             if !self.excluded.contains(&v) {
                 return Some(v);
             }
         }
         None
+    }
+
+    /// The unconsumed tail of the candidate pool (everything
+    /// [`Walk::next_alternate`] has not popped yet).
+    pub fn pending_alternates(&self) -> &[u32] {
+        &self.alternates[self.alt_head.min(self.alternates.len())..]
+    }
+
+    /// Replaces the candidate pool and resets the consumption cursor.
+    pub fn set_alternates(&mut self, pool: Vec<u32>) {
+        self.alternates = pool;
+        self.alt_head = 0;
+    }
+
+    /// Empties the candidate pool (buffer capacity kept).
+    pub fn clear_alternates(&mut self) {
+        self.alternates.clear();
+        self.alt_head = 0;
     }
 
     /// The requester's adaptive query timeout: three times the largest
@@ -303,6 +327,7 @@ impl Walk {
             issued_at: SimTime::ZERO,
             excluded,
             alternates,
+            alt_head: 0,
             seen: Vec::new(),
             query_sent: SimTime::ZERO,
             rtt_seen: SimTime::ZERO,
@@ -310,6 +335,45 @@ impl Walk {
             path: Vec::new(),
             max_hops: 8,
             rng: Rng::new(0),
+        }
+    }
+}
+
+/// The recyclable buffers of a finished [`Walk`]: its candidate,
+/// exclusion, seen and path vectors, cleared but with their capacity
+/// kept. The engine pools these so steady-state walk turnover performs
+/// no per-walk heap allocation.
+#[derive(Debug, Default)]
+pub struct WalkScratch {
+    /// Recycled [`Walk::excluded`] buffer.
+    pub excluded: Vec<u32>,
+    /// Recycled [`Walk::alternates`] buffer.
+    pub alternates: Vec<u32>,
+    /// Recycled [`Walk::seen`] buffer.
+    pub seen: Vec<u32>,
+    /// Recycled [`Walk::path`] buffer.
+    pub path: Vec<u32>,
+}
+
+impl WalkScratch {
+    /// Strips a finished walk down to its reusable buffers.
+    pub fn reclaim(walk: Walk) -> WalkScratch {
+        let Walk {
+            mut excluded,
+            mut alternates,
+            mut seen,
+            mut path,
+            ..
+        } = walk;
+        excluded.clear();
+        alternates.clear();
+        seen.clear();
+        path.clear();
+        WalkScratch {
+            excluded,
+            alternates,
+            seen,
+            path,
         }
     }
 }
@@ -627,7 +691,16 @@ mod tests {
         assert_eq!(w.next_alternate(), Some(3));
         assert_eq!(w.next_alternate(), Some(5), "4 is excluded");
         assert_eq!(w.next_alternate(), None, "6 is excluded: ladder dry");
-        assert!(w.alternates.is_empty());
+        assert!(w.pending_alternates().is_empty());
+    }
+
+    #[test]
+    fn reclaimed_scratch_is_empty_but_keeps_capacity() {
+        let w = Walk::fixture(vec![3, 4, 5, 6], vec![4, 6]);
+        let s = WalkScratch::reclaim(w);
+        assert!(s.alternates.is_empty() && s.excluded.is_empty());
+        assert!(s.alternates.capacity() >= 4);
+        assert!(s.excluded.capacity() >= 2);
     }
 
     #[test]

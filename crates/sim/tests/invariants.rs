@@ -119,7 +119,7 @@ proptest! {
                 "candidate {} handed out twice", v);
             handed_out.push(v);
         }
-        prop_assert!(walk.alternates.is_empty(), "pool must drain");
+        prop_assert!(walk.pending_alternates().is_empty(), "pool must drain");
         // Every pool entry was either handed out or excluded.
         for v in pool {
             prop_assert!(handed_out.contains(&v) || excluded.contains(&v));
