@@ -12,7 +12,7 @@
 
 use std::hint::black_box;
 use std::sync::Arc;
-use sw_bench::microbench::{to_json, Bencher, Measurement};
+use sw_bench::microbench::{to_merge_rows, Bencher, Measurement};
 use sw_core::config::{LinkSampler, OutDegree};
 use sw_core::join::GrowingNetwork;
 use sw_core::SmallWorldBuilder;
@@ -159,5 +159,7 @@ fn main() {
     all.push(join);
 
     println!();
-    sw_bench::ctx::write_snapshot("BENCH_construction.json", &to_json(&all));
+    // Merge by id instead of clobbering: a `--quick` CI smoke replaces
+    // only the rows it re-measured, leaving full-run cells in place.
+    sw_bench::ctx::merge_snapshot("BENCH_construction.json", &to_merge_rows(&all));
 }

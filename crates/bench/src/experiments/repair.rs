@@ -134,26 +134,29 @@ pub fn e18_repair(ctx: &Ctx) {
     );
 }
 
-/// Hand-rolled JSON snapshot (the workspace builds offline — no serde),
-/// mirroring the `BENCH_*.json` perf-trajectory convention.
+/// Hand-rolled JSON rows (the workspace builds offline — no serde),
+/// merged by id so partial sweeps (CI smoke cells) never clobber
+/// full-run cells. `ttr_mean_secs` is simulator-clock time, hence the
+/// `sim_secs` unit stamp.
 fn write_snapshot(rows: &[RepairRow]) {
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"id\": \"{}\", \"keys_lost\": {}, \"under_peak\": {}, \
-             \"under_end\": {}, \"repair_mb\": {:.4}, \"overhead\": {:.6}, \
-             \"ttr_mean_secs\": {:.4}, \"get_ok\": {:.4}}}{}\n",
-            r.id,
-            r.keys_lost,
-            r.under_peak,
-            r.under_end,
-            r.repair_mb,
-            r.overhead,
-            r.ttr_mean_secs,
-            r.get_ok,
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("]\n");
-    crate::ctx::write_snapshot("BENCH_repair.json", &out);
+    let merged: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            let obj = format!(
+                "{{\"id\": \"{}\", \"keys_lost\": {}, \"under_peak\": {}, \
+                 \"under_end\": {}, \"repair_mb\": {:.4}, \"overhead\": {:.6}, \
+                 \"ttr_mean_secs\": {:.4}, \"get_ok\": {:.4}, \"unit\": \"sim_secs\"}}",
+                r.id,
+                r.keys_lost,
+                r.under_peak,
+                r.under_end,
+                r.repair_mb,
+                r.overhead,
+                r.ttr_mean_secs,
+                r.get_ok,
+            );
+            (r.id.clone(), obj)
+        })
+        .collect();
+    crate::ctx::merge_snapshot("BENCH_repair.json", &merged);
 }

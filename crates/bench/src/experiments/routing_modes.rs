@@ -142,31 +142,35 @@ pub fn e19_routing_modes(ctx: &Ctx) {
     );
 }
 
-/// Hand-rolled JSON snapshot (the workspace builds offline — no serde),
-/// mirroring the `BENCH_*.json` perf-trajectory convention.
+/// Hand-rolled JSON rows (the workspace builds offline — no serde),
+/// merged by id so partial sweeps (CI smoke cells) never clobber
+/// full-run cells. Latency quantiles are simulator-clock time, hence
+/// the `sim_secs` unit stamp.
 fn write_snapshot(rows: &[RoutingRow]) {
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"id\": \"{}\", \"lookups\": {}, \"ok_rate\": {:.4}, \
-             \"stranded_failed_rate\": {:.4}, \"stranded\": {}, \"failed_over\": {}, \
-             \"exhausted\": {}, \"recovered\": {}, \"hops_mean\": {:.4}, \
-             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"hop_rtt_ms\": {:.4}}}{}\n",
-            r.id,
-            r.lookups,
-            r.ok_rate,
-            r.stranded_failed_rate,
-            r.stranded,
-            r.failed_over,
-            r.exhausted,
-            r.recovered,
-            r.hops_mean,
-            r.p50_ms,
-            r.p99_ms,
-            r.hop_rtt_ms,
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("]\n");
-    crate::ctx::write_snapshot("BENCH_routing.json", &out);
+    let merged: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            let obj = format!(
+                "{{\"id\": \"{}\", \"lookups\": {}, \"ok_rate\": {:.4}, \
+                 \"stranded_failed_rate\": {:.4}, \"stranded\": {}, \"failed_over\": {}, \
+                 \"exhausted\": {}, \"recovered\": {}, \"hops_mean\": {:.4}, \
+                 \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"hop_rtt_ms\": {:.4}, \
+                 \"unit\": \"sim_secs\"}}",
+                r.id,
+                r.lookups,
+                r.ok_rate,
+                r.stranded_failed_rate,
+                r.stranded,
+                r.failed_over,
+                r.exhausted,
+                r.recovered,
+                r.hops_mean,
+                r.p50_ms,
+                r.p99_ms,
+                r.hop_rtt_ms,
+            );
+            (r.id.clone(), obj)
+        })
+        .collect();
+    crate::ctx::merge_snapshot("BENCH_routing.json", &merged);
 }

@@ -288,7 +288,8 @@ fn write_snapshot(rows: &[ScaleRow]) {
                  \"peers_per_sec\": {:.1}, \"routes_per_sec_reference\": {:.1}, \
                  \"routes_per_sec_soa\": {:.1}, \"kernel_speedup\": {:.4}, \
                  \"kernel_used\": \"{}\", \"bytes_per_peer\": {:.1}, \
-                 \"freeze_secs\": {:.4}, \"open_secs\": {:.4}, \"hops_mean\": {:.4}}}",
+                 \"freeze_secs\": {:.4}, \"open_secs\": {:.4}, \"hops_mean\": {:.4}, \
+                 \"unit\": \"wall_secs\"}}",
                 r.id,
                 r.n,
                 r.construct_s,

@@ -112,7 +112,7 @@ pub fn e21_shard(ctx: &Ctx) {
         format!("shard/heap/{n}"),
         format!(
             "{{\"id\": \"shard/heap/{n}\", \"n\": {n}, \"construct_secs\": {heap_build_s:.4}, \
-             \"freeze_secs\": {heap_freeze_s:.4}, \"total_secs\": {heap_total:.4}}}"
+             \"freeze_secs\": {heap_freeze_s:.4}, \"total_secs\": {heap_total:.4}, \"unit\": \"wall_secs\"}}"
         ),
     ));
 
@@ -144,7 +144,7 @@ pub fn e21_shard(ctx: &Ctx) {
             "{{\"id\": \"shard/fast/{n}\", \"n\": {n}, \"construct_secs\": {fast_build_s:.4}, \
              \"freeze_secs\": {fast_freeze_s:.4}, \"total_secs\": {fast_total:.4}, \
              \"peers_per_sec\": {:.1}, \"bytes_per_peer\": {bytes_per_peer:.1}, \
-             \"speedup_vs_heap\": {speedup:.4}, \"peak_rss_bytes\": {rss}}}",
+             \"speedup_vs_heap\": {speedup:.4}, \"peak_rss_bytes\": {rss}, \"unit\": \"wall_secs\"}}",
             n as f64 / fast_total
         ),
     ));
@@ -187,7 +187,7 @@ pub fn e21_shard(ctx: &Ctx) {
                 "{{\"id\": \"shard/frozen/{n}\", \"n\": {n}, \"construct_secs\": {frozen_s:.4}, \
                  \"freeze_secs\": 0.0, \"total_secs\": {frozen_s:.4}, \
                  \"peers_per_sec\": {:.1}, \"speedup_vs_heap\": {speedup:.4}, \
-                 \"byte_identical\": true}}",
+                 \"byte_identical\": true, \"unit\": \"wall_secs\"}}",
                 n as f64 / frozen_s
             ),
         ));
@@ -221,7 +221,7 @@ pub fn e21_shard(ctx: &Ctx) {
         format!("shard/inproc/{n}/k{shards}"),
         format!(
             "{{\"id\": \"shard/inproc/{n}/k{shards}\", \"n\": {n}, \"shards\": {shards}, \
-             \"build_secs\": {inproc_s:.4}, \"byte_identical\": true}}"
+             \"build_secs\": {inproc_s:.4}, \"byte_identical\": true, \"unit\": \"wall_secs\"}}"
         ),
     ));
 
@@ -243,7 +243,7 @@ pub fn e21_shard(ctx: &Ctx) {
                     format!(
                         "{{\"id\": \"shard/multiproc/{n}/k{shards}\", \"n\": {n}, \
                          \"shards\": {shards}, \"build_secs\": {build_s:.4}, \
-                         \"stitch_secs\": {stitch_s:.4}, \"byte_identical\": true}}"
+                         \"stitch_secs\": {stitch_s:.4}, \"byte_identical\": true, \"unit\": \"wall_secs\"}}"
                     ),
                 ));
             }
@@ -284,7 +284,7 @@ pub fn e21_shard(ctx: &Ctx) {
                 "{{\"id\": \"shard/huge/{n}\", \"n\": {n}, \"shards\": {shards}, \
                  \"build_secs\": {build_s:.4}, \"freeze_secs\": {freeze_s:.4}, \
                  \"peers_per_sec\": {:.1}, \"bytes_per_peer\": {bytes_per_peer:.1}, \
-                 \"peak_rss_bytes\": {rss}}}",
+                 \"peak_rss_bytes\": {rss}, \"unit\": \"wall_secs\"}}",
                 n as f64 / (build_s + freeze_s)
             ),
         ));

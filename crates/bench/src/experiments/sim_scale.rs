@@ -198,8 +198,9 @@ pub fn e22_sim_scale(ctx: &Ctx) {
 
 /// Draws the initial converged overlay for `n` peers — distinct uniform
 /// keys, harmonic long links from per-peer RNG streams (thread-count
-/// invariant) — and freezes it with its key lane to `path`.
-fn build_frozen_overlay(seed: u64, n: usize, path: &std::path::Path) {
+/// invariant) — and freezes it with its key lane to `path`. Shared with
+/// E23, which preloads the same images for its traffic cells.
+pub(crate) fn build_frozen_overlay(seed: u64, n: usize, path: &std::path::Path) {
     let mut rng = Rng::new(seed);
     let mut keys = BTreeSet::new();
     while keys.len() < n {

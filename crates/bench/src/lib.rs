@@ -142,5 +142,10 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Simulator at scale: timing-wheel vs heap plane events/s + peak RSS from frozen preloads at n up to 10^6 (writes BENCH_sim.json)",
             experiments::sim_scale::e22_sim_scale,
         ),
+        (
+            "e23",
+            "Open-loop traffic to saturation: offered load vs latency knee, hot-key cache on/off (writes BENCH_traffic.json)",
+            experiments::traffic::e23_traffic,
+        ),
     ]
 }

@@ -14,6 +14,9 @@ use crate::protocol::{
     LookupRecord, Msg, Purpose, QueryId, RoutingMode, StorageOp, Walk, WalkEnd, WalkScratch,
 };
 use crate::time::SimTime;
+use crate::traffic::{
+    CongestionConfig, HotCache, ServiceQueue, TokenBucket, TrafficConfig, ZipfSampler,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use sw_core::config::{LinkSampler, MassThreshold, OutDegree};
@@ -183,6 +186,16 @@ pub struct SimConfig {
     /// sequence — the heap is kept as the property-test oracle and the
     /// honest baseline for the scale benchmarks.
     pub plane: PlaneBackend,
+    /// Congestion model: per-node service queues and per-link token
+    /// buckets (disabled by default — infinite capacity reproduces the
+    /// pre-congestion simulator bit-for-bit). Maintenance rounds
+    /// (stabilization pings) are modeled as aggregates, not individual
+    /// envelopes, so only protocol messages pay queue and link costs.
+    pub congestion: CongestionConfig,
+    /// Open-loop traffic generator: Zipf-popular lookups injected at a
+    /// configured offered rate from a bounded gateway set, with an
+    /// optional requester-side hot-key cache (disabled by default).
+    pub traffic: TrafficConfig,
 }
 
 impl Default for SimConfig {
@@ -204,6 +217,8 @@ impl Default for SimConfig {
             record_paths: false,
             parallelism: 0,
             plane: PlaneBackend::default_backend(),
+            congestion: CongestionConfig::NONE,
+            traffic: TrafficConfig::NONE,
         }
     }
 }
@@ -283,6 +298,7 @@ mod stream {
     pub const PRELOAD: u64 = 0x108;
     pub const LINK: u64 = 0x109;
     pub const REPAIR: u64 = 0x10A;
+    pub const TRAFFIC: u64 = 0x10B;
     /// XOR'd into the seed to derive per-walk streams.
     pub const WALK_SALT: u64 = 0x5157_4A4C_4B53_0D1E;
 }
@@ -353,6 +369,33 @@ pub struct Simulator {
     walk_scratch: Vec<WalkScratch>,
     /// Reusable buffer behind [`Simulator::ranked_candidates`].
     cand_scratch: Vec<(u32, f64)>,
+    // --- congestion + traffic plane ---
+    /// Per-node inbound service queues (lazily grown; all state is one
+    /// `busy_until` per node, updated in event order).
+    node_q: Vec<ServiceQueue>,
+    /// Per-directed-link token buckets, allocated lazily for links that
+    /// actually carry traffic. Keyed `(from << 32) | to`; accessed only
+    /// by key (never iterated), so the map is determinism-safe.
+    link_buckets: HashMap<u64, TokenBucket>,
+    /// Per-message service time (`SimTime`-converted once at boot).
+    service_time: SimTime,
+    /// Open-loop generator stream (gateway, Zipf rank and inter-arrival
+    /// draws).
+    traffic_rng: Rng,
+    /// Gateway nodes that originate traffic lookups.
+    gateways: Vec<u32>,
+    /// Hot-key universe: Zipf rank → target node id.
+    traffic_targets: Vec<u32>,
+    /// Popularity sampler over `traffic_targets` ranks.
+    zipf: Option<ZipfSampler>,
+    /// Requester-side hot-key caches, one per gateway that has issued
+    /// traffic (keyed access only — determinism-safe).
+    caches: HashMap<u32, HotCache>,
+    // Network-message conservation ledger (see `net_counters`).
+    net_offered: u64,
+    net_dropped: u64,
+    net_delivered: u64,
+    net_dead: u64,
 }
 
 /// Cap on pooled [`WalkScratch`] shells — bounds pool memory when a
@@ -511,6 +554,18 @@ impl Simulator {
             lookup_records: Vec::new(),
             walk_scratch: Vec::new(),
             cand_scratch: Vec::new(),
+            node_q: Vec::new(),
+            link_buckets: HashMap::new(),
+            service_time: SimTime::from_secs_f64(cfg.congestion.service_secs_per_msg.max(0.0)),
+            traffic_rng: Rng::stream(seed, stream::TRAFFIC),
+            gateways: Vec::new(),
+            traffic_targets: Vec::new(),
+            zipf: None,
+            caches: HashMap::new(),
+            net_offered: 0,
+            net_dropped: 0,
+            net_delivered: 0,
+            net_dead: 0,
             cfg,
         }
     }
@@ -578,6 +633,26 @@ impl Simulator {
         if sim.cfg.storage.range_rate > 0.0 {
             let dt = next_interval(&mut sim.range_rng, sim.cfg.storage.range_rate);
             sim.plane.send(dt, Msg::NextRange);
+        }
+        if sim.cfg.traffic.enabled() {
+            // Gateways (the front-ends users hit) and the hot-key
+            // universe are fixed subsets of the t = 0 population, drawn
+            // from the dedicated traffic stream: a bounded gateway set
+            // gives each requester-side cache realistic re-reference,
+            // and a bounded key universe gives Zipf ranks stable
+            // owners. Both draws shuffle id vectors — deterministic at
+            // any thread count.
+            let n = sim.nodes.len();
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            sim.traffic_rng.shuffle(&mut ids);
+            sim.gateways = ids[..sim.cfg.traffic.gateways.clamp(1, n)].to_vec();
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            sim.traffic_rng.shuffle(&mut ids);
+            let universe = sim.cfg.traffic.hot_keys.clamp(1, n);
+            sim.traffic_targets = ids[..universe].to_vec();
+            sim.zipf = Some(ZipfSampler::new(universe, sim.cfg.traffic.zipf_s));
+            let dt = next_interval(&mut sim.traffic_rng, sim.cfg.traffic.rate);
+            sim.plane.send(dt, Msg::NextTraffic);
         }
         for id in 0..sim.nodes.len() as u32 {
             sim.schedule_timers(id);
@@ -755,23 +830,71 @@ impl Simulator {
                 let dt = next_interval(&mut self.range_rng, self.cfg.storage.range_rate);
                 self.plane.send(dt, Msg::NextRange);
             }
+            // Rate-checked like the churn generators: `set_traffic_rate`
+            // can stop the open-loop process mid-run (tests drain the
+            // plane this way to check message conservation exactly).
+            Msg::NextTraffic => {
+                if self.cfg.traffic.rate > 0.0 {
+                    self.do_traffic_lookup();
+                    let dt = next_interval(&mut self.traffic_rng, self.cfg.traffic.rate);
+                    self.plane.send(dt, Msg::NextTraffic);
+                }
+            }
             Msg::StabilizeStart(id) => self.do_stabilize_start(id),
             Msg::StabilizeApply(id) => self.do_stabilize_apply(id),
             Msg::RefreshStart(id) => self.do_refresh_start(id),
             Msg::Step { qid } => self.drive_walk(qid),
-            Msg::Hop { qid, to, sent_at } => self.deliver_hop(qid, to, sent_at),
-            Msg::NextHopQuery { qid, to, sent_at } => self.deliver_next_hop_query(qid, to, sent_at),
+            Msg::Hop { qid, to, sent_at } => self.deliver_hop(qid, to, sent_at, false),
+            Msg::NextHopQuery { qid, to, sent_at } => {
+                self.deliver_next_hop_query(qid, to, sent_at, false)
+            }
             Msg::NextHopReply {
                 qid,
                 from,
                 sent_at,
                 at_target,
                 candidates,
-            } => self.deliver_next_hop_reply(qid, from, sent_at, at_target, candidates),
+            } => self.deliver_next_hop_reply(qid, from, sent_at, at_target, candidates, false),
             Msg::WalkReport { qid, at } => self.deliver_walk_report(qid, at),
-            Msg::ReplicaPut { op, to, sent_at } => self.deliver_replica_put(op, to, sent_at),
-            Msg::ReplicaProbe { op, to, sent_at } => self.deliver_replica_probe(op, to, sent_at),
-            Msg::RangeFragment { op, to, sent_at } => self.deliver_range_fragment(op, to, sent_at),
+            Msg::ReplicaPut { op, to, sent_at } => self.deliver_replica_put(op, to, sent_at, false),
+            Msg::ReplicaProbe { op, to, sent_at } => {
+                self.deliver_replica_probe(op, to, sent_at, false)
+            }
+            Msg::RangeFragment { op, to, sent_at } => {
+                self.deliver_range_fragment(op, to, sent_at, false)
+            }
+            // An overload drop's sender-side consequence: re-dispatch
+            // the wrapped message through its ordinary handler with
+            // `lost = true`, so the timeout / failover / pending-count
+            // fallout reuses the dead-peer code path verbatim. Arrives
+            // at the no-queue delivery instant, making a drop's timing
+            // bit-identical to a dead-peer delivery.
+            Msg::Dropped(inner) => match *inner {
+                Msg::Hop { qid, to, sent_at } => self.deliver_hop(qid, to, sent_at, true),
+                Msg::NextHopQuery { qid, to, sent_at } => {
+                    self.deliver_next_hop_query(qid, to, sent_at, true)
+                }
+                Msg::NextHopReply {
+                    qid,
+                    from,
+                    sent_at,
+                    at_target,
+                    candidates,
+                } => self.deliver_next_hop_reply(qid, from, sent_at, at_target, candidates, true),
+                Msg::ReplicaPut { op, to, sent_at } => {
+                    self.deliver_replica_put(op, to, sent_at, true)
+                }
+                Msg::ReplicaProbe { op, to, sent_at } => {
+                    self.deliver_replica_probe(op, to, sent_at, true)
+                }
+                Msg::RangeFragment { op, to, sent_at } => {
+                    self.deliver_range_fragment(op, to, sent_at, true)
+                }
+                other => debug_assert!(
+                    false,
+                    "fire-and-forget drops are never scheduled: {other:?}"
+                ),
+            },
             Msg::RepairRound(id) => self.do_repair_round(id),
             Msg::RepairDigest {
                 owner,
@@ -796,6 +919,161 @@ impl Simulator {
             } => self.on_repair_push(owner, replica, items, want),
             Msg::RepairPull { owner, items } => self.on_repair_pull(owner, items),
         }
+    }
+
+    // ----- the congestion plane --------------------------------------
+
+    /// Sends one protocol message `from → to` through the congestion
+    /// model and onto the plane. The full pipeline, all evaluated
+    /// arithmetically at send time (deterministic event order, no extra
+    /// envelopes, no randomness):
+    ///
+    /// 1. **Link shaping** — with `link_rate > 0`, the directed link's
+    ///    token bucket may push the departure past `depart`.
+    /// 2. **Flight** — the caller's sampled latency (plus any per-byte
+    ///    delay already folded in) gives the raw arrival instant.
+    /// 3. **Service queue** — with `service_secs_per_msg > 0`, the
+    ///    destination's queue either admits the arrival (delivery is
+    ///    scheduled at its *service completion*, so handler-side
+    ///    `now - sent_at` latency automatically includes queue wait and
+    ///    service time) or drops it at the depth cap. A dropped
+    ///    message with a sender-side consequence is re-scheduled as
+    ///    [`Msg::Dropped`] at the no-queue arrival instant; drops of
+    ///    fire-and-forget messages (reports, repair rungs) vanish
+    ///    silently, exactly like a dead receiver.
+    ///
+    /// Returns `Some(queue_wait)` when the message will be delivered
+    /// (zero without queueing) and `None` when it was dropped.
+    fn send_net(
+        &mut self,
+        from: u32,
+        to: u32,
+        depart: SimTime,
+        flight: SimTime,
+        msg: Msg,
+    ) -> Option<SimTime> {
+        self.net_offered += 1;
+        let mut depart = depart;
+        let cg = self.cfg.congestion;
+        if cg.shaping_enabled() {
+            let key = (u64::from(from) << 32) | u64::from(to);
+            let bucket = self
+                .link_buckets
+                .entry(key)
+                .or_insert_with(|| TokenBucket::full(depart, cg.link_burst));
+            depart += bucket.delay(depart, cg.link_rate, cg.link_burst);
+        }
+        let arrive = depart + flight;
+        if !cg.queueing_enabled() {
+            self.plane.send_at(arrive, msg);
+            return Some(SimTime::ZERO);
+        }
+        if to as usize >= self.node_q.len() {
+            self.node_q.resize(to as usize + 1, ServiceQueue::default());
+        }
+        match self.node_q[to as usize].offer(arrive, self.service_time, cg.queue_cap) {
+            Some((done, wait, depth)) => {
+                self.metrics.queue_wait.record(wait);
+                self.metrics.queue_depth_peak = self.metrics.queue_depth_peak.max(depth + 1);
+                self.plane.send_at(done, msg);
+                Some(wait)
+            }
+            None => {
+                self.metrics.msgs_dropped_overload += 1;
+                self.net_dropped += 1;
+                if matches!(
+                    msg,
+                    Msg::Hop { .. }
+                        | Msg::NextHopQuery { .. }
+                        | Msg::NextHopReply { .. }
+                        | Msg::ReplicaPut { .. }
+                        | Msg::ReplicaProbe { .. }
+                        | Msg::RangeFragment { .. }
+                ) {
+                    self.plane.send_at(arrive, Msg::Dropped(Box::new(msg)));
+                }
+                None
+            }
+        }
+    }
+
+    /// Conservation ledger: a delivered network message found its
+    /// destination alive (serviced) or dead (discarded).
+    fn note_net_delivery(&mut self, to: u32) {
+        if self.nodes[to as usize].alive {
+            self.net_delivered += 1;
+        } else {
+            self.net_dead += 1;
+        }
+    }
+
+    /// Network-message conservation counters
+    /// `(offered, dropped_overload, delivered, dead_discarded)`. Once
+    /// the plane is drained, `offered = dropped + delivered + dead` —
+    /// every message sent through the congestion model is accounted
+    /// exactly once. (A reply or report whose walk already finished is
+    /// counted `delivered`: the envelope was serviced, its walk just no
+    /// longer cared.) Test instrumentation, not a public API.
+    #[doc(hidden)]
+    pub fn net_counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.net_offered,
+            self.net_dropped,
+            self.net_delivered,
+            self.net_dead,
+        )
+    }
+
+    /// Stops (or retunes) the open-loop generator mid-run; the process
+    /// ends at its next tick when set to zero, after which draining the
+    /// plane settles every in-flight message.
+    pub fn set_traffic_rate(&mut self, rate: f64) {
+        self.cfg.traffic.rate = rate;
+    }
+
+    /// One open-loop arrival: draw a gateway and a Zipf-ranked hot key
+    /// from the traffic stream, serve from the gateway's cache when
+    /// fresh, otherwise spawn an ordinary lookup walk. Arrivals are
+    /// independent of completions — offered load does not slow down
+    /// when the system saturates, which is exactly what pushes the
+    /// latency curve past its knee.
+    fn do_traffic_lookup(&mut self) {
+        let mut rng = std::mem::replace(&mut self.traffic_rng, Rng::new(0));
+        let gw = self.gateways[rng.index(self.gateways.len())];
+        let rank = self
+            .zipf
+            .as_ref()
+            .expect("traffic enabled")
+            .sample(&mut rng);
+        self.traffic_rng = rng;
+        if !self.nodes[gw as usize].alive {
+            return; // a dead gateway originates nothing this tick
+        }
+        let target_id = self.traffic_targets[rank];
+        let now = self.plane.now();
+        if let Some(cache_cfg) = self.cfg.traffic.cache {
+            let cache = self
+                .caches
+                .entry(gw)
+                .or_insert_with(|| HotCache::new(cache_cfg.capacity));
+            if cache.lookup(u64::from(target_id), now) {
+                // Served locally: a completed, successful, zero-hop
+                // lookup that never touches the network. The TTL bounds
+                // how stale the cached owner can be (see the
+                // cache-coherence caveat in the crate docs); a hit on
+                // an entry whose owner has since churned still counts
+                // ok, which is the price of TTL coherence.
+                self.metrics.cache_hits += 1;
+                self.metrics.lookups += 1;
+                self.metrics.lookups_ok += 1;
+                self.metrics.hops.push(0.0);
+                self.metrics.latency_secs.push(0.0);
+                self.metrics.lookup_latency.record(SimTime::ZERO);
+                return;
+            }
+        }
+        let target = self.nodes[target_id as usize].key;
+        self.spawn_walk(Purpose::Lookup { target_id }, target, gw);
     }
 
     // ----- walk state machine ---------------------------------------
@@ -859,6 +1137,7 @@ impl Simulator {
                 seen,
                 query_sent: SimTime::ZERO,
                 rtt_seen: SimTime::ZERO,
+                wait_seen: SimTime::ZERO,
                 last_known: from,
                 path,
                 max_hops,
@@ -968,7 +1247,10 @@ impl Simulator {
                 let walk = self.walks.get_mut(&qid).expect("walk present");
                 walk.msgs += 1;
                 let dt = latency.sample(&mut walk.rng);
-                self.plane.send(
+                let wait = self.send_net(
+                    cur,
+                    next,
+                    now,
                     dt,
                     Msg::Hop {
                         qid,
@@ -976,15 +1258,28 @@ impl Simulator {
                         sent_at: now,
                     },
                 );
+                if let Some(wait) = wait {
+                    // The carrier hand-off measures the next node's
+                    // inbound congestion; remember it in case this walk
+                    // is later recovered into iterative mode.
+                    self.walks
+                        .get_mut(&qid)
+                        .expect("walk present")
+                        .note_wait(wait);
+                }
             }
         }
     }
 
     /// A recursively forwarded query arrives at `to` — or its sender
-    /// times out, if `to` died while the message was in flight.
-    fn deliver_hop(&mut self, qid: QueryId, to: u32, sent_at: SimTime) {
+    /// times out, if `to` died while the message was in flight (or the
+    /// hand-off was dropped at `to`'s full queue: `lost`).
+    fn deliver_hop(&mut self, qid: QueryId, to: u32, sent_at: SimTime, lost: bool) {
         let now = self.plane.now();
-        let alive = self.nodes[to as usize].alive;
+        if !lost {
+            self.note_net_delivery(to);
+        }
+        let alive = !lost && self.nodes[to as usize].alive;
         let penalty = self.cfg.timeout_penalty;
         let latency = self.cfg.latency;
         let Some(walk) = self.walks.get_mut(&qid) else {
@@ -1007,8 +1302,18 @@ impl Simulator {
             // make every recovery fall all the way back to the requester.
             if walk.mode == RoutingMode::SemiRecursive {
                 walk.msgs += 1;
+                let requester = walk.requester;
                 let dt = latency.sample(&mut walk.rng);
-                self.plane.send(dt, Msg::WalkReport { qid, at: prev });
+                // Fire-and-forget: a report dropped at the requester's
+                // full queue vanishes (send_net schedules no
+                // consequence), costing only recovery-resume precision.
+                let wait = self.send_net(to, requester, now, dt, Msg::WalkReport { qid, at: prev });
+                if let Some(wait) = wait {
+                    self.walks
+                        .get_mut(&qid)
+                        .expect("walk present")
+                        .note_wait(wait);
+                }
             }
             self.drive_walk(qid);
         } else {
@@ -1025,6 +1330,12 @@ impl Simulator {
     /// A progress report lands at the requester: remember how far the
     /// query got (the resume point if its carrier dies).
     fn deliver_walk_report(&mut self, qid: QueryId, at: u32) {
+        match self.walks.get(&qid).map(|w| w.requester) {
+            Some(r) => self.note_net_delivery(r),
+            // The walk already finished: the envelope was still
+            // serviced at its destination.
+            None => self.net_delivered += 1,
+        }
         let Some(walk) = self.walks.get_mut(&qid) else {
             return;
         };
@@ -1207,8 +1518,12 @@ impl Simulator {
         );
         walk.query_sent = now;
         walk.msgs += 1;
+        let requester = walk.requester;
         let dt = latency.sample(&mut walk.rng);
-        self.plane.send(
+        self.send_net(
+            requester,
+            to,
+            now,
             dt,
             Msg::NextHopQuery {
                 qid,
@@ -1219,11 +1534,14 @@ impl Simulator {
     }
 
     /// The candidate query arrives at frontier `to` — or the requester
-    /// times out, if `to` died while the query was in flight, and fails
-    /// over.
-    fn deliver_next_hop_query(&mut self, qid: QueryId, to: u32, sent_at: SimTime) {
+    /// times out, if `to` died while the query was in flight (or the
+    /// query was dropped at `to`'s full queue: `lost`), and fails over.
+    fn deliver_next_hop_query(&mut self, qid: QueryId, to: u32, sent_at: SimTime, lost: bool) {
         let now = self.plane.now();
-        let alive = self.nodes[to as usize].alive;
+        if !lost {
+            self.note_net_delivery(to);
+        }
+        let alive = !lost && self.nodes[to as usize].alive;
         let latency = self.cfg.latency;
         let Some(walk) = self.walks.get_mut(&qid) else {
             return;
@@ -1252,8 +1570,12 @@ impl Simulator {
         let walk = self.walks.get_mut(&qid).expect("walk present");
         walk.excluded = excluded;
         walk.msgs += 1;
+        let requester = walk.requester;
         let dt = latency.sample(&mut walk.rng);
-        self.plane.send(
+        let wait = self.send_net(
+            to,
+            requester,
+            now,
             dt,
             Msg::NextHopReply {
                 qid,
@@ -1263,10 +1585,24 @@ impl Simulator {
                 candidates,
             },
         );
+        if let Some(wait) = wait {
+            // The reply's admission wait at the requester's own queue is
+            // congestion the requester directly experiences — fold it
+            // into the adaptive timeout so queued-not-lost replies do
+            // not read as dead frontiers.
+            self.walks
+                .get_mut(&qid)
+                .expect("walk present")
+                .note_wait(wait);
+        }
     }
 
     /// The frontier's answer lands back at the requester: confirm the
-    /// hop (RTT accounted), then finish or query the next frontier.
+    /// hop (RTT accounted), then finish or query the next frontier. A
+    /// reply dropped at the requester's own full queue (`lost`) is a
+    /// frontier the requester never hears from: it times out adaptively
+    /// and fails over, exactly as if the frontier had died after
+    /// receiving the query.
     fn deliver_next_hop_reply(
         &mut self,
         qid: QueryId,
@@ -1274,13 +1610,34 @@ impl Simulator {
         sent_at: SimTime,
         at_target: bool,
         candidates: Vec<u32>,
+        lost: bool,
     ) {
         let now = self.plane.now();
+        if !lost {
+            match self.walks.get(&qid).map(|w| w.requester) {
+                Some(r) => self.note_net_delivery(r),
+                // Late reply for a finished walk: still serviced.
+                None => self.net_delivered += 1,
+            }
+        }
         let Some(walk) = self.walks.get_mut(&qid) else {
             return;
         };
         if !self.nodes[walk.requester as usize].alive {
             self.finish_walk(qid, WalkEnd::Stranded);
+            return;
+        }
+        if lost {
+            let penalty = walk.adaptive_timeout(self.cfg.timeout_penalty);
+            walk.timeouts += 1;
+            walk.latency += penalty;
+            if !walk.excluded.contains(&from) {
+                walk.excluded.push(from);
+            }
+            // The timeout clock started at the query send; the plane
+            // clamps an already-expired deadline to now.
+            let retry_at = walk.query_sent + penalty;
+            self.plane.send_at(retry_at, Msg::Step { qid });
             return;
         }
         walk.latency += now - sent_at;
@@ -1364,6 +1721,21 @@ impl Simulator {
                     self.metrics.lookups_ok += 1;
                     self.metrics.hops.push(walk.hops as f64);
                     self.metrics.latency_secs.push(walk.latency.as_secs_f64());
+                    self.metrics.lookup_latency.record(walk.latency);
+                    // Fill the requester-side hot cache on the way out:
+                    // the *next* lookup for this key from the same
+                    // gateway is served locally until the TTL lapses.
+                    // Only gateways carry caches — workload lookups
+                    // originate anywhere and would grow the map to n
+                    // entries.
+                    if let Some(cache_cfg) = self.cfg.traffic.cache {
+                        if self.gateways.contains(&walk.requester) {
+                            self.caches
+                                .entry(walk.requester)
+                                .or_insert_with(|| HotCache::new(cache_cfg.capacity))
+                                .insert(u64::from(target_id), now + cache_cfg.ttl);
+                        }
+                    }
                 }
                 if self.cfg.record_lookups {
                     self.lookup_records.push(LookupRecord {
@@ -1857,7 +2229,10 @@ impl Simulator {
         for to in chain {
             let dt = self.cfg.latency.sample(&mut walk.rng);
             self.metrics.storage_messages += 1;
-            self.plane.send(
+            self.send_net(
+                at,
+                to,
+                now,
                 dt,
                 Msg::ReplicaPut {
                     op: qid,
@@ -1880,9 +2255,12 @@ impl Simulator {
         );
     }
 
-    fn deliver_replica_put(&mut self, op: QueryId, to: u32, _sent_at: SimTime) {
+    fn deliver_replica_put(&mut self, op: QueryId, to: u32, _sent_at: SimTime, lost: bool) {
         let now = self.plane.now();
-        let alive = self.nodes[to as usize].alive;
+        if !lost {
+            self.note_net_delivery(to);
+        }
+        let alive = !lost && self.nodes[to as usize].alive;
         let Some(StorageOp::PutFanout {
             key,
             value,
@@ -1965,7 +2343,10 @@ impl Simulator {
         let dt = self.cfg.latency.sample(&mut walk.rng);
         self.metrics.storage_messages += 1;
         self.metrics.gets_fallback += 1;
-        self.plane.send(
+        self.send_net(
+            at,
+            first,
+            now,
             dt,
             Msg::ReplicaProbe {
                 op: qid,
@@ -1985,9 +2366,12 @@ impl Simulator {
         );
     }
 
-    fn deliver_replica_probe(&mut self, op: QueryId, to: u32, sent_at: SimTime) {
+    fn deliver_replica_probe(&mut self, op: QueryId, to: u32, sent_at: SimTime, lost: bool) {
         let now = self.plane.now();
-        let alive = self.nodes[to as usize].alive;
+        if !lost {
+            self.note_net_delivery(to);
+        }
+        let alive = !lost && self.nodes[to as usize].alive;
         let penalty = self.cfg.timeout_penalty;
         let latency_model = self.cfg.latency;
         let Some(StorageOp::GetFallback {
@@ -2029,6 +2413,8 @@ impl Simulator {
                     self.metrics.gets_read_repaired += 1;
                     let bytes = REPAIR_HEADER_BYTES + item_bytes(&v);
                     self.send_repair(
+                        to,
+                        owner,
                         bytes,
                         Msg::RepairPull {
                             owner,
@@ -2058,8 +2444,11 @@ impl Simulator {
         let dt = latency_model.sample(rng);
         self.metrics.storage_messages += 1;
         self.metrics.gets_fallback += 1;
-        self.plane.send_at(
-            next_send + dt,
+        self.send_net(
+            owner,
+            next,
+            next_send,
+            dt,
             Msg::ReplicaProbe {
                 op,
                 to: next,
@@ -2167,7 +2556,10 @@ impl Simulator {
             }
             Sweep::Forward { next, dt } => {
                 self.metrics.storage_messages += 1;
-                self.plane.send(
+                self.send_net(
+                    at,
+                    next,
+                    now,
                     dt,
                     Msg::RangeFragment {
                         op,
@@ -2179,8 +2571,11 @@ impl Simulator {
         }
     }
 
-    fn deliver_range_fragment(&mut self, op: QueryId, to: u32, sent_at: SimTime) {
-        if self.nodes[to as usize].alive {
+    fn deliver_range_fragment(&mut self, op: QueryId, to: u32, sent_at: SimTime, lost: bool) {
+        if !lost {
+            self.note_net_delivery(to);
+        }
+        if !lost && self.nodes[to as usize].alive {
             self.continue_sweep(op, to);
             return;
         }
@@ -2214,8 +2609,11 @@ impl Simulator {
                 let dt = latency_model.sample(rng);
                 let retry_at = sent_at + penalty;
                 self.metrics.storage_messages += 1;
-                self.plane.send_at(
-                    retry_at + dt,
+                self.send_net(
+                    from,
+                    next,
+                    retry_at,
+                    dt,
                     Msg::RangeFragment {
                         op,
                         to: next,
@@ -2254,13 +2652,17 @@ impl Simulator {
 
     /// Sends one repair-plane message: counted, byte-accounted, and
     /// delayed by a latency sample *plus* the bandwidth cost of its
-    /// payload.
-    fn send_repair(&mut self, bytes: u64, msg: Msg) {
+    /// payload. Routes through the congestion plane, so under load a
+    /// repair transfer also pays queue wait and link shaping — and may
+    /// be dropped outright at a full service queue (repair messages are
+    /// fire-and-forget; the next anti-entropy round re-requests).
+    fn send_repair(&mut self, from: u32, to: u32, bytes: u64, msg: Msg) {
         self.metrics.repair_messages += 1;
         self.metrics.repair_bytes += bytes;
+        let now = self.plane.now();
         let dt = self.cfg.latency.sample(&mut self.repair_rng)
             + SimTime::from_secs_f64(bytes as f64 * self.cfg.storage.repair_byte_secs);
-        self.plane.send(dt, msg);
+        self.send_net(from, to, now, dt, msg);
     }
 
     /// One anti-entropy round at `id`: local fixups (promote inherited
@@ -2300,6 +2702,8 @@ impl Simulator {
         let digest = self.primary.arc_digest(id, pred_key, key);
         for to in chain {
             self.send_repair(
+                id,
+                to,
                 DIGEST_BYTES,
                 Msg::RepairDigest {
                     owner: id,
@@ -2380,6 +2784,7 @@ impl Simulator {
     /// arc lease, compare digests, and reply with this peer's key list
     /// if they disagree.
     fn on_repair_digest(&mut self, owner: u32, to: u32, lo: Key, hi: Key, count: u64, hash: u64) {
+        self.note_net_delivery(to);
         if !self.nodes[to as usize].alive {
             return; // receiver died in flight: message lost
         }
@@ -2404,6 +2809,8 @@ impl Simulator {
         keys.sort();
         let bytes = REPAIR_HEADER_BYTES + KEY_BYTES * keys.len() as u64;
         self.send_repair(
+            to,
+            owner,
             bytes,
             Msg::RepairDiff {
                 owner,
@@ -2419,6 +2826,7 @@ impl Simulator {
     /// directions — items the replica lacks (push) and keys the owner
     /// lacks (want, the recovery direction) — and ship them.
     fn on_repair_diff(&mut self, owner: u32, replica: u32, lo: Key, hi: Key, keys: Vec<Key>) {
+        self.note_net_delivery(owner);
         if !self.nodes[owner as usize].alive {
             return;
         }
@@ -2438,6 +2846,8 @@ impl Simulator {
         let (items, item_cost) = self.primary.export(owner, &missing);
         let bytes = REPAIR_HEADER_BYTES + item_cost + KEY_BYTES * want.len() as u64;
         self.send_repair(
+            owner,
+            replica,
             bytes,
             Msg::RepairPush {
                 owner,
@@ -2458,6 +2868,7 @@ impl Simulator {
         items: Vec<(Key, Vec<u8>)>,
         want: Vec<Key>,
     ) {
+        self.note_net_delivery(replica);
         if !self.nodes[replica as usize].alive {
             return;
         }
@@ -2482,12 +2893,18 @@ impl Simulator {
         if back.is_empty() {
             return; // the copies vanished while the ladder was in flight
         }
-        self.send_repair(bytes, Msg::RepairPull { owner, items: back });
+        self.send_repair(
+            replica,
+            owner,
+            bytes,
+            Msg::RepairPull { owner, items: back },
+        );
     }
 
     /// The recovery transfer lands at the owner: the streamed items are
     /// finally durable under their new primary.
     fn on_repair_pull(&mut self, owner: u32, items: Vec<(Key, Vec<u8>)>) {
+        self.note_net_delivery(owner);
         if !self.nodes[owner as usize].alive {
             return;
         }

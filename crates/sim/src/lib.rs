@@ -17,7 +17,7 @@
 //!
 //! ## Architecture
 //!
-//! The crate splits into three layers:
+//! The crate splits into four layers:
 //!
 //! * [`plane`] — the deterministic in-memory queue. An
 //!   [`plane::Envelope`] is delivered in ascending `(time, seq)` order;
@@ -42,6 +42,12 @@
 //!   can preload from a frozen arena image
 //!   ([`Simulator::from_frozen`] / [`Simulator::with_store`]) and only
 //!   the peers the run actually rewires cost heap memory.
+//! * [`traffic`] — the congestion vocabulary: per-node service queues
+//!   and per-link token buckets ([`CongestionConfig`]), the open-loop
+//!   Zipf workload generator ([`TrafficConfig`] / [`ZipfSampler`]) and
+//!   the requester-side hot-key cache ([`CacheConfig`] / [`HotCache`]).
+//!   The engine evaluates these models **analytically at send time** —
+//!   see the queueing section below.
 //!
 //! ## The repair plane
 //!
@@ -126,6 +132,50 @@
 //! [`sw_overlay::greedy_step`] / [`sw_overlay::greedy_candidates`]
 //! implementation, through [`sw_overlay::RingView`].
 //!
+//! ## Queueing and congestion
+//!
+//! With [`CongestionConfig`] enabled, delivery time is no longer just a
+//! latency sample: each network message pays **link shaping + flight +
+//! destination queue wait**, all computed analytically when the message
+//! is sent (no extra envelopes, no extra randomness — backend- and
+//! thread-count-invariant by construction):
+//!
+//! * every node is a **single-server FIFO queue** folded into one
+//!   `busy_until` instant: an arrival's wait is `busy_until − arrival`,
+//!   its service (`service_secs_per_msg`) extends `busy_until`, and the
+//!   implied depth is `residual / service`. Past `queue_cap` the
+//!   message is **dropped**: consequential messages re-dispatch through
+//!   their ordinary handler as lost (`Msg::Dropped` — timing identical
+//!   to a dead-peer delivery, so the requester's failover machinery
+//!   absorbs overload exactly like churn), fire-and-forget reports are
+//!   silently discarded, and `SimMetrics::msgs_dropped_overload`,
+//!   `queue_wait` and `queue_depth_peak` account for it all;
+//! * every directed link is a **deficit token bucket** (`link_rate`,
+//!   `link_burst`): a negative balance is owed refill time added to the
+//!   departure instant, modeling serialization without per-token events.
+//!
+//! Measured wait feeds back into patience:
+//! [`protocol::Walk::adaptive_timeout`] is `min(penalty, 3·max RTT +
+//! 2·max wait)`, so requester-driven timeouts stretch with observed
+//! congestion instead of misreading a deep queue as a death.
+//!
+//! The open-loop generator ([`TrafficConfig`]) injects lookups at a
+//! fixed offered rate from a bounded gateway set toward a Zipf-ranked
+//! hot-key universe; because arrivals never slow down with completions,
+//! the system can be driven **past saturation** and the knee measured
+//! (experiment E23). Gateways may keep a bounded LRU+TTL [`HotCache`];
+//! a hit answers the lookup at zero network cost and is counted in
+//! `SimMetrics::cache_hits`.
+//!
+//! **Cache-coherence caveat:** the hot-key cache is TTL-consistent
+//! only. A cached entry can serve a key for up to `CacheConfig::ttl`
+//! after the owner died or the keyspace shifted, and — unlike gets,
+//! which read-repair through the replica chain — a cache hit never
+//! consults the data layer, so it cannot observe read repair, leases,
+//! or re-replication. That is the intended trade (front-end caches are
+//! stale by design); experiments that need linearizable reads must
+//! route every lookup (`cache: None`).
+//!
 //! ## Determinism contract
 //!
 //! Seeded runs are bit-identical on every platform and at every worker
@@ -135,8 +185,9 @@
 //!   FIFO tie-break is a pure function of the seed;
 //! * every walk samples from its own `Rng::stream(seed, query_id)`, and
 //!   every generator process (joins, failures, lookups, puts, gets,
-//!   ranges, timers, link targets, repair latencies) owns a dedicated
-//!   stream, so one process's draws never perturb another's;
+//!   ranges, timers, link targets, repair latencies, traffic arrivals)
+//!   owns a dedicated stream, so one process's draws never perturb
+//!   another's;
 //! * the parallel paths (probe batches, storage preload) are pure
 //!   per-index maps over pre-drawn inputs — thread count only changes
 //!   how work is chunked, never what is computed.
@@ -160,15 +211,17 @@ pub mod metrics;
 pub mod plane;
 pub mod protocol;
 pub mod time;
+pub mod traffic;
 
 pub use engine::{
     ChurnConfig, DurabilityCensus, SimConfig, Simulator, StorageConfig, VictimSampling,
     WorkloadConfig,
 };
 pub use latency::LatencyModel;
-pub use metrics::SimMetrics;
+pub use metrics::{Histogram, SimMetrics};
 pub use plane::{Envelope, MessagePlane, PlaneBackend};
 pub use protocol::{
     LookupRecord, Msg, Purpose, QueryId, RoutingMode, StorageOp, Walk, WalkEnd, WalkScratch,
 };
 pub use time::SimTime;
+pub use traffic::{CacheConfig, CongestionConfig, HotCache, TrafficConfig, ZipfSampler};

@@ -245,6 +245,12 @@ pub struct Walk {
     /// requester sees every round trip, so it can stop waiting the
     /// full conservative penalty for contacts that are clearly dead.
     pub rtt_seen: SimTime,
+    /// Largest service-queue wait observed on any message delivered to
+    /// this walk's driver — measured congestion, folded into
+    /// [`Walk::adaptive_timeout`] so the RTT-derived timeout does not
+    /// fire spuriously when replies are merely queued, not lost. Stays
+    /// zero when congestion modelling is off.
+    pub wait_seen: SimTime,
     /// Last node a progress report confirmed back to the requester —
     /// where a semi-recursive recovery resumes from.
     pub last_known: u32,
@@ -294,15 +300,33 @@ impl Walk {
     }
 
     /// The requester's adaptive query timeout: three times the largest
-    /// RTT it has observed on this walk, capped by the configured
-    /// conservative penalty (and equal to it until a first RTT lands).
-    /// Recursive relays cannot do this — each sender observes at most
-    /// one round trip — so they always wait the full penalty.
+    /// RTT it has observed on this walk **plus twice the largest queue
+    /// wait** it has measured, capped by the configured conservative
+    /// penalty (and equal to it until a first RTT lands). Recursive
+    /// relays cannot do this — each sender observes at most one round
+    /// trip — so they always wait the full penalty. The wait term keeps
+    /// the timeout honest under load: near the saturation knee a reply
+    /// can spend more time queued at the requester than in flight, and
+    /// an RTT-only bound would declare live-but-congested frontiers
+    /// dead, cascading retries into an already-full queue.
     pub fn adaptive_timeout(&self, penalty: SimTime) -> SimTime {
         if self.rtt_seen == SimTime::ZERO {
             penalty
         } else {
-            penalty.min(SimTime(self.rtt_seen.0.saturating_mul(3)))
+            let bound = self
+                .rtt_seen
+                .0
+                .saturating_mul(3)
+                .saturating_add(self.wait_seen.0.saturating_mul(2));
+            penalty.min(SimTime(bound))
+        }
+    }
+
+    /// Fold a measured queue wait into the walk's congestion estimate
+    /// (keeps the maximum seen).
+    pub fn note_wait(&mut self, wait: SimTime) {
+        if wait > self.wait_seen {
+            self.wait_seen = wait;
         }
     }
 
@@ -331,6 +355,7 @@ impl Walk {
             seen: Vec::new(),
             query_sent: SimTime::ZERO,
             rtt_seen: SimTime::ZERO,
+            wait_seen: SimTime::ZERO,
             last_known: 0,
             path: Vec::new(),
             max_hops: 8,
@@ -482,6 +507,8 @@ pub enum Msg {
     NextGet,
     /// Next storage range-query arrival.
     NextRange,
+    /// Next open-loop traffic lookup arrival (`SimConfig::traffic`).
+    NextTraffic,
 
     // -- Per-node maintenance timers ----------------------------------
     /// `node` starts a stabilization round (pings its view).
@@ -579,6 +606,17 @@ pub enum Msg {
         /// Send time.
         sent_at: SimTime,
     },
+
+    // -- Congestion ----------------------------------------------------
+    /// The inner message was dropped at its destination's full service
+    /// queue. Delivered at the instant the message *would* have arrived
+    /// (no queueing), so the sender-side consequence — timeout, ladder
+    /// failover, pending-count decrement, sweep retry — runs through
+    /// the exact same code path as a dead-peer delivery, with identical
+    /// timing. Fire-and-forget messages (progress reports, repair
+    /// rungs) are never wrapped: their loss has no sender-side
+    /// consequence to schedule.
+    Dropped(Box<Msg>),
 
     // -- The repair plane (anti-entropy rounds) -----------------------
     /// `node` starts an anti-entropy round over its owned arc
@@ -707,5 +745,26 @@ mod tests {
     fn next_alternate_on_empty_ladder_is_none() {
         let mut w = Walk::fixture(Vec::new(), vec![1]);
         assert_eq!(w.next_alternate(), None);
+    }
+
+    #[test]
+    fn adaptive_timeout_accounts_for_measured_queue_wait() {
+        let penalty = SimTime::from_secs(2);
+        let mut w = Walk::fixture(Vec::new(), Vec::new());
+        // No RTT yet: always the conservative penalty.
+        assert_eq!(w.adaptive_timeout(penalty), penalty);
+        // Fast RTT, no congestion: tight 3x bound (pre-queue behavior).
+        w.rtt_seen = SimTime::from_millis(50);
+        assert_eq!(w.adaptive_timeout(penalty), SimTime::from_millis(150));
+        // Same RTT but a 400ms queue wait measured: the bound stretches
+        // by 2x the wait, so a merely-congested frontier is not
+        // declared dead the moment its reply sits in a queue.
+        w.note_wait(SimTime::from_millis(400));
+        assert_eq!(w.adaptive_timeout(penalty), SimTime::from_millis(950));
+        // note_wait keeps the max, and the penalty still caps it all.
+        w.note_wait(SimTime::from_millis(100));
+        assert_eq!(w.wait_seen, SimTime::from_millis(400));
+        w.note_wait(SimTime::from_secs(10));
+        assert_eq!(w.adaptive_timeout(penalty), penalty);
     }
 }

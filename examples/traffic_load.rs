@@ -1,0 +1,123 @@
+//! Open-loop traffic to saturation: sweep the offered lookup rate
+//! against a network with finite per-node service capacity and watch
+//! the latency curve hit its knee — then turn on the requester-side
+//! hot-key cache and watch the knee move.
+//!
+//! Every message pays latency + queue wait at its destination's
+//! single-server service queue (and token-bucket link shaping); the
+//! generator is open-loop, so offered load does not slow down when the
+//! system saturates — queues grow, the latency tail explodes, and past
+//! the depth cap messages are dropped. A rate is *sustained* when ≥99%
+//! of completed lookups succeed and the p99 stays within 10x the
+//! unloaded p99; the saturation knee is the last sustained rate.
+//!
+//! ```text
+//! cargo run --release --example traffic_load
+//! ```
+
+use smallworld::keyspace::distribution::Uniform;
+use smallworld::sim::traffic::{CacheConfig, CongestionConfig, TrafficConfig};
+use smallworld::sim::{SimConfig, SimTime, Simulator, WorkloadConfig};
+use std::sync::Arc;
+
+/// One cell of the sweep: returns (goodput/s, ok rate, p50, p99, p999,
+/// drops, cache hits, peak queue depth).
+#[allow(clippy::type_complexity)]
+fn run_cell(rate: f64, zipf_s: f64, cache: bool) -> (f64, f64, f64, f64, f64, u64, u64, u64) {
+    let horizon = SimTime::from_secs(10);
+    let cfg = SimConfig {
+        seed: 23,
+        initial_n: 4096,
+        // Pure traffic: no churn, no background workload, no timers —
+        // the curve measures congestion, nothing else.
+        stabilize_interval: None,
+        refresh_interval: None,
+        workload: WorkloadConfig { lookup_rate: 0.0 },
+        congestion: CongestionConfig {
+            service_secs_per_msg: 10e-3, // 100 msgs/s per node
+            queue_cap: 32,
+            link_rate: 2_000.0, // generous shaping: not the binding limit
+            link_burst: 64.0,
+        },
+        traffic: TrafficConfig {
+            rate,
+            zipf_s,
+            hot_keys: 1024,
+            gateways: 32,
+            cache: cache.then_some(CacheConfig {
+                capacity: 256,
+                ttl: SimTime::from_secs(30),
+            }),
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(cfg, Arc::new(Uniform));
+    sim.run_until(horizon);
+    let m = sim.metrics();
+    let secs = horizon.as_secs_f64();
+    (
+        m.lookups_ok as f64 / secs,
+        m.success_rate(),
+        m.lookup_latency.quantile(0.50) * 1e3,
+        m.lookup_latency.quantile(0.99) * 1e3,
+        m.lookup_latency.quantile(0.999) * 1e3,
+        m.msgs_dropped_overload,
+        m.cache_hits,
+        m.queue_depth_peak,
+    )
+}
+
+fn sweep(zipf_s: f64, cache: bool) -> f64 {
+    println!(
+        "\n== Zipf s = {zipf_s}, cache {} ==",
+        if cache { "ON " } else { "off" }
+    );
+    println!(
+        "{:>10} {:>10} {:>7} {:>9} {:>10} {:>10} {:>9} {:>9} {:>6}",
+        "offered/s", "goodput/s", "ok", "p50 ms", "p99 ms", "p999 ms", "drops", "hits", "depth"
+    );
+    let mut base_p99 = 0.0f64;
+    let mut knee = 0.0f64;
+    for &rate in &[
+        125.0, 250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0,
+    ] {
+        let (goodput, ok, p50, p99, p999, drops, hits, depth) = run_cell(rate, zipf_s, cache);
+        if base_p99 == 0.0 {
+            base_p99 = p99;
+        }
+        // Sustained: ≥99% of completed lookups succeed (drop-induced
+        // failovers haven't routed walks into dead ends) and the p99
+        // stays within a decade of the unloaded p99. Offered-vs-goodput
+        // is not the test: even unloaded, the open-loop tail leaves
+        // ~latency x rate lookups in flight at the horizon.
+        let sustained = ok >= 0.99 && p99 < 10.0 * base_p99;
+        if sustained {
+            knee = rate;
+        }
+        println!(
+            "{rate:>10.0} {goodput:>10.0} {ok:>7.3} {p50:>9.1} {p99:>10.1} {p999:>10.1} \
+             {drops:>9} {hits:>9} {depth:>6}{}",
+            if sustained { "" } else { "   <- saturated" }
+        );
+    }
+    println!("   sustainable: {knee:.0} lookups/s");
+    knee
+}
+
+fn main() {
+    println!("Open-loop traffic on a 4096-peer overlay, 10 ms service per message,");
+    println!("queue cap 32, 1024 hot keys from 32 gateways; horizon 10 sim-seconds.");
+    let uniform = sweep(0.0, false);
+    let skewed = sweep(1.2, false);
+    let cached = sweep(1.2, true);
+    println!("\nSkew concentrates load on the hot keys' owners, so s=1.2 saturates at");
+    println!(
+        "{skewed:.0}/s where uniform sustains {uniform:.0}/s; the gateway cache absorbs \
+         re-references"
+    );
+    println!(
+        "to hot keys before they reach the network, moving the knee to {cached:.0}/s \
+         ({:.1}x).",
+        cached / skewed.max(1.0)
+    );
+}
