@@ -1,5 +1,5 @@
 //! One module per experiment family; the registry in the crate root maps
-//! experiment ids (`e1`..`e23`) onto these functions. Each experiment
+//! experiment ids (`e1`..`e24`) onto these functions. Each experiment
 //! prints its table(s) and writes CSVs into the context's output
 //! directory (through the shared `ctx` path helpers). `EXPERIMENTS.md`
 //! documents expected shapes and records a reference run.
@@ -13,6 +13,7 @@ pub mod repair;
 pub mod routing_modes;
 pub mod scale;
 pub mod shard;
+pub mod sim_parallel;
 pub mod sim_scale;
 pub mod skew;
 pub mod theory;

@@ -147,5 +147,10 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Open-loop traffic to saturation: offered load vs latency knee, hot-key cache on/off (writes BENCH_traffic.json)",
             experiments::traffic::e23_traffic,
         ),
+        (
+            "e24",
+            "Parallel simulator: sharded conservative windows vs serial oracle, ev/s + peak RSS vs workers, digests asserted bit-identical (merges BENCH_sim.json)",
+            experiments::sim_parallel::e24_sim_parallel,
+        ),
     ]
 }

@@ -695,9 +695,21 @@ impl Simulator {
     }
 
     /// Runs until the virtual clock passes `until`.
+    ///
+    /// Drains the plane in same-instant batches
+    /// ([`MessagePlane::deliver_window`]): one cursor walk per instant
+    /// instead of one per envelope, which matters for the wheel under
+    /// same-tick bursts (stabilize rounds, replica fan-outs). Handlers
+    /// run strictly after their batch is drained; anything they send at
+    /// the batch instant gets a larger sequence number and is picked up
+    /// by the next `deliver_window` call at the same instant — the
+    /// exact order the old pop-one loop produced.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(env) = self.plane.deliver_before(until) {
-            self.handle(env.msg);
+        let mut batch = Vec::new();
+        while self.plane.deliver_window(until, &mut batch) > 0 {
+            for env in batch.drain(..) {
+                self.handle(env.msg);
+            }
         }
         self.plane.advance_to(until);
         self.metrics.events = self.plane.delivered();

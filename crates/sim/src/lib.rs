@@ -176,6 +176,41 @@
 //! stale by design); experiments that need linearizable reads must
 //! route every lookup (`cache: None`).
 //!
+//! ## Sharded parallel execution
+//!
+//! [`sharded::ShardedSimulator`] is a second, peer-local formulation of
+//! the engine built for parallel discrete-event execution. Peers are
+//! partitioned into `P` shards by `id % P`; each shard owns its own
+//! [`plane::MessagePlane`] (wheel or heap), its slice of node state,
+//! and a mergeable [`SimMetrics`]. The driver advances time in
+//! **conservative windows** of width δ — the *lookahead*, the minimum
+//! possible cross-peer message delay derived from the latency model
+//! ([`sharded::lookahead`]): `Constant(t) → t`, `Uniform(lo, _) → lo`,
+//! `Exponential → 1 µs`. Every cross-peer send clamps its delivery to
+//! `now + δ`, so events inside one window are causally independent
+//! across shards and the shards execute the window in parallel on the
+//! [`sw_graph::par`] scoped worker pool. Cross-shard sends are buffered
+//! in per-destination outboxes and exchanged at the window barrier.
+//!
+//! **Window invariant:** for a window `[T, T + δ)`, every envelope a
+//! shard delivers in the window was enqueued on its plane before the
+//! window started — handler sends either stay on the same shard
+//! (self-timers, admissions) or arrive at `≥ now + δ > T + δ − 1`, i.e.
+//! strictly after the window. The barrier therefore never retracts or
+//! reorders anything a shard already saw.
+//!
+//! **Deterministic merge:** every envelope carries the canonical key
+//! `(sender_id << 32) | per-sender-seq` and planes deliver in
+//! `(at, key)` order, so the per-peer event sequence — and with it
+//! every RNG draw, counter, histogram and the topology digest — is
+//! bit-identical for every shard count and every worker count. The
+//! serial drain loop (`run_serial_until`, `P = 1`, no window clamping)
+//! is the oracle; property tests assert digest parity at
+//! `P ∈ {1, 2, 8}` across worker counts, plane backends and the churn
+//! / storage / traffic workloads. Float *accumulator* lanes merge in
+//! shard order (bit-stable for a fixed `P`, excluded from the parity
+//! fingerprint); all integer lanes and histograms are bit-compared.
+//!
 //! ## Determinism contract
 //!
 //! Seeded runs are bit-identical on every platform and at every worker
@@ -210,6 +245,7 @@ pub mod latency;
 pub mod metrics;
 pub mod plane;
 pub mod protocol;
+pub mod sharded;
 pub mod time;
 pub mod traffic;
 
@@ -223,5 +259,6 @@ pub use plane::{Envelope, MessagePlane, PlaneBackend};
 pub use protocol::{
     LookupRecord, Msg, Purpose, QueryId, RoutingMode, StorageOp, Walk, WalkEnd, WalkScratch,
 };
+pub use sharded::{lookahead, ShardedSimulator};
 pub use time::SimTime;
 pub use traffic::{CacheConfig, CongestionConfig, HotCache, TrafficConfig, ZipfSampler};

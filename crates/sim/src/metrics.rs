@@ -279,6 +279,127 @@ impl SimMetrics {
             self.repair_bytes as f64 / self.stored_bytes as f64
         }
     }
+
+    /// Folds another shard's metrics into this one. Counters and gauges
+    /// add, peaks take the max, histograms merge bucket-wise,
+    /// `end_time` takes the later instant and the `OnlineStats`
+    /// moments combine via their pairwise update.
+    ///
+    /// Counter, gauge, peak and histogram state is **order-independent
+    /// and associative bit-for-bit** — folding any permutation of
+    /// shards in any tree shape yields identical integers (the
+    /// property [`SimMetrics::fingerprint`] is defined over, tested
+    /// below). The `OnlineStats` means/variances are mathematically
+    /// order-independent but accumulate floating-point error
+    /// differently per fold order, which is why they stay out of the
+    /// fingerprint.
+    pub fn merge(&mut self, other: &SimMetrics) {
+        self.lookups += other.lookups;
+        self.lookups_ok += other.lookups_ok;
+        self.hops.merge(&other.hops);
+        self.latency_secs.merge(&other.latency_secs);
+        self.lookups_stranded += other.lookups_stranded;
+        self.lookups_failed_over += other.lookups_failed_over;
+        self.lookups_exhausted += other.lookups_exhausted;
+        self.lookups_recovered += other.lookups_recovered;
+        self.hop_rtt.merge(&other.hop_rtt);
+        self.inflight_peak = self.inflight_peak.max(other.inflight_peak);
+        self.timeouts += other.timeouts;
+        self.join_messages += other.join_messages;
+        self.stabilize_messages += other.stabilize_messages;
+        self.refresh_messages += other.refresh_messages;
+        self.joins += other.joins;
+        self.joins_aborted += other.joins_aborted;
+        self.failures += other.failures;
+        self.events += other.events;
+        self.puts += other.puts;
+        self.puts_ok += other.puts_ok;
+        self.put_latency_secs.merge(&other.put_latency_secs);
+        self.gets += other.gets;
+        self.gets_ok += other.gets_ok;
+        self.gets_fallback += other.gets_fallback;
+        self.gets_read_repaired += other.gets_read_repaired;
+        self.get_latency_secs.merge(&other.get_latency_secs);
+        self.ranges += other.ranges;
+        self.ranges_ok += other.ranges_ok;
+        self.range_items += other.range_items;
+        self.range_peers += other.range_peers;
+        self.storage_messages += other.storage_messages;
+        self.repair_messages += other.repair_messages;
+        self.repair_bytes += other.repair_bytes;
+        self.keys_under_replicated += other.keys_under_replicated;
+        self.keys_lost += other.keys_lost;
+        self.repair_time_secs.merge(&other.repair_time_secs);
+        self.stored_bytes += other.stored_bytes;
+        self.cache_hits += other.cache_hits;
+        self.msgs_dropped_overload += other.msgs_dropped_overload;
+        self.queue_depth_peak = self.queue_depth_peak.max(other.queue_depth_peak);
+        self.queue_wait.merge(&other.queue_wait);
+        self.lookup_latency.merge(&other.lookup_latency);
+        self.end_time = self.end_time.max(other.end_time);
+    }
+
+    /// Order-independent digest over every integer lane: all counters,
+    /// gauges and peaks, both histogram fingerprints, the *sample
+    /// counts* of the `OnlineStats` moments, and `end_time`. The
+    /// float moments themselves are excluded — their bit patterns
+    /// depend on fold order (see [`SimMetrics::merge`]) — so two
+    /// metric sets fingerprint equal iff every discrete observation
+    /// matches, which is the identity the serial-vs-sharded parity
+    /// tests assert.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| h = (h ^ v).wrapping_mul(PRIME);
+        for v in [
+            self.lookups,
+            self.lookups_ok,
+            self.hops.count(),
+            self.latency_secs.count(),
+            self.lookups_stranded,
+            self.lookups_failed_over,
+            self.lookups_exhausted,
+            self.lookups_recovered,
+            self.hop_rtt.count(),
+            self.inflight_peak,
+            self.timeouts,
+            self.join_messages,
+            self.stabilize_messages,
+            self.refresh_messages,
+            self.joins,
+            self.joins_aborted,
+            self.failures,
+            self.events,
+            self.puts,
+            self.puts_ok,
+            self.put_latency_secs.count(),
+            self.gets,
+            self.gets_ok,
+            self.gets_fallback,
+            self.gets_read_repaired,
+            self.get_latency_secs.count(),
+            self.ranges,
+            self.ranges_ok,
+            self.range_items,
+            self.range_peers,
+            self.storage_messages,
+            self.repair_messages,
+            self.repair_bytes,
+            self.keys_under_replicated,
+            self.keys_lost,
+            self.repair_time_secs.count(),
+            self.stored_bytes,
+            self.cache_hits,
+            self.msgs_dropped_overload,
+            self.queue_depth_peak,
+            self.queue_wait.fingerprint(),
+            self.lookup_latency.fingerprint(),
+            self.end_time.as_micros(),
+        ] {
+            mix(v);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +486,145 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert_eq!(a.fingerprint(), whole.fingerprint());
         assert_eq!(a.quantile(0.9), whole.quantile(0.9));
+    }
+
+    /// A pseudo-random but deterministic per-shard metrics value with
+    /// every lane populated.
+    fn shard_metrics(salt: u64) -> SimMetrics {
+        let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut m = SimMetrics {
+            lookups: next() % 1000,
+            lookups_ok: next() % 1000,
+            lookups_stranded: next() % 50,
+            lookups_failed_over: next() % 50,
+            lookups_exhausted: next() % 50,
+            lookups_recovered: next() % 50,
+            inflight_peak: next() % 5000,
+            timeouts: next() % 200,
+            join_messages: next() % 900,
+            stabilize_messages: next() % 900,
+            refresh_messages: next() % 900,
+            joins: next() % 80,
+            joins_aborted: next() % 10,
+            failures: next() % 80,
+            events: next() % 100_000,
+            puts: next() % 300,
+            puts_ok: next() % 300,
+            gets: next() % 300,
+            gets_ok: next() % 300,
+            gets_fallback: next() % 40,
+            gets_read_repaired: next() % 40,
+            ranges: next() % 30,
+            ranges_ok: next() % 30,
+            range_items: next() % 5000,
+            range_peers: next() % 500,
+            storage_messages: next() % 4000,
+            repair_messages: next() % 4000,
+            repair_bytes: next() % 1_000_000,
+            keys_under_replicated: next() % 100,
+            keys_lost: next() % 20,
+            stored_bytes: next() % 1_000_000,
+            cache_hits: next() % 700,
+            msgs_dropped_overload: next() % 90,
+            queue_depth_peak: next() % 64,
+            end_time: SimTime(next() % 1_000_000),
+            ..Default::default()
+        };
+        for _ in 0..(next() % 40 + 1) {
+            m.hops.push((next() % 30) as f64);
+            m.latency_secs.push((next() % 1000) as f64 / 500.0);
+            m.hop_rtt.push((next() % 100) as f64 / 50.0);
+            m.put_latency_secs.push((next() % 100) as f64 / 40.0);
+            m.get_latency_secs.push((next() % 100) as f64 / 40.0);
+            m.repair_time_secs.push((next() % 100) as f64);
+            m.queue_wait.record(SimTime(next() % 100_000));
+            m.lookup_latency.record(SimTime(next() % 1_000_000));
+        }
+        m
+    }
+
+    /// The discrete lanes [`SimMetrics::fingerprint`] promises bit
+    /// identity over, extracted for an exact (not just hashed)
+    /// comparison.
+    fn discrete_lanes(m: &SimMetrics) -> Vec<u64> {
+        vec![
+            m.lookups,
+            m.lookups_ok,
+            m.hops.count(),
+            m.latency_secs.count(),
+            m.timeouts,
+            m.events,
+            m.puts_ok,
+            m.gets_ok,
+            m.repair_bytes,
+            m.stored_bytes,
+            m.inflight_peak,
+            m.queue_depth_peak,
+            m.queue_wait.fingerprint(),
+            m.lookup_latency.fingerprint(),
+            m.end_time.as_micros(),
+        ]
+    }
+
+    // Satellite contract: folding per-shard metrics in any permutation
+    // and any association yields bit-identical histogram fingerprints
+    // and counters.
+    #[test]
+    fn merge_is_order_independent_and_associative() {
+        let shards: Vec<SimMetrics> = (0..8).map(|i| shard_metrics(i * 1237 + 11)).collect();
+
+        let fold = |order: &[usize]| -> SimMetrics {
+            let mut acc = SimMetrics::default();
+            for &i in order {
+                acc.merge(&shards[i]);
+            }
+            acc
+        };
+        let base = fold(&[0, 1, 2, 3, 4, 5, 6, 7]);
+
+        // A spread of permutations, including reverse and interleaves.
+        for order in [
+            [7, 6, 5, 4, 3, 2, 1, 0],
+            [0, 2, 4, 6, 1, 3, 5, 7],
+            [3, 0, 7, 1, 6, 2, 5, 4],
+            [4, 7, 2, 5, 0, 3, 6, 1],
+        ] {
+            let m = fold(&order);
+            assert_eq!(m.fingerprint(), base.fingerprint(), "order {order:?}");
+            assert_eq!(discrete_lanes(&m), discrete_lanes(&base));
+        }
+
+        // Associativity: ((a·b)·(c·d))·((e·f)·(g·h)) vs the left fold.
+        let pair = |a: usize, b: usize| {
+            let mut m = shards[a].clone();
+            m.merge(&shards[b]);
+            m
+        };
+        let (ab, cd, ef, gh) = (pair(0, 1), pair(2, 3), pair(4, 5), pair(6, 7));
+        let mut left = ab.clone();
+        left.merge(&cd);
+        let mut right = ef.clone();
+        right.merge(&gh);
+        let mut tree = left;
+        tree.merge(&right);
+        assert_eq!(tree.fingerprint(), base.fingerprint());
+        assert_eq!(discrete_lanes(&tree), discrete_lanes(&base));
+
+        // Identity: merging a default is a no-op on the fingerprint.
+        let mut with_id = base.clone();
+        with_id.merge(&SimMetrics::default());
+        assert_eq!(with_id.fingerprint(), base.fingerprint());
+
+        // And the fingerprint does discriminate.
+        let mut tweaked = base.clone();
+        tweaked.timeouts += 1;
+        assert_ne!(tweaked.fingerprint(), base.fingerprint());
     }
 
     #[test]

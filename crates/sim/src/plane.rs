@@ -335,6 +335,62 @@ impl<M> Wheel<M> {
         self.elapsed = self.elapsed.max(env.at.as_micros());
         Some(env)
     }
+
+    /// Pops the next envelope only if it is due exactly at `at` (the
+    /// same-instant fast path of [`MessagePlane::deliver_window`]).
+    /// After a `pop_before` returned an envelope at `at`, the rest of
+    /// that instant's batch usually sits harvested in `ready`, so this
+    /// is a peek + pop with no cursor walk.
+    fn pop_at(&mut self, at: SimTime) -> Option<Envelope<M>> {
+        if self.ready.peek().is_some_and(|Reverse(e)| e.at == at) {
+            let Reverse(env) = self.ready.pop().expect("peeked");
+            return Some(env);
+        }
+        // Slow path: the batch straddled a harvest boundary (overflow
+        // rebase, behind-cursor send). `pop_before(at)` returns only
+        // envelopes due ≤ `at`, and everything earlier is already out.
+        self.pop_before(at)
+    }
+
+    /// Earliest pending delivery time, without delivering anything.
+    /// May cascade higher-level slots downward (cursor advance to a
+    /// range start), which is exactly the work `pop_before` would do —
+    /// never past the returned instant, so ordering is unaffected.
+    fn next_due(&mut self) -> Option<SimTime> {
+        loop {
+            let ready_at = self.ready.peek().map(|Reverse(e)| e.at.as_micros());
+            let ready_due = |bound: u64| ready_at.is_some_and(|r| r <= bound);
+            match self.front() {
+                Front::Exact { at, .. } => {
+                    return Some(SimTime(if ready_due(at) {
+                        ready_at.expect("due")
+                    } else {
+                        at
+                    }));
+                }
+                Front::Range { level, slot, start } => {
+                    if ready_due(start) {
+                        return ready_at.map(SimTime);
+                    }
+                    self.elapsed = start;
+                    for env in self.levels[level].take(slot) {
+                        self.push(env);
+                    }
+                }
+                Front::Overflow => {
+                    if ready_due(self.overflow_min) {
+                        return ready_at.map(SimTime);
+                    }
+                    self.elapsed = self.overflow_min;
+                    self.overflow_min = u64::MAX;
+                    for env in std::mem::take(&mut self.overflow) {
+                        self.push(env);
+                    }
+                }
+                Front::Empty => return ready_at.map(SimTime),
+            }
+        }
+    }
 }
 
 /// The backend storage of a [`MessagePlane`].
@@ -433,6 +489,45 @@ impl<M> MessagePlane<M> {
         }
     }
 
+    /// Sends `msg` for delivery at absolute `at` (clamped to `now`)
+    /// under a **caller-chosen** ordering key instead of the plane's
+    /// global send counter. The sharded engine derives its keys as
+    /// `(sender peer id << 32) | per-sender send counter`, which makes
+    /// same-instant delivery order a pure function of *who* sent what —
+    /// invariant to shard count and worker count, and stable when
+    /// buffered cross-shard envelopes are enqueued at a window barrier.
+    ///
+    /// Keys share the envelope `seq` lane, so a plane should be driven
+    /// either entirely through `send`/`send_at` or entirely through
+    /// `send_keyed` — mixing the two interleaves two unrelated key
+    /// spaces. Duplicate `(at, key)` pairs get heap order; keyed callers
+    /// must issue unique keys per send.
+    pub fn send_keyed(&mut self, at: SimTime, key: u64, msg: M) {
+        let env = Envelope {
+            at: at.max(self.clock),
+            seq: key,
+            msg,
+        };
+        self.seq += 1;
+        self.in_flight += 1;
+        match &mut self.queue {
+            Queue::Wheel(w) => w.push(env),
+            Queue::Heap(h) => h.push(Reverse(env)),
+        }
+    }
+
+    /// Earliest pending delivery time, or `None` when the queue is
+    /// empty. Does not deliver and never moves the clock, though the
+    /// wheel may cascade slots downward (work `deliver_before` would do
+    /// anyway). The window driver uses this to pick each conservative
+    /// window's start across shard planes.
+    pub fn next_due(&mut self) -> Option<SimTime> {
+        match &mut self.queue {
+            Queue::Wheel(w) => w.next_due(),
+            Queue::Heap(h) => h.peek().map(|Reverse(e)| e.at),
+        }
+    }
+
     /// Delivers the next envelope due at or before `until`, advancing
     /// the clock to its delivery time. `None` once nothing is due.
     pub fn deliver_before(&mut self, until: SimTime) -> Option<Envelope<M>> {
@@ -452,6 +547,51 @@ impl<M> MessagePlane<M> {
         self.delivered += 1;
         self.in_flight -= 1;
         Some(env)
+    }
+
+    /// Drains **every envelope due at the single earliest pending
+    /// instant** `t ≤ until` into `out` (cleared first), in `(at, seq)`
+    /// order, and advances the clock to `t`. Returns the batch size;
+    /// `0` means nothing is due by `until` (clock untouched).
+    ///
+    /// This is the batched form of [`MessagePlane::deliver_before`]:
+    /// one cursor walk harvests the whole same-instant batch, and the
+    /// wheel then serves the rest of the batch straight from its
+    /// `ready` heap instead of re-walking the levels per envelope.
+    ///
+    /// Deliberately *same-instant*, not whole-window: a handler
+    /// processing the batch may send new messages **at `t`** (zero
+    /// service delay, clamped past sends). Those get strictly larger
+    /// seqs/keys, so the next `deliver_window` call picks them up at
+    /// `t` after the current batch — exactly the order the pop-one
+    /// loop produces. A multi-instant pre-drain would have delivered
+    /// instants past `t` before those late arrivals, breaking the
+    /// contract.
+    pub fn deliver_window(&mut self, until: SimTime, out: &mut Vec<Envelope<M>>) -> usize {
+        out.clear();
+        let Some(first) = self.deliver_before(until) else {
+            return 0;
+        };
+        let at = first.at;
+        out.push(first);
+        loop {
+            let env = match &mut self.queue {
+                Queue::Wheel(w) => w.pop_at(at),
+                Queue::Heap(h) => {
+                    if h.peek().is_some_and(|Reverse(e)| e.at == at) {
+                        h.pop().map(|Reverse(e)| e)
+                    } else {
+                        None
+                    }
+                }
+            };
+            let Some(env) = env else { break };
+            debug_assert_eq!(env.at, at, "same-instant batch only");
+            self.delivered += 1;
+            self.in_flight -= 1;
+            out.push(env);
+        }
+        out.len()
     }
 
     /// Moves the clock to `until` (idle time at the end of a run slice).
@@ -550,6 +690,139 @@ mod tests {
             }
             assert_eq!(got, vec![0, 1, 2, 3]);
             assert_eq!(p.now(), far + SimTime(1));
+        }
+    }
+
+    #[test]
+    fn deliver_window_drains_one_instant_at_a_time() {
+        for mut p in both() {
+            p.send(SimTime::from_millis(5), 1);
+            p.send(SimTime::from_millis(5), 2);
+            p.send(SimTime::from_millis(7), 3);
+            let mut batch = Vec::new();
+            assert_eq!(p.deliver_window(SimTime::from_secs(1), &mut batch), 2);
+            assert_eq!(batch.iter().map(|e| e.msg).collect::<Vec<_>>(), [1, 2]);
+            assert_eq!(p.now(), SimTime::from_millis(5));
+            assert_eq!(p.deliver_window(SimTime::from_secs(1), &mut batch), 1);
+            assert_eq!(batch[0].msg, 3);
+            assert_eq!(p.deliver_window(SimTime::from_secs(1), &mut batch), 0);
+            assert!(batch.is_empty());
+            assert_eq!(p.delivered(), 3);
+            assert_eq!(p.in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn same_instant_sends_during_batch_processing_arrive_next_call() {
+        // The engine pattern: handlers run after the batch is drained
+        // and may send at the batch instant; the next call delivers
+        // them at the same instant, after the original batch.
+        for mut p in both() {
+            p.send(SimTime::from_millis(5), 1);
+            let mut batch = Vec::new();
+            assert_eq!(p.deliver_window(SimTime::from_secs(1), &mut batch), 1);
+            p.send(SimTime::ZERO, 2); // handler send at t
+            assert_eq!(p.deliver_window(SimTime::from_secs(1), &mut batch), 1);
+            assert_eq!(batch[0].msg, 2);
+            assert_eq!(batch[0].at, SimTime::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn send_keyed_orders_ties_by_key() {
+        for mut p in both() {
+            let at = SimTime::from_millis(3);
+            p.send_keyed(at, (7u64 << 32) | 1, 71);
+            p.send_keyed(at, 2u64 << 32, 20);
+            p.send_keyed(at, (7u64 << 32) | 2, 72);
+            p.send_keyed(at, 5u64 << 32, 50);
+            let mut got = Vec::new();
+            while let Some(e) = p.deliver_before(SimTime::from_secs(1)) {
+                got.push(e.msg);
+            }
+            assert_eq!(got, vec![20, 50, 71, 72]);
+        }
+    }
+
+    #[test]
+    fn next_due_reports_without_delivering() {
+        for mut p in both() {
+            assert_eq!(p.next_due(), None);
+            p.send(SimTime::from_millis(9), 1);
+            p.send(SimTime::from_millis(4), 2);
+            // Far-future overflow entry must not mask the near one.
+            p.send_at(SimTime(1 << 45), 3);
+            assert_eq!(p.next_due(), Some(SimTime::from_millis(4)));
+            assert_eq!(p.in_flight(), 3);
+            assert_eq!(p.now(), SimTime::ZERO);
+            let e = p.deliver_before(SimTime::from_secs(1)).unwrap();
+            assert_eq!(e.msg, 2);
+            assert_eq!(p.next_due(), Some(SimTime::from_millis(9)));
+            p.deliver_before(SimTime::from_secs(1)).unwrap();
+            assert_eq!(p.next_due(), Some(SimTime(1 << 45)));
+        }
+    }
+
+    // Satellite contract: the batched drain is equivalent to the
+    // pop-one loop, and byte-identical across backends, under
+    // randomized schedules with ties, keyed sends and mid-run
+    // re-sends at the batch instant.
+    proptest! {
+        #[test]
+        fn deliver_window_matches_pop_one_across_backends(seed in 0u64..48) {
+            let mut rng = Rng::new(seed ^ 0xBA7C_4D12);
+            let [mut wheel, mut heap] = both();
+            let mut oracle = MessagePlane::<u32>::with_backend(PlaneBackend::Heap);
+            let mut tag = 0u32;
+            let mut windowed: Vec<(SimTime, u64, u32)> = Vec::new();
+            let mut popped: Vec<(SimTime, u64, u32)> = Vec::new();
+            let mut batch = Vec::new();
+            for _round in 0..30 {
+                for _ in 0..rng.bounded_u64(16) {
+                    tag += 1;
+                    let key = ((rng.bounded_u64(8) + 1) << 32) | tag as u64;
+                    let at = wheel.now() + SimTime(rng.bounded_u64(1 << 14));
+                    wheel.send_keyed(at, key, tag);
+                    heap.send_keyed(at, key, tag);
+                    oracle.send_keyed(at, key, tag);
+                }
+                let horizon = wheel.now() + SimTime(rng.bounded_u64(1 << 15));
+                loop {
+                    let nw = wheel.deliver_window(horizon, &mut batch);
+                    let at_instant = batch.first().map(|e| e.at);
+                    for e in &batch {
+                        windowed.push((e.at, e.seq, e.msg));
+                    }
+                    let nh = heap.deliver_window(horizon, &mut batch);
+                    prop_assert_eq!(nw, nh);
+                    for (w, e) in windowed[windowed.len() - nh..].iter().zip(&batch) {
+                        prop_assert_eq!(*w, (e.at, e.seq, e.msg));
+                    }
+                    if nw == 0 {
+                        break;
+                    }
+                    // Handler pattern: occasionally send at the batch
+                    // instant; must arrive within this same instant,
+                    // after the already-drained batch.
+                    if rng.chance(0.3) {
+                        tag += 1;
+                        let key = (9u64 << 32) | tag as u64;
+                        let at = at_instant.unwrap();
+                        wheel.send_keyed(at, key, tag);
+                        heap.send_keyed(at, key, tag);
+                        oracle.send_keyed(at, key, tag);
+                    }
+                }
+                while let Some(e) = oracle.deliver_before(horizon) {
+                    popped.push((e.at, e.seq, e.msg));
+                }
+                prop_assert_eq!(&windowed, &popped);
+                prop_assert_eq!(wheel.now(), heap.now());
+                wheel.advance_to(horizon);
+                heap.advance_to(horizon);
+                oracle.advance_to(horizon);
+            }
+            prop_assert!(!windowed.is_empty(), "schedule exercised nothing");
         }
     }
 

@@ -366,8 +366,8 @@ impl Walk {
 
 /// The recyclable buffers of a finished [`Walk`]: its candidate,
 /// exclusion, seen and path vectors, cleared but with their capacity
-/// kept. The engine pools these so steady-state walk turnover performs
-/// no per-walk heap allocation.
+/// kept up to [`SCRATCH_MAX_CAPACITY`]. The engine pools these so
+/// steady-state walk turnover performs no per-walk heap allocation.
 #[derive(Debug, Default)]
 pub struct WalkScratch {
     /// Recycled [`Walk::excluded`] buffer.
@@ -380,8 +380,19 @@ pub struct WalkScratch {
     pub path: Vec<u32>,
 }
 
+/// Capacity ceiling (elements per buffer) a recycled buffer keeps
+/// through [`WalkScratch::reclaim`]. Typical walks stay well under
+/// this, so recycling still eliminates steady-state allocation; the
+/// rare pathological walk (a saturation run's long `seen` trail, a
+/// range sweep's wide ladder) returns its excess pages instead of
+/// parking them in the pool forever. Together with the engine's pool
+/// count cap this bounds pool memory at
+/// `WALK_POOL_CAP * 4 * SCRATCH_MAX_CAPACITY * 4` bytes ≈ 4 MiB.
+pub const SCRATCH_MAX_CAPACITY: usize = 256;
+
 impl WalkScratch {
-    /// Strips a finished walk down to its reusable buffers.
+    /// Strips a finished walk down to its reusable buffers, shrinking
+    /// each to at most [`SCRATCH_MAX_CAPACITY`] elements on the way in.
     pub fn reclaim(walk: Walk) -> WalkScratch {
         let Walk {
             mut excluded,
@@ -390,10 +401,10 @@ impl WalkScratch {
             mut path,
             ..
         } = walk;
-        excluded.clear();
-        alternates.clear();
-        seen.clear();
-        path.clear();
+        for buf in [&mut excluded, &mut alternates, &mut seen, &mut path] {
+            buf.clear();
+            buf.shrink_to(SCRATCH_MAX_CAPACITY);
+        }
         WalkScratch {
             excluded,
             alternates,
@@ -739,6 +750,25 @@ mod tests {
         assert!(s.alternates.is_empty() && s.excluded.is_empty());
         assert!(s.alternates.capacity() >= 4);
         assert!(s.excluded.capacity() >= 2);
+    }
+
+    #[test]
+    fn reclaim_shrinks_oversized_buffers_to_the_cap() {
+        // Regression for the unbounded-pool leak: a pathological walk
+        // (saturated E23 runs grew `seen`/`alternates` into the tens of
+        // thousands) must not park its pages in the pool forever.
+        let mut w = Walk::fixture(Vec::new(), Vec::new());
+        w.seen = Vec::with_capacity(64 * 1024);
+        w.alternates = Vec::with_capacity(32 * 1024);
+        w.excluded = Vec::with_capacity(SCRATCH_MAX_CAPACITY / 2);
+        w.seen.extend(0..50_000u32);
+        let s = WalkScratch::reclaim(w);
+        assert!(s.seen.capacity() <= SCRATCH_MAX_CAPACITY);
+        assert!(s.alternates.capacity() <= SCRATCH_MAX_CAPACITY);
+        assert!(s.path.capacity() <= SCRATCH_MAX_CAPACITY);
+        // Small buffers keep what they had — no churn below the cap.
+        assert!(s.excluded.capacity() >= SCRATCH_MAX_CAPACITY / 2);
+        assert!(s.seen.is_empty());
     }
 
     #[test]
