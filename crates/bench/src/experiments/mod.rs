@@ -1,5 +1,5 @@
 //! One module per experiment family; the registry in the crate root maps
-//! experiment ids (`e1`..`e24`) onto these functions. Each experiment
+//! experiment ids (`e1`..`e25`) onto these functions. Each experiment
 //! prints its table(s) and writes CSVs into the context's output
 //! directory (through the shared `ctx` path helpers). `EXPERIMENTS.md`
 //! documents expected shapes and records a reference run.
@@ -9,6 +9,7 @@ pub mod classics;
 pub mod dynamics;
 pub mod equivalence;
 pub mod inflight;
+pub mod interleave;
 pub mod repair;
 pub mod routing_modes;
 pub mod scale;

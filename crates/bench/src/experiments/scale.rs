@@ -237,11 +237,9 @@ fn run_cell(
     let hops_mean =
         soa_results.iter().map(|r| r.hops as f64).sum::<f64>() / soa_results.len().max(1) as f64;
 
-    let kernel_used = if net.route_table().prefers_soa() {
-        "soa"
-    } else {
-        "reference"
-    };
+    // Which of the three tiers `route_batch` over this network would
+    // pick for this workload (reference / soa / interleaved).
+    let kernel_used = net.route_table().kernel_tier(workload.len()).label();
     let bytes_per_peer = net.resident_bytes() as f64 / n as f64;
 
     // Reopen the frozen dir without the O(m) validation scans (we froze

@@ -152,5 +152,10 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Parallel simulator: sharded conservative windows vs serial oracle, ev/s + peak RSS vs workers, digests asserted bit-identical (merges BENCH_sim.json)",
             experiments::sim_parallel::e24_sim_parallel,
         ),
+        (
+            "e25",
+            "Interleaved AMAC routing kernel: single-thread routes/s vs interleave width K over heap and mmap-arena tables, bit-identity asserted per cell (merges BENCH_routing.json)",
+            experiments::interleave::e25_interleave,
+        ),
     ]
 }

@@ -767,11 +767,11 @@ fn build_arena_parts(
             let r = slots.row_bounds(u);
             debug_assert_eq!(merged.len(), r.len(), "counted degree matches merge");
             for &v in merged.iter().take(PF) {
-                crate::links::prefetch_read(&keys[v as usize]);
+                sw_graph::prefetch::prefetch_read(&keys[v as usize]);
             }
             for (k, &v) in merged.iter().enumerate() {
                 if let Some(&w) = merged.get(k + PF) {
-                    crate::links::prefetch_read(&keys[w as usize]);
+                    sw_graph::prefetch::prefetch_read(&keys[w as usize]);
                 }
                 slots.edges[r.start + k] = v;
                 edge_pos[r.start + k] = keys[v as usize].get();

@@ -10,6 +10,7 @@
 //! [`crate::config::LinkSampler`]); experiments E1/E3 verify they agree.
 
 use crate::config::LinkSampler;
+use sw_graph::prefetch::prefetch_read;
 use sw_graph::NodeId;
 use sw_keyspace::distribution::KeyDistribution;
 use sw_keyspace::{Key, Rng, Topology};
@@ -251,20 +252,6 @@ impl<'a> LinkSelector<'a> {
             }
         }
     }
-}
-
-/// Hints the CPU to pull the cache line holding `p` (no-op architectures
-/// without a stable prefetch intrinsic). Purely a performance hint — safe
-/// for any pointer, never dereferenced.
-#[inline(always)]
-pub(crate) fn prefetch_read<T>(p: *const T) {
-    #[cfg(target_arch = "x86_64")]
-    // Safety: prefetch never faults and reads nothing architecturally.
-    unsafe {
-        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = p;
 }
 
 #[cfg(test)]

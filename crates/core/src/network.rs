@@ -12,7 +12,7 @@ use sw_graph::{LinkTable, NodeId};
 use sw_keyspace::distribution::KeyDistribution;
 use sw_keyspace::{Key, Rng, Topology};
 use sw_overlay::route::{RouteOptions, RouteResult, RoutingSurvey, TargetModel};
-use sw_overlay::soa::{greedy_route_on, RouteTable};
+use sw_overlay::soa::{greedy_route_on, KernelTier, RouteTable};
 use sw_overlay::{Overlay, Placement};
 
 /// File holding the frozen contact CSR + per-edge ring-position lane +
@@ -485,6 +485,27 @@ impl Overlay for SmallWorldNetwork {
             sw_overlay::greedy_route(&self.placement, self.contact_csr(), from, target, opts)
         }
     }
+
+    /// Batched tier dispatch ([`RouteTable::kernel_tier`]): chunks wide
+    /// enough to fill the AMAC pipeline route through the interleaved
+    /// kernel, narrower ones fall back to the per-route policy above.
+    /// All tiers are bit-identical, so `route_batch` results do not
+    /// depend on how the workload was chunked.
+    fn route_chunk(&self, queries: &[(NodeId, Key)], opts: &RouteOptions) -> Vec<RouteResult> {
+        match self.route_table.kernel_tier(queries.len()) {
+            KernelTier::Interleaved => sw_overlay::route_interleaved(
+                &self.placement,
+                &self.route_table,
+                queries,
+                opts,
+                sw_overlay::DEFAULT_INTERLEAVE,
+            ),
+            _ => queries
+                .iter()
+                .map(|&(from, target)| self.route(from, target, opts))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -629,6 +650,42 @@ mod tests {
         let b = reopened.routing_survey(200, &mut Rng::new(9));
         assert_eq!(a.successes, b.successes);
         assert_eq!(a.hop_samples, b.hop_samples);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn route_chunk_interleaved_tier_matches_looped_routes() {
+        use sw_overlay::route::{route_batch, RouteOptions};
+        let mut rng = Rng::new(47);
+        let net = SmallWorldBuilder::new(384).build(&mut rng).unwrap();
+        let dir = std::env::temp_dir().join("sw-core-interleave-tier-test");
+        net.freeze_to(&dir).unwrap();
+        // Arena-backed reopen → prefers_soa → wide chunks hit the
+        // interleaved tier.
+        let reopened =
+            SmallWorldNetwork::open_from(&dir, *net.config(), net.assumed().clone()).unwrap();
+        assert_eq!(
+            reopened.route_table().kernel_tier(256),
+            sw_overlay::KernelTier::Interleaved
+        );
+        let workload = sw_overlay::route::survey_queries(
+            net.placement(),
+            256,
+            TargetModel::MemberKeys,
+            &mut rng,
+        );
+        let opts = RouteOptions::for_n(384);
+        let looped: Vec<_> = workload
+            .iter()
+            .map(|&(from, t)| reopened.route(from, t, &opts))
+            .collect();
+        assert_eq!(reopened.route_chunk(&workload, &opts), looped);
+        for threads in [1, 3] {
+            assert_eq!(route_batch(&reopened, &workload, &opts, threads), looped);
+        }
+        // The heap-backed original takes the non-interleaved arm and
+        // must agree too.
+        assert_eq!(net.route_chunk(&workload, &opts), looped);
         std::fs::remove_dir_all(&dir).ok();
     }
 

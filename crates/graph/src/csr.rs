@@ -14,18 +14,7 @@
 
 use crate::digraph::{DiGraph, NodeId};
 use crate::par;
-
-/// Hints the CPU to pull the line holding `p` toward L1. Purely a
-/// performance hint: never dereferences, never faults, no-op off x86-64.
-#[inline(always)]
-pub(crate) fn prefetch_read<T>(p: *const T) {
-    #[cfg(target_arch = "x86_64")]
-    unsafe {
-        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = p;
-}
+use crate::prefetch::prefetch_read;
 
 /// Flat CSR adjacency: outgoing and incoming edges of a fixed peer set.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

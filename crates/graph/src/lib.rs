@@ -44,6 +44,9 @@
 //! * [`par`] — deterministic fork/join helpers over scoped std threads
 //!   (the workspace builds offline, so no `rayon`): parallel per-peer
 //!   construction and batched routing build on these.
+//! * [`prefetch`] — software-prefetch hints shared by every
+//!   latency-hiding kernel (CSR transpose, harmonic sampling,
+//!   `sw-overlay`'s interleaved AMAC routing); no-ops off x86-64.
 //! * [`digraph`] — a mutable adjacency-list digraph used while *editing*
 //!   graphs; frozen overlays use [`Topology`] instead.
 //! * [`bfs`] — breadth-first distances, sampled average path length and
@@ -66,6 +69,7 @@ pub mod digraph;
 pub mod kleinberg;
 pub mod metrics;
 pub mod par;
+pub mod prefetch;
 pub mod store;
 pub mod watts_strogatz;
 pub mod writer;

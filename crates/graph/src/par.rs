@@ -349,7 +349,22 @@ where
     A: Send,
     F: Fn(std::ops::Range<usize>) -> A + Sync,
 {
-    let threads = effective_threads(n, threads, DEFAULT_MIN_PER_THREAD);
+    par_chunks_grained(n, threads, DEFAULT_MIN_PER_THREAD, f)
+}
+
+/// [`par_chunks`] with an explicit minimum number of items per worker —
+/// the chunked twin of [`par_map_grained`]. Batched kernels that want
+/// one call per contiguous sub-range (e.g. the interleaved routing
+/// kernel, which keeps several walks of a chunk in flight at once) use
+/// this instead of a per-index map so the chunk boundary is theirs to
+/// exploit; results are still a pure function of the input and the
+/// chunk count never reorders them.
+pub fn par_chunks_grained<A, F>(n: usize, threads: usize, min_per_thread: usize, f: F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(std::ops::Range<usize>) -> A + Sync,
+{
+    let threads = effective_threads(n, threads, min_per_thread);
     if threads <= 1 {
         return vec![f(0..n)];
     }

@@ -24,10 +24,14 @@
 //!   via sampled histograms (Bharambe, Agrawal & Seshan, SIGCOMM 2004):
 //!   the heuristic the paper's Model 2 formalizes.
 //!
-//! The framework lives in [`placement`], [`route`] and [`degraded`].
+//! The framework lives in [`placement`], [`route`], [`soa`],
+//! [`interleaved`] and [`degraded`]; `route`'s module docs tell the
+//! three-tier kernel story (slice reference → chunked SoA →
+//! interleaved AMAC batches).
 
 pub mod chord;
 pub mod degraded;
+pub mod interleaved;
 pub mod mercury;
 pub mod pastry;
 pub mod pgrid;
@@ -36,12 +40,13 @@ pub mod route;
 pub mod soa;
 pub mod symphony;
 
+pub use interleaved::{probe_interleaved, route_interleaved, ProbeOutcome, DEFAULT_INTERLEAVE};
 pub use placement::{Placement, PlacementError};
 pub use route::{
     greedy_candidates, greedy_candidates_into, greedy_candidates_soa, greedy_route, greedy_step,
     greedy_step_soa, Overlay, RingView, RouteOptions, RouteResult, RoutingSurvey,
 };
-pub use soa::{greedy_route_on, RouteTable};
+pub use soa::{greedy_route_batch_on, greedy_route_on, KernelTier, RouteTable};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {

@@ -12,33 +12,53 @@
 //! independent lookups across threads — the batched path that feeds
 //! [`RoutingSurvey`] and the experiment harness.
 //!
-//! # Two kernels, one semantics
+//! # Three kernel tiers, one semantics
 //!
-//! Greedy contact selection exists in two implementations that must be
-//! (and are tested to be) **bit-identical**:
+//! Greedy routing exists in three implementations that must be (and are
+//! tested to be) **bit-identical**, each owning a different regime:
 //!
-//! * the **slice-based reference** — [`greedy_step`] /
-//!   [`greedy_candidates`] over `(id, key)` pairs, used by [`RingView`]
-//!   (dynamic protocols route over borrowed per-peer views that mutate
-//!   under churn, so there is nothing contiguous to scan), and kept as
-//!   the readable spec of the tie-break rule: *strict* improvement over
-//!   the running best, earliest candidate wins exact distance ties;
-//! * the **chunked SoA kernels** — [`greedy_step_soa`] /
-//!   [`greedy_candidates_soa`], which scan the key-aligned per-edge
-//!   position lanes of a [`RouteTable`](crate::soa::RouteTable) in
-//!   fixed-width [`LANES`]-wide chunks (constant-trip-count inner
-//!   loops, no bounds checks, distance arithmetic branch-free on the
-//!   data), with the strict-`<` left-to-right fold preserving the
-//!   reference tie-break exactly. At freeze time every contact's ring
-//!   position is stored contiguously next to its CSR edge row, so a hop
-//!   touches one or two *sequential* cache lines instead of gathering
-//!   `placement.key(v)` per candidate — the memory layout that keeps
-//!   winning once the key array outgrows the cache (measured in E20's
-//!   old-vs-new sweep; at cache-resident sizes the two kernels are at
-//!   parity).
+//! 1. the **slice-based reference** — [`greedy_step`] /
+//!    [`greedy_candidates`] over `(id, key)` pairs, used by [`RingView`]
+//!    (dynamic protocols route over borrowed per-peer views that mutate
+//!    under churn, so there is nothing contiguous to scan), and kept as
+//!    the readable spec of the tie-break rule: *strict* improvement over
+//!    the running best, earliest candidate wins exact distance ties.
+//!    While the key array is cache-resident (below the
+//!    [`kernel_crossover`](crate::soa::kernel_crossover), default
+//!    `2²⁰` peers, overridable via `SW_KERNEL_CROSSOVER`), its gathers
+//!    are cheap and it wins outright.
+//! 2. the **chunked SoA kernel** — [`greedy_step_soa`] /
+//!    [`greedy_candidates_soa`], scanning the key-aligned per-edge
+//!    position lanes of a [`RouteTable`](crate::soa::RouteTable) in
+//!    fixed-width [`LANES`]-wide chunks (constant-trip-count inner
+//!    loops, no bounds checks, distance arithmetic branch-free on the
+//!    data), with the strict-`<` left-to-right fold preserving the
+//!    reference tie-break exactly. Above the crossover a hop touches one
+//!    or two *sequential* cache lines instead of gathering
+//!    `placement.key(v)` per candidate (measured in E20's old-vs-new
+//!    sweep). This is the tier for *single* routes over big tables —
+//!    each hop still pays full DRAM latency for its row.
+//! 3. the **interleaved AMAC kernel** —
+//!    [`route_interleaved`](crate::interleaved::route_interleaved),
+//!    which takes a *batch* of independent walks and keeps
+//!    `K` ≈ [`DEFAULT_INTERLEAVE`](crate::interleaved::DEFAULT_INTERLEAVE)
+//!    of them in flight per thread as explicit state machines,
+//!    software-prefetching each walk's next offset pair / edge row /
+//!    position lane one round ahead so dependent misses overlap
+//!    (memory-*bandwidth*-bound instead of latency-bound). Per-hop
+//!    decisions go through the same [`greedy_step_soa`], so this tier is
+//!    the batched form of tier 2, not a fourth semantics. E25 sweeps the
+//!    interleave width and measures the win at 10⁷ peers.
 //!
-//! [`crate::soa::greedy_route_on`] debug-asserts kernel agreement on
-//! every hop; release builds run the chunked path alone.
+//! Dispatch: [`Overlay::route`] picks tier 1 or 2 per route
+//! ([`RouteTable::prefers_soa`](crate::soa::RouteTable::prefers_soa));
+//! [`Overlay::route_chunk`] — which [`route_batch`] feeds one contiguous
+//! chunk per worker thread — lets an overlay escalate wide chunks to
+//! tier 3 ([`RouteTable::kernel_tier`](crate::soa::RouteTable::kernel_tier)
+//! is the policy). [`crate::soa::greedy_route_on`] debug-asserts
+//! tier-1/tier-2 agreement on every hop, the interleaved kernel
+//! debug-asserts its carried distances against the placement, and the
+//! equivalence proptest drives all three tiers over the same workloads.
 
 use crate::placement::Placement;
 use sw_graph::csr::Topology as CsrTopology;
@@ -105,6 +125,20 @@ pub trait Overlay: Sync {
     /// Greedy distance-minimizing route from `from` toward `target`.
     fn route(&self, from: NodeId, target: Key, opts: &RouteOptions) -> RouteResult {
         greedy_route(self.placement(), self.topology(), from, target, opts)
+    }
+
+    /// Routes a contiguous chunk of independent queries — the unit
+    /// [`route_batch`] hands each worker thread. The default loops
+    /// [`Overlay::route`]; overlays backed by a
+    /// [`RouteTable`](crate::soa::RouteTable) override this to escalate
+    /// wide chunks to the interleaved AMAC kernel. Overrides must stay
+    /// bit-identical to the default (the contract [`route_batch`]'s
+    /// determinism rests on).
+    fn route_chunk(&self, queries: &[(NodeId, Key)], opts: &RouteOptions) -> Vec<RouteResult> {
+        queries
+            .iter()
+            .map(|&(from, target)| self.route(from, target, opts))
+            .collect()
     }
 
     /// Mean routing-table size (out-degree).
@@ -508,8 +542,10 @@ pub fn clockwise_route(
 /// are bit-identical to a sequential `overlay.route(..)` loop for every
 /// thread count.
 ///
-/// Dispatches through [`Overlay::route`], so overlays with a native
-/// router (e.g. Chord's clockwise walk) batch their own algorithm.
+/// Dispatches through [`Overlay::route_chunk`], so overlays with a
+/// native router (e.g. Chord's clockwise walk) batch their own
+/// algorithm, and table-backed overlays route each worker's chunk
+/// through the interleaved AMAC kernel.
 pub fn route_batch<O: Overlay + ?Sized>(
     overlay: &O,
     queries: &[(NodeId, Key)],
@@ -517,11 +553,16 @@ pub fn route_batch<O: Overlay + ?Sized>(
     threads: usize,
 ) -> Vec<RouteResult> {
     // A single greedy route costs microseconds, so even modest batches
-    // are worth fanning out.
-    par::par_map_grained(queries.len(), threads, 64, |i| {
-        let (from, target) = queries[i];
-        overlay.route(from, target, opts)
-    })
+    // are worth fanning out; each worker gets one contiguous chunk so
+    // the per-chunk kernel sees the widest possible batch.
+    let chunks = par::par_chunks_grained(queries.len(), threads, 64, |r| {
+        overlay.route_chunk(&queries[r], opts)
+    });
+    let mut out = Vec::with_capacity(queries.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
 }
 
 /// How survey target keys are drawn.

@@ -28,13 +28,62 @@ use crate::route::{
 };
 use std::io;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use sw_graph::{NodeId, Topology as CsrTopology, TopologyStore};
 use sw_keyspace::Key;
 
 /// Peer count above which a heap-backed [`RouteTable`] prefers the SoA
 /// kernel (see [`RouteTable::prefers_soa`] for the measured rationale).
+/// The default; override per process with `SW_KERNEL_CROSSOVER` (see
+/// [`kernel_crossover`]).
 pub const SOA_KERNEL_MIN_PEERS: usize = 1 << 20;
+
+/// The effective reference→SoA crossover: [`SOA_KERNEL_MIN_PEERS`]
+/// unless the `SW_KERNEL_CROSSOVER` environment variable holds a valid
+/// peer count (`0` forces the SoA tiers everywhere, a huge value pins
+/// the reference kernel). Read once and cached — the experiment harness
+/// sets it before the first route to re-measure the crossover without
+/// recompiling.
+pub fn kernel_crossover() -> usize {
+    static CROSSOVER: OnceLock<usize> = OnceLock::new();
+    *CROSSOVER.get_or_init(|| parse_crossover(std::env::var("SW_KERNEL_CROSSOVER").ok().as_deref()))
+}
+
+/// Pure parse of an `SW_KERNEL_CROSSOVER` value, separated from the env
+/// and cache plumbing so it is testable without process-global state:
+/// a base-10 peer count, with `_` separators allowed; anything else
+/// falls back to [`SOA_KERNEL_MIN_PEERS`].
+pub fn parse_crossover(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().replace('_', "").parse::<usize>().ok())
+        .unwrap_or(SOA_KERNEL_MIN_PEERS)
+}
+
+/// Which of the three routing kernels a dispatch decision picked — the
+/// `kernel_used` stamp E20/E25 write on every benchmark row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Slice-based scalar reference ([`crate::route::greedy_route`]):
+    /// cache-resident key array, gathers win.
+    Reference,
+    /// Chunked SoA lane scan ([`greedy_route_on`]): one route at a
+    /// time over contiguous position lanes.
+    Soa,
+    /// AMAC interleaved batch kernel
+    /// ([`crate::interleaved::route_interleaved`]): K walks in flight,
+    /// prefetch one round ahead.
+    Interleaved,
+}
+
+impl KernelTier {
+    /// Stable lowercase label for benchmark rows and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelTier::Reference => "reference",
+            KernelTier::Soa => "soa",
+            KernelTier::Interleaved => "interleaved",
+        }
+    }
+}
 
 /// Key-aligned SoA routing table: CSR contact rows plus the contiguous
 /// per-edge position lane the chunked greedy kernels scan.
@@ -100,7 +149,24 @@ impl RouteTable {
     /// tables always prefer the SoA path — falling back to the
     /// reference there would force materializing a heap CSR first.
     pub fn prefers_soa(&self) -> bool {
-        matches!(&*self.store, TopologyStore::Arena(_)) || self.len() >= SOA_KERNEL_MIN_PEERS
+        matches!(&*self.store, TopologyStore::Arena(_)) || self.len() >= kernel_crossover()
+    }
+
+    /// Which kernel tier serves a batch of `batch` independent lookups
+    /// over this table. Below the crossover the cache-resident slice
+    /// reference wins regardless of batch shape; above it, a batch of
+    /// at least [`DEFAULT_INTERLEAVE`](crate::interleaved::DEFAULT_INTERLEAVE)
+    /// walks is enough to fill the AMAC pipeline, and smaller batches
+    /// route one at a time through the chunked SoA kernel. All three
+    /// tiers are bit-identical; this is purely a throughput policy.
+    pub fn kernel_tier(&self, batch: usize) -> KernelTier {
+        if !self.prefers_soa() {
+            KernelTier::Reference
+        } else if batch >= crate::interleaved::DEFAULT_INTERLEAVE {
+            KernelTier::Interleaved
+        } else {
+            KernelTier::Soa
+        }
     }
 
     /// Number of peers.
@@ -244,6 +310,33 @@ pub fn greedy_route_on(
     finish_route(true, hops, path, from, cur, opts)
 }
 
+/// Batched greedy routing over a [`RouteTable`], dispatching each batch
+/// to its [`KernelTier`]: a batch wide enough to fill the AMAC pipeline
+/// goes through [`crate::interleaved::route_interleaved`] with the
+/// default interleave width, narrower batches loop [`greedy_route_on`].
+/// Results are in input order and bit-identical either way.
+pub fn greedy_route_batch_on(
+    placement: &Placement,
+    table: &RouteTable,
+    queries: &[(NodeId, Key)],
+    opts: &RouteOptions,
+) -> Vec<RouteResult> {
+    if queries.len() >= crate::interleaved::DEFAULT_INTERLEAVE {
+        crate::interleaved::route_interleaved(
+            placement,
+            table,
+            queries,
+            opts,
+            crate::interleaved::DEFAULT_INTERLEAVE,
+        )
+    } else {
+        queries
+            .iter()
+            .map(|&(from, t)| greedy_route_on(placement, table, from, t, opts))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +435,64 @@ mod tests {
         let o = symphony(64, 5);
         let store = Arc::new(TopologyStore::heap(o.topology().clone()));
         assert!(RouteTable::from_store(store).is_err());
+    }
+
+    #[test]
+    fn crossover_parse_accepts_counts_and_falls_back() {
+        assert_eq!(parse_crossover(None), SOA_KERNEL_MIN_PEERS);
+        assert_eq!(parse_crossover(Some("0")), 0);
+        assert_eq!(parse_crossover(Some(" 65536 ")), 65536);
+        assert_eq!(parse_crossover(Some("1_000_000")), 1_000_000);
+        assert_eq!(parse_crossover(Some("")), SOA_KERNEL_MIN_PEERS);
+        assert_eq!(parse_crossover(Some("1<<20")), SOA_KERNEL_MIN_PEERS);
+        assert_eq!(parse_crossover(Some("-5")), SOA_KERNEL_MIN_PEERS);
+    }
+
+    #[test]
+    fn kernel_tier_policy() {
+        use crate::interleaved::DEFAULT_INTERLEAVE;
+        // Small heap table: reference no matter the batch size.
+        let o = symphony(64, 6);
+        let t = table_of(&o);
+        assert_eq!(t.kernel_tier(1), KernelTier::Reference);
+        assert_eq!(t.kernel_tier(10_000), KernelTier::Reference);
+        assert_eq!(KernelTier::Reference.label(), "reference");
+        // Arena-backed: always an SoA tier; the batch width picks which.
+        let dir = std::env::temp_dir().join("sw-overlay-tier-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tier.swt");
+        t.freeze_to(&path, None).unwrap();
+        let arena = RouteTable::open_from(&path).unwrap();
+        assert_eq!(arena.kernel_tier(1), KernelTier::Soa);
+        assert_eq!(arena.kernel_tier(DEFAULT_INTERLEAVE - 1), KernelTier::Soa);
+        assert_eq!(
+            arena.kernel_tier(DEFAULT_INTERLEAVE),
+            KernelTier::Interleaved
+        );
+        assert_eq!(KernelTier::Soa.label(), "soa");
+        assert_eq!(KernelTier::Interleaved.label(), "interleaved");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_entry_matches_looped_for_both_dispatch_arms() {
+        let o = symphony(256, 12);
+        let t = table_of(&o);
+        let mut rng = Rng::new(3);
+        let queries = survey_queries(o.placement(), 100, TargetModel::MemberKeys, &mut rng);
+        let opts = RouteOptions::for_n(256);
+        let looped: Vec<RouteResult> = queries
+            .iter()
+            .map(|&(from, tg)| greedy_route_on(o.placement(), &t, from, tg, &opts))
+            .collect();
+        // Wide batch → interleaved arm; narrow slice → sequential arm.
+        assert_eq!(
+            greedy_route_batch_on(o.placement(), &t, &queries, &opts),
+            looped
+        );
+        assert_eq!(
+            greedy_route_batch_on(o.placement(), &t, &queries[..3], &opts),
+            looped[..3]
+        );
     }
 }

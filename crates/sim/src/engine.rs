@@ -737,19 +737,48 @@ impl Simulator {
         // per-node views (and re-filtering dead contacts) per probe.
         let table = self.route_table_snapshot();
         let threads = self.cfg.parallelism;
+        // The alive set is frozen for the whole probe batch, so the hop
+        // budget probe_walk derives per walk is one constant here.
+        let max_hops = 64 + 8 * (self.alive.len().max(2) as f64).log2().ceil() as u32;
         let this = &*self;
-        let outcomes = par::par_map_grained(pairs.len(), threads, 64, |i| {
-            let (from, target_id) = pairs[i];
-            let target = this.nodes[target_id as usize].key;
-            let outcome = this.probe_walk(&table, from, target);
-            (outcome.final_node == target_id, outcome.hops)
+        let queries: Vec<(u32, Key)> = pairs
+            .iter()
+            .map(|&(from, target_id)| (from, this.nodes[target_id as usize].key))
+            .collect();
+        // Each worker drives its contiguous chunk through the AMAC
+        // interleaved probe kernel; the scalar probe_walk stays as the
+        // per-outcome reference the debug build checks against.
+        let chunk_outcomes = par::par_chunks_grained(pairs.len(), threads, 64, |r| {
+            let outcomes = sw_overlay::probe_interleaved(
+                &table,
+                Metric::Ring,
+                &queries[r.clone()],
+                max_hops,
+                sw_overlay::DEFAULT_INTERLEAVE,
+                |v| this.nodes[v as usize].key,
+            );
+            debug_assert!(
+                r.clone().zip(outcomes.iter()).all(|(i, o)| {
+                    let (from, target) = queries[i];
+                    let w = this.probe_walk(&table, from, target);
+                    (w.final_node, w.hops) == (o.final_node, o.hops)
+                }),
+                "interleaved probes must match the scalar walk"
+            );
+            outcomes
         });
         let mut hops = OnlineStats::new();
         let mut ok = 0usize;
-        for (success, h) in outcomes {
-            if success {
-                ok += 1;
-                hops.push(h as f64);
+        let mut idx = 0usize;
+        // Aggregate in pair order so the stats are chunk-independent.
+        for chunk in chunk_outcomes {
+            for o in chunk {
+                let (_, target_id) = pairs[idx];
+                idx += 1;
+                if o.final_node == target_id {
+                    ok += 1;
+                    hops.push(o.hops as f64);
+                }
             }
         }
         // Divide by the pairs actually drawn: when the alive set runs
